@@ -1,0 +1,103 @@
+// Extension benchmark: batched updates with coalesced interior-anchor
+// writes (RelativePrefixSum::AddBatch) vs one Add per delta.
+//
+// The paper's Figure 14 shows that every update rewrites the anchors
+// of all strictly dominating boxes; a nightly batch of m updates
+// landing in few boxes repeats those (n/k)^d anchor writes m times.
+// AddBatch writes them once per covering box with the summed delta.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/table.h"
+#include "core/relative_prefix_sum.h"
+#include "util/stopwatch.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+using CellDelta = RelativePrefixSum<int64_t>::CellDelta;
+
+void RunScenario(const char* name, const Shape& shape,
+                 const std::vector<CellDelta>& batch) {
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 50);
+  const CellIndex box = RecommendedBoxSize(shape);
+
+  RelativePrefixSum<int64_t> sequential(cube, box);
+  Stopwatch seq_watch;
+  UpdateStats seq_stats;
+  for (const CellDelta& op : batch) {
+    seq_stats += sequential.Add(op.cell, op.delta);
+  }
+  const double seq_ms = seq_watch.ElapsedSeconds() * 1e3;
+
+  RelativePrefixSum<int64_t> batched(cube, box);
+  Stopwatch batch_watch;
+  const UpdateStats batch_stats = batched.AddBatch(batch);
+  const double batch_ms = batch_watch.ElapsedSeconds() * 1e3;
+
+  RPS_CHECK_MSG(sequential.rp_array() == batched.rp_array(),
+                "batch/sequential divergence");
+
+  std::printf("%-34s  m=%5zu  cells %9lld -> %9lld (%.2fx)  time %7.2fms -> %7.2fms\n",
+              name, batch.size(),
+              static_cast<long long>(seq_stats.total()),
+              static_cast<long long>(batch_stats.total()),
+              static_cast<double>(seq_stats.total()) /
+                  static_cast<double>(std::max<int64_t>(1, batch_stats.total())),
+              seq_ms, batch_ms);
+}
+
+std::vector<CellDelta> HotBoxBatch(const Shape& shape, int count,
+                                   uint64_t seed) {
+  // All updates land in the first overlay box ("today's slice").
+  Rng rng(seed);
+  const CellIndex k = RecommendedBoxSize(shape);
+  std::vector<CellDelta> batch;
+  for (int i = 0; i < count; ++i) {
+    CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+    for (int j = 0; j < shape.dims(); ++j) {
+      cell[j] = rng.UniformInt(0, k[j] - 1);
+    }
+    batch.push_back({cell, rng.UniformInt(1, 5)});
+  }
+  return batch;
+}
+
+std::vector<CellDelta> ScatteredBatch(const Shape& shape, int count,
+                                      uint64_t seed) {
+  UniformUpdateGen gen(shape, 5, seed);
+  std::vector<CellDelta> batch;
+  for (int i = 0; i < count; ++i) {
+    const UpdateOp op = gen.Next();
+    batch.push_back({op.cell, op.delta});
+  }
+  return batch;
+}
+
+}  // namespace
+}  // namespace rps
+
+int main() {
+  rps::bench::PrintHeader(
+      "extension", "batched updates: coalesced anchors vs per-op Add");
+  const rps::Shape square{512, 512};
+  rps::RunScenario("512x512, 100 updates in one box", square,
+                   rps::HotBoxBatch(square, 100, 1));
+  rps::RunScenario("512x512, 1000 updates in one box", square,
+                   rps::HotBoxBatch(square, 1000, 2));
+  rps::RunScenario("512x512, 100 scattered updates", square,
+                   rps::ScatteredBatch(square, 100, 3));
+  const rps::Shape cube3{64, 64, 64};
+  rps::RunScenario("64^3, 200 updates in one box", cube3,
+                   rps::HotBoxBatch(cube3, 200, 4));
+  rps::RunScenario("64^3, 200 scattered updates", cube3,
+                   rps::ScatteredBatch(cube3, 200, 5));
+  std::printf(
+      "\nExpected shape: hot-box batches coalesce the (n/k)^d interior\n"
+      "anchor writes (512x512, k=23: ~484 anchors) once per batch; the\n"
+      "saving grows with batch size. Scattered batches save little.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E5 -- the paper's complexity comparison (Sections 2, 4.3
+// and 5): naive vs prefix sum vs relative prefix sum (plus the
+// Fenwick-tree extension), measured.
+//
+// For each method: average range-query latency, average update
+// latency, average/worst touched cells per update, and the
+// query*update cost product. Expected shape (Section 5):
+//   naive:  O(n^d) query, O(1) update        -> product O(n^d)
+//   PS:     O(1) query,   O(n^d) update      -> product O(n^d)
+//   RPS:    O(1) query,   O(n^(d/2)) update  -> product O(n^(d/2))
+// RPS's product should be orders of magnitude below both baselines,
+// shrinking further as n grows.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/table.h"
+#include "core/cost_model.h"
+#include "core/fenwick_method.h"
+#include "core/hierarchical_rps.h"
+#include "core/naive_method.h"
+#include "core/prefix_sum_method.h"
+#include "core/relative_prefix_sum.h"
+#include "workload/data_gen.h"
+#include "workload/driver.h"
+
+namespace rps {
+namespace {
+
+void RunForShape(int d, int64_t n, int64_t queries, int64_t updates) {
+  const Shape shape = Shape::Hypercube(d, n);
+  std::printf("\n-- d=%d, n=%lld (N=%lld cells), %lld queries + %lld updates --\n",
+              d, static_cast<long long>(n),
+              static_cast<long long>(shape.num_cells()),
+              static_cast<long long>(queries),
+              static_cast<long long>(updates));
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 99, 11);
+
+  std::vector<std::unique_ptr<QueryMethod<int64_t>>> methods;
+  methods.push_back(std::make_unique<NaiveMethod<int64_t>>(cube));
+  methods.push_back(std::make_unique<PrefixSumMethod<int64_t>>(cube));
+  methods.push_back(std::make_unique<RelativePrefixSum<int64_t>>(cube));
+  methods.push_back(std::make_unique<HierarchicalRps<int64_t>>(cube));
+  methods.push_back(std::make_unique<FenwickMethod<int64_t>>(cube));
+
+  bench::Table table({"method", "avg query us", "avg update us",
+                      "avg cells/update", "query*update (us^2)"});
+  int64_t reference_checksum = 0;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    UniformQueryGen query_gen(shape, 101);
+    UniformUpdateGen update_gen(shape, 9, 202);
+    const WorkloadSpec spec{.num_queries = queries, .num_updates = updates,
+                            .interleave = true};
+    const WorkloadReport report =
+        RunWorkload(*methods[m], query_gen, update_gen, spec);
+    if (m == 0) {
+      reference_checksum = report.query_checksum;
+    } else if (report.query_checksum != reference_checksum) {
+      std::printf("!! %s diverged from the naive oracle\n",
+                  report.method.c_str());
+    }
+    table.AddRow({report.method, bench::Fmt("%.3f", report.avg_query_micros()),
+                  bench::Fmt("%.3f", report.avg_update_micros()),
+                  bench::Fmt("%.1f", report.avg_update_cells()),
+                  bench::Fmt("%.3f", report.avg_query_micros() *
+                                         report.avg_update_micros())});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rps
+
+int main() {
+  rps::bench::PrintHeader(
+      "E5 / Sections 2+5",
+      "measured complexity table: naive vs prefix sum vs RPS vs Fenwick");
+  rps::RunForShape(2, 64, 400, 400);
+  rps::RunForShape(2, 256, 300, 300);
+  rps::RunForShape(2, 1024, 100, 100);
+  rps::RunForShape(3, 32, 200, 200);
+  rps::RunForShape(3, 64, 60, 60);
+  rps::RunForShape(1, 65536, 200, 200);
+  std::printf(
+      "\nExpected shape: naive loses on queries, prefix sum loses on\n"
+      "updates, RPS holds both low; the query*update product for RPS\n"
+      "drops further below the baselines as n grows (O(n^(d/2)) vs\n"
+      "O(n^d)).\n");
+  return 0;
+}

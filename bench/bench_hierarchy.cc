@@ -1,0 +1,129 @@
+// Extension benchmark: the two-level hierarchical structure
+// (core/hierarchical_rps.h) against the flat relative prefix sum
+// method -- worst-case and average update cells vs n, query latency,
+// and the box-size sweep showing the optimum shifting from sqrt(n)
+// (flat, n^(1/2) exponent) toward n^(2/5) (two levels, d=2).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/table.h"
+#include "core/hierarchical_rps.h"
+#include "core/relative_prefix_sum.h"
+#include "util/stopwatch.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+template <typename Method>
+int64_t WorstObservedUpdate(Method& method, const Shape& shape, int trials,
+                            uint64_t seed) {
+  // Sample cells near the origin (the expensive corner) and uniform
+  // cells; report the worst touched-cell count observed.
+  Rng rng(seed);
+  int64_t worst = 0;
+  for (int i = 0; i < trials; ++i) {
+    CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+    for (int j = 0; j < shape.dims(); ++j) {
+      cell[j] = (i % 2 == 0) ? rng.UniformInt(0, 2)
+                             : rng.UniformInt(0, shape.extent(j) - 1);
+    }
+    worst = std::max(worst, method.Add(cell, 1).total());
+  }
+  return worst;
+}
+
+void ScalingTable() {
+  bench::PrintHeader("extension / hierarchy",
+                     "update cells vs n: flat RPS vs two-level (d=2)");
+  bench::Table table({"n", "flat k", "flat worst-observed", "hier k",
+                      "hier worst-observed", "flat avg query us",
+                      "hier avg query us"});
+  for (int64_t n : {64, 256, 1024, 2048}) {
+    const Shape shape = Shape::Hypercube(2, n);
+    const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 60);
+    RelativePrefixSum<int64_t> flat(cube);
+    HierarchicalRps<int64_t> hier(cube);
+
+    const int64_t flat_worst = WorstObservedUpdate(flat, shape, 60, 61);
+    const int64_t hier_worst = WorstObservedUpdate(hier, shape, 60, 61);
+
+    const int kQueries = 300;
+    UniformQueryGen gen_flat(shape, 62);
+    Stopwatch flat_watch;
+    int64_t checksum = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      checksum += flat.RangeSum(gen_flat.Next());
+    }
+    const double flat_us = flat_watch.ElapsedSeconds() * 1e6 / kQueries;
+    UniformQueryGen gen_hier(shape, 62);
+    Stopwatch hier_watch;
+    for (int i = 0; i < kQueries; ++i) {
+      checksum -= hier.RangeSum(gen_hier.Next());
+    }
+    const double hier_us = hier_watch.ElapsedSeconds() * 1e6 / kQueries;
+    RPS_CHECK_MSG(checksum == 0, "methods diverged");
+
+    table.AddRow({bench::FmtInt(n),
+                  RecommendedBoxSize(shape).ToString(),
+                  bench::FmtInt(flat_worst),
+                  hier.box_size().ToString(),
+                  bench::FmtInt(hier_worst),
+                  bench::Fmt("%.2f", flat_us), bench::Fmt("%.2f", hier_us)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: both queries stay O(1) (hierarchy pays a larger\n"
+      "constant); flat worst-case updates grow ~sqrt(N)=n, the\n"
+      "hierarchy's grow ~n^(4/5) with a visibly smaller value at large\n"
+      "n.\n");
+}
+
+void ThreeDimensionalTable() {
+  std::printf("\nThree-dimensional check (d=3, worst observed cells):\n");
+  bench::Table table({"n", "flat (k=sqrt n)", "two-level (k=n^(3/7))"});
+  for (int64_t n : {16, 32, 64, 128}) {
+    const Shape shape = Shape::Hypercube(3, n);
+    const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 70);
+    RelativePrefixSum<int64_t> flat(cube);
+    HierarchicalRps<int64_t> hier(cube);
+    table.AddRow({bench::FmtInt(n),
+                  bench::FmtInt(WorstObservedUpdate(flat, shape, 40, 71)),
+                  bench::FmtInt(WorstObservedUpdate(hier, shape, 40, 71))});
+  }
+  table.Print();
+  std::printf(
+      "At d=3 the hierarchy carries 2^d-1 = 7 inner structures, so its\n"
+      "constant is larger and the crossover sits near n=128 (the\n"
+      "asymptotic exponent drops from n^1.5 to ~n^1.29).\n");
+}
+
+void BoxSweep() {
+  std::printf("\nBox-size sweep at n=1024 (d=2), worst observed cells:\n");
+  const Shape shape = Shape::Hypercube(2, 1024);
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 63);
+  bench::Table table({"k", "flat RPS", "two-level"});
+  for (int64_t k : {4, 8, 16, 32, 64, 128}) {
+    RelativePrefixSum<int64_t> flat(cube, CellIndex{k, k});
+    HierarchicalRps<int64_t> hier(cube, CellIndex{k, k});
+    table.AddRow({bench::FmtInt(k),
+                  bench::FmtInt(WorstObservedUpdate(flat, shape, 40, 64)),
+                  bench::FmtInt(WorstObservedUpdate(hier, shape, 40, 64))});
+  }
+  table.Print();
+  std::printf(
+      "Expected: the flat optimum sits near k=32=sqrt(n); the two-level\n"
+      "optimum sits lower (k~16=n^(2/5)) and beats the flat minimum.\n");
+}
+
+}  // namespace
+}  // namespace rps
+
+int main() {
+  rps::ScalingTable();
+  rps::ThreeDimensionalTable();
+  rps::BoxSweep();
+  return 0;
+}

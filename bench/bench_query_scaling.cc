@@ -1,0 +1,118 @@
+// Experiment E6a -- the constant-time query claim, as google-benchmark
+// microbenchmarks.
+//
+// Range-query latency vs cube side n for each method (d = 2). The
+// paper's claim: prefix sum and RPS queries are O(1) in n (flat
+// lines, RPS within a small constant of PS: 2^d vs ~(2^d)^2 lookups
+// per query); the naive method grows with the range volume; Fenwick
+// grows as log^d n.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fenwick_method.h"
+#include "core/hierarchical_rps.h"
+#include "core/naive_method.h"
+#include "core/prefix_sum_method.h"
+#include "core/relative_prefix_sum.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+template <typename Method>
+std::unique_ptr<Method> BuildMethod(int64_t n) {
+  const Shape shape = Shape::Hypercube(2, n);
+  return std::make_unique<Method>(UniformCube(shape, 0, 99, 13));
+}
+
+template <typename Method>
+void BM_RangeQuery(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto method = BuildMethod<Method>(n);
+  UniformQueryGen gen(method->shape(), 17);
+  // Pre-generate queries so generator cost stays out of the loop.
+  std::vector<Box> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(gen.Next());
+  size_t next = 0;
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    checksum += method->RangeSum(queries[next]);
+    next = (next + 1) & 255;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetLabel("d=2");
+}
+
+BENCHMARK(BM_RangeQuery<NaiveMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RangeQuery<PrefixSumMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_RangeQuery<RelativePrefixSum<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_RangeQuery<FenwickMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_RangeQuery<HierarchicalRps<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kNanosecond);
+
+// Prefix lookups in isolation (the 2^d+1-cell assembly of Figure 12).
+void BM_RpsPrefixLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Shape shape = Shape::Hypercube(2, n);
+  RelativePrefixSum<int64_t> rps(UniformCube(shape, 0, 99, 19));
+  Rng rng(23);
+  std::vector<CellIndex> cells;
+  for (int i = 0; i < 256; ++i) {
+    cells.push_back(
+        CellIndex{rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1)});
+  }
+  size_t next = 0;
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    checksum += rps.PrefixSum(cells[next]);
+    next = (next + 1) & 255;
+  }
+  benchmark::DoNotOptimize(checksum);
+}
+BENCHMARK(BM_RpsPrefixLookup)->RangeMultiplier(4)->Range(16, 4096);
+
+// Dimensionality sweep at fixed N ~ 4096 cells: query cost grows with
+// 4^d lookups but stays independent of n.
+template <int kDims>
+void BM_RpsQueryByDims(benchmark::State& state) {
+  const int64_t n = kDims == 1 ? 4096 : (kDims == 2 ? 64 : (kDims == 3 ? 16 : 8));
+  const Shape shape = Shape::Hypercube(kDims, n);
+  RelativePrefixSum<int64_t> rps(UniformCube(shape, 0, 99, 29));
+  UniformQueryGen gen(shape, 31);
+  std::vector<Box> queries;
+  for (int i = 0; i < 256; ++i) queries.push_back(gen.Next());
+  size_t next = 0;
+  int64_t checksum = 0;
+  for (auto _ : state) {
+    checksum += rps.RangeSum(queries[next]);
+    next = (next + 1) & 255;
+  }
+  benchmark::DoNotOptimize(checksum);
+}
+BENCHMARK(BM_RpsQueryByDims<1>);
+BENCHMARK(BM_RpsQueryByDims<2>);
+BENCHMARK(BM_RpsQueryByDims<3>);
+BENCHMARK(BM_RpsQueryByDims<4>);
+
+}  // namespace
+}  // namespace rps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Experiment E6b -- update-cost scaling in n for each method
+// (google-benchmark). The paper's claim: naive O(1); prefix sum
+// O(n^d); RPS O(n^(d/2)) with k = sqrt(n). Fenwick O(log^d n) for
+// context.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fenwick_method.h"
+#include "core/hierarchical_rps.h"
+#include "core/naive_method.h"
+#include "core/prefix_sum_method.h"
+#include "core/relative_prefix_sum.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+template <typename Method>
+void BM_Update(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Shape shape = Shape::Hypercube(2, n);
+  Method method(UniformCube(shape, 0, 99, 37));
+  UniformUpdateGen gen(shape, 5, 41);
+  std::vector<UpdateOp> ops;
+  for (int i = 0; i < 256; ++i) ops.push_back(gen.Next());
+  size_t next = 0;
+  int64_t cells = 0;
+  for (auto _ : state) {
+    cells += method.Add(ops[next].cell, ops[next].delta).total();
+    next = (next + 1) & 255;
+  }
+  state.counters["cells/update"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_Update<NaiveMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024);
+BENCHMARK(BM_Update<PrefixSumMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Update<RelativePrefixSum<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Update<FenwickMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024);
+BENCHMARK(BM_Update<HierarchicalRps<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Build cost for context: all methods build in O(d N)-ish time except
+// Fenwick's O(N log^d N) insertion build.
+template <typename Method>
+void BM_Build(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Shape shape = Shape::Hypercube(2, n);
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 99, 43);
+  for (auto _ : state) {
+    Method method(cube);
+    benchmark::DoNotOptimize(method);
+  }
+  state.SetItemsProcessed(state.iterations() * shape.num_cells());
+}
+
+BENCHMARK(BM_Build<PrefixSumMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build<RelativePrefixSum<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build<FenwickMethod<int64_t>>)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiment E4 -- Section 4.3: update cost as the overlay box size k
+// varies, with the minimum at k ~ sqrt(n).
+//
+// For hypercubes of side n (d = 1, 2, 3) sweeps k and reports:
+//   * the paper's approximation k^d + d n k^(d-2) + (n/k)^d,
+//   * the exact worst-case touched cells from the cost model,
+//   * measured touched cells averaged over a uniform update stream.
+// The exact optimum and the sqrt(n) recommendation are printed for
+// comparison.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/table.h"
+#include "core/cost_model.h"
+#include "core/relative_prefix_sum.h"
+#include "util/math.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+void SweepForDimension(int d, int64_t n, const std::vector<int64_t>& ks) {
+  std::printf("\n-- d=%d, n=%lld (N=%lld cells), sqrt(n)=%lld --\n", d,
+              static_cast<long long>(n),
+              static_cast<long long>(IntPow(n, d)),
+              static_cast<long long>(ISqrt(n)));
+  const Shape shape = Shape::Hypercube(d, n);
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 42);
+
+  bench::Table table({"k", "paper approx", "exact worst-case",
+                      "measured avg (uniform updates)"});
+  int64_t best_k = -1;
+  int64_t best_cost = -1;
+  for (int64_t k : ks) {
+    if (k > n) continue;
+    const CellIndex box_size = CellIndex::Filled(d, k);
+    const OverlayGeometry geometry(shape, box_size);
+    const int64_t worst = RpsWorstCaseUpdateCells(geometry).total();
+    if (best_cost < 0 || worst < best_cost) {
+      best_cost = worst;
+      best_k = k;
+    }
+
+    RelativePrefixSum<int64_t> rps(cube, box_size);
+    UniformUpdateGen updates(shape, 5, 7);
+    const int kUpdates = 200;
+    int64_t touched = 0;
+    for (int i = 0; i < kUpdates; ++i) {
+      const UpdateOp op = updates.Next();
+      touched += rps.Add(op.cell, op.delta).total();
+    }
+    table.AddRow({bench::FmtInt(k),
+                  bench::Fmt("%.0f", PaperRpsUpdateApprox(n, d, k)),
+                  bench::FmtInt(worst),
+                  bench::Fmt("%.1f", static_cast<double>(touched) /
+                                         static_cast<double>(kUpdates))});
+  }
+  table.Print();
+  std::printf("minimum of exact worst-case in sweep: k=%lld (paper: k=sqrt(n)=%lld)\n",
+              static_cast<long long>(best_k),
+              static_cast<long long>(ISqrt(n)));
+}
+
+}  // namespace
+}  // namespace rps
+
+int main() {
+  rps::bench::PrintHeader(
+      "E4 / Section 4.3",
+      "update cost vs overlay box size; minimum near k = sqrt(n)");
+  rps::SweepForDimension(1, 4096, {2, 4, 8, 16, 32, 64, 128, 256, 1024});
+  rps::SweepForDimension(2, 256, {2, 4, 8, 16, 32, 64, 128, 256});
+  rps::SweepForDimension(3, 64, {2, 4, 8, 16, 32, 64});
+  return 0;
+}

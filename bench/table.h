@@ -1,0 +1,74 @@
+// Minimal fixed-width table printer for the paper-artifact benchmark
+// binaries (the google-benchmark microbenches handle their own
+// output). Each experiment binary prints the rows/series the paper
+// reports, plus context lines naming the experiment id from
+// DESIGN.md.
+
+#ifndef RPS_BENCH_TABLE_H_
+#define RPS_BENCH_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rps::bench {
+
+/// Prints a section header naming the DESIGN.md experiment.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& description) {
+  std::printf("\n=== %s: %s ===\n", experiment.c_str(), description.c_str());
+}
+
+/// Fixed-width table: column titles then rows of preformatted cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::string rule;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      rule.append(widths[c], '-');
+      rule.append("  ");
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into std::string.
+inline std::string Fmt(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t value) { return std::to_string(value); }
+
+}  // namespace rps::bench
+
+#endif  // RPS_BENCH_TABLE_H_

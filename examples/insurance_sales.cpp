@@ -1,0 +1,94 @@
+// The paper's motivating scenario (Section 1): an insurance company's
+// SALES cube over CUSTOMER_AGE x DATE_OF_SALE, where "new information
+// may arrive on a daily basis" and analysts demand near-current
+// answers.
+//
+// Loads a season of synthetic sales, then interleaves a live stream
+// of inserts with analyst queries ("total sales for customers with an
+// age from 37 to 52, over the past three months"), comparing the
+// update bill of the prefix sum baseline against relative prefix
+// sums.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "olap/engine.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+rps::Schema MakeSchema() {
+  return rps::Schema("SALES",
+                     {rps::Dimension::Integer("customer_age", 16, 84),
+                      rps::Dimension::Integer("date_of_sale", 0, 365)});
+}
+
+std::vector<rps::OlapRecord> SyntheticSeason(int64_t records, uint64_t seed) {
+  rps::Rng rng(seed);
+  // Ages cluster around 45; sales amounts are small-ticket heavy.
+  std::vector<rps::OlapRecord> season;
+  season.reserve(static_cast<size_t>(records));
+  for (int64_t i = 0; i < records; ++i) {
+    const int64_t age =
+        std::clamp<int64_t>((rng.UniformInt(16, 99) + rng.UniformInt(16, 99)) / 2,
+                            16, 99);
+    const int64_t day = rng.UniformInt(0, 364);
+    const double amount = static_cast<double>(rng.UniformInt(40, 2500));
+    season.push_back(rps::OlapRecord{{age, day}, amount});
+  }
+  return season;
+}
+
+void RunScenario(rps::EngineMethod method) {
+  rps::OlapEngine engine(MakeSchema(), method);
+  const rps::IngestReport loaded = engine.Load(SyntheticSeason(50000, 7));
+
+  // The live day: 2000 fresh sales interleaved with analyst queries.
+  rps::Rng rng(11);
+  rps::Stopwatch watch;
+  double query_total = 0;
+  for (int event = 0; event < 2000; ++event) {
+    const int64_t age = rng.UniformInt(16, 99);
+    const double amount = static_cast<double>(rng.UniformInt(40, 2500));
+    rps::Status inserted =
+        engine.Insert(rps::OlapRecord{{age, int64_t{180}}, amount});
+    RPS_CHECK(inserted.ok());
+
+    if (event % 50 == 0) {
+      // "total sales for customers with an age from 37 to 52, over
+      // the past three months" (days 90..180).
+      const auto sum = engine.Sum(rps::RangeQuery()
+                                      .WhereIntBetween("customer_age", 37, 52)
+                                      .WhereIntBetween("date_of_sale", 90,
+                                                       180));
+      RPS_CHECK(sum.ok());
+      query_total += sum.value();
+    }
+  }
+  const double seconds = watch.ElapsedSeconds();
+  std::printf(
+      "%-20s  loaded=%lld  live day: 2000 inserts + 40 queries in %7.2f ms,"
+      "  cells touched by inserts: %lld\n",
+      EngineMethodName(method), static_cast<long long>(loaded.accepted),
+      seconds * 1e3,
+      static_cast<long long>(engine.cumulative_update_cells()));
+  std::printf("%-20s  final 'age 37-52, days 90-180' total: %.0f\n",
+              "", query_total);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Insurance sales cube: CUSTOMER_AGE (16..99) x DATE_OF_SALE "
+              "(365 days)\n\n");
+  RunScenario(rps::EngineMethod::kPrefixSum);
+  RunScenario(rps::EngineMethod::kRelativePrefixSum);
+  std::printf(
+      "\nSame answers; the relative prefix sum engine touches orders of\n"
+      "magnitude fewer cells per insert, which is what makes the\n"
+      "near-current cube affordable (paper, Sections 1 and 4.3).\n");
+  return 0;
+}

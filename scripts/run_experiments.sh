@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every paper artifact: builds, runs the full test suite
+# (including the exact Figure 1-15 reproductions) and every benchmark
+# binary. Outputs land in test_output.txt / bench_output.txt at the
+# repository root. See DESIGN.md Section 3 for the experiment index
+# and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,120 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace rps {
+
+int64_t PrefixSumUpdateCells(const Shape& shape, const CellIndex& cell) {
+  RPS_CHECK(shape.Contains(cell));
+  int64_t cells = 1;
+  for (int j = 0; j < shape.dims(); ++j) {
+    cells *= shape.extent(j) - cell[j];
+  }
+  return cells;
+}
+
+int64_t PrefixSumWorstCaseUpdateCells(const Shape& shape) {
+  return shape.num_cells();
+}
+
+UpdateStats RpsUpdateCells(const OverlayGeometry& geometry,
+                           const CellIndex& cell) {
+  const Shape& shape = geometry.cube_shape();
+  RPS_CHECK(shape.Contains(cell));
+  const int d = shape.dims();
+  const CellIndex box_index = geometry.BoxIndexOf(cell);
+  const CellIndex anchor = geometry.AnchorOf(box_index);
+  const CellIndex extents = geometry.ExtentsOf(box_index);
+  const Shape& grid = geometry.grid_shape();
+
+  UpdateStats stats;
+  // RP cells: the trailing part of the covering box.
+  stats.primary_cells = 1;
+  for (int j = 0; j < d; ++j) {
+    stats.primary_cells *= extents[j] - (cell[j] - anchor[j]);
+  }
+  // Overlay cells. In the covering box's grid slice a dimension
+  // contributes own_j cells; each later grid slice contributes one
+  // anchor-coordinate cell. Product over dimensions counts all
+  // dominating boxes at once; subtract the covering box itself, which
+  // is not updated.
+  int64_t with_own = 1;
+  int64_t own_only = 1;
+  for (int j = 0; j < d; ++j) {
+    const int64_t own =
+        (cell[j] > anchor[j]) ? extents[j] - (cell[j] - anchor[j]) : 1;
+    const int64_t later_boxes = grid.extent(j) - box_index[j] - 1;
+    with_own *= own + later_boxes;
+    own_only *= own;
+  }
+  stats.aux_cells = with_own - own_only;
+  return stats;
+}
+
+UpdateStats RpsWorstCaseUpdateCells(const OverlayGeometry& geometry) {
+  // The per-dimension contribution of an update cell depends only on
+  // its in-box offset, and for offsets >= 1 every term is
+  // non-increasing in the offset; the worst cell therefore lives in
+  // the first box with per-dimension offset 0 or 1. Enumerate those
+  // 2^d candidates (d <= kMaxDims keeps this trivial).
+  const Shape& shape = geometry.cube_shape();
+  const int d = shape.dims();
+  UpdateStats worst;
+  int64_t worst_total = -1;
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    CellIndex cell = CellIndex::Filled(d, 0);
+    bool valid = true;
+    for (int j = 0; j < d; ++j) {
+      cell[j] = (mask & (1u << j)) ? 1 : 0;
+      if (cell[j] >= shape.extent(j)) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    const UpdateStats stats = RpsUpdateCells(geometry, cell);
+    if (stats.total() > worst_total) {
+      worst_total = stats.total();
+      worst = stats;
+    }
+  }
+  return worst;
+}
+
+double PaperRpsUpdateApprox(int64_t n, int d, int64_t k) {
+  RPS_CHECK(n >= 1 && d >= 1 && k >= 1);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return std::pow(kd, d) + d * nd * std::pow(kd, d - 2) +
+         std::pow(nd / kd, d);
+}
+
+int64_t OverlayCellsPerBox(int64_t k, int d) {
+  return IntPow(k, d) - IntPow(k - 1, d);
+}
+
+double OverlayStoragePercent(int64_t k, int d) {
+  return 100.0 * static_cast<double>(OverlayCellsPerBox(k, d)) /
+         static_cast<double>(IntPow(k, d));
+}
+
+int64_t BestUniformBoxSize(int64_t n, int d) {
+  RPS_CHECK(n >= 1 && d >= 1);
+  const Shape shape = Shape::Hypercube(d, n);
+  int64_t best_k = 1;
+  int64_t best_cost = -1;
+  for (int64_t k = 1; k <= n; ++k) {
+    const OverlayGeometry geometry(shape, CellIndex::Filled(d, k));
+    const int64_t cost = RpsWorstCaseUpdateCells(geometry).total();
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace rps

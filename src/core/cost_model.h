@@ -1,0 +1,60 @@
+// Analytic cost model from the paper (Sections 2, 4.3, 4.4).
+//
+// These are the formulas the benchmarks compare measured touched-cell
+// counts against:
+//   * prefix sum method update: every P cell dominating the updated
+//     cell, worst case n^d;
+//   * RPS update: (k-1)^d RP cells + d(n/k)k^(d-1) border cells +
+//     (n/k - 1)^d anchors, approximated in the paper as
+//     k^d + d n k^(d-2) + (n/k)^d, minimized at k = sqrt(n);
+//   * overlay storage: k^d - (k-1)^d cells per box (Figure 16).
+//
+// Exact closed forms (including clipped edge boxes and non-worst-case
+// cells) are derived in DESIGN.md and validated against measured
+// UpdateStats in tests.
+
+#ifndef RPS_CORE_COST_MODEL_H_
+#define RPS_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/overlay.h"
+#include "core/stats.h"
+#include "cube/index.h"
+
+namespace rps {
+
+/// Cells the prefix sum method writes when updating `cell`:
+/// prod_j (n_j - u_j).
+int64_t PrefixSumUpdateCells(const Shape& shape, const CellIndex& cell);
+
+/// Worst case of the above (update at the origin): n^d.
+int64_t PrefixSumWorstCaseUpdateCells(const Shape& shape);
+
+/// Exact cells the RPS method writes when updating `cell`, split into
+/// RP and overlay parts. Matches RelativePrefixSum::Add's UpdateStats.
+UpdateStats RpsUpdateCells(const OverlayGeometry& geometry,
+                           const CellIndex& cell);
+
+/// Exact worst case over all cells for the given geometry.
+UpdateStats RpsWorstCaseUpdateCells(const OverlayGeometry& geometry);
+
+/// The paper's approximation k^d + d*n*k^(d-2) + (n/k)^d for a
+/// hypercube of side n with uniform box side k (Section 4.3).
+double PaperRpsUpdateApprox(int64_t n, int d, int64_t k);
+
+/// Stored overlay cells per full box: k^d - (k-1)^d.
+int64_t OverlayCellsPerBox(int64_t k, int d);
+
+/// Overlay storage as a percentage of the covered RP region
+/// (Figure 16): 100 * (k^d - (k-1)^d) / k^d.
+double OverlayStoragePercent(int64_t k, int d);
+
+/// Uniform box side minimizing the exact worst-case update cells for
+/// a hypercube of side n with d dimensions (exhaustive sweep,
+/// Section 4.3's tunable parameter). Ties go to the smaller k.
+int64_t BestUniformBoxSize(int64_t n, int d);
+
+}  // namespace rps
+
+#endif  // RPS_CORE_COST_MODEL_H_

@@ -1,0 +1,95 @@
+// The dual problem: range UPDATE, point QUERY.
+//
+// The paper's structure answers range sums with point updates. Some
+// OLAP maintenance flows need the dual -- "add delta to every cell in
+// a box" (e.g. a price adjustment across a product x week slab) with
+// fast point reads. The classic difference-cube reduction maps the
+// dual onto the primal: maintain D with A[t] = SUM(D[0..t]); then
+//   * a range add on [lo, hi] becomes 2^d point updates on D (one per
+//     corner, inclusion-exclusion signs, corners beyond the cube
+//     dropped), and
+//   * a point read of A[t] is a prefix sum of D at t.
+// Backing D with a RelativePrefixSum gives O(n^(d/2))-cell range adds
+// and O(1) point reads -- the transposed trade-off of the paper's
+// structure.
+
+#ifndef RPS_CORE_DUAL_RPS_H_
+#define RPS_CORE_DUAL_RPS_H_
+
+#include <string>
+
+#include "core/relative_prefix_sum.h"
+#include "cube/prefix.h"
+
+namespace rps {
+
+template <typename T>
+class DualRps {
+ public:
+  /// Builds over `source` with the recommended sqrt(n) boxes on the
+  /// difference cube.
+  explicit DualRps(const NdArray<T>& source)
+      : DualRps(source, RecommendedBoxSize(source.shape())) {}
+
+  DualRps(const NdArray<T>& source, const CellIndex& box_size)
+      : inner_(Difference(source), box_size) {}
+
+  const Shape& shape() const { return inner_.shape(); }
+
+  /// Adds `delta` to every cell in `range`. Touches at most
+  /// 2^d * O(n^(d/2)) cells of the inner structure.
+  UpdateStats AddToRange(const Box& range, T delta) {
+    const Shape& cube = shape();
+    RPS_CHECK(range.Within(cube));
+    const int d = cube.dims();
+    UpdateStats stats;
+    // Corner c: coordinate j is either lo_j (sign +) or hi_j + 1
+    // (sign -); corners with any coordinate beyond the cube vanish.
+    CellIndex corner = CellIndex::Filled(d, 0);
+    for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+      bool skip = false;
+      int high_picks = 0;
+      for (int j = 0; j < d; ++j) {
+        if (mask & (1u << j)) {
+          ++high_picks;
+          if (range.hi()[j] + 1 >= cube.extent(j)) {
+            skip = true;
+            break;
+          }
+          corner[j] = range.hi()[j] + 1;
+        } else {
+          corner[j] = range.lo()[j];
+        }
+      }
+      if (skip) continue;
+      const T signed_delta = (high_picks % 2 == 0) ? delta : -delta;
+      stats += inner_.Add(corner, signed_delta);
+    }
+    return stats;
+  }
+
+  /// Adds `delta` to a single cell (a degenerate range add).
+  UpdateStats Add(const CellIndex& cell, T delta) {
+    return AddToRange(Box::Cell(cell), delta);
+  }
+
+  /// Current value of one cube cell: one prefix assembly, O(1).
+  T ValueAt(const CellIndex& cell) const { return inner_.PrefixSum(cell); }
+
+  /// The inner structure over the difference cube (tests,
+  /// diagnostics).
+  const RelativePrefixSum<T>& inner() const { return inner_; }
+
+ private:
+  static NdArray<T> Difference(const NdArray<T>& source) {
+    NdArray<T> diff = source;
+    DifferenceInPlace(diff);
+    return diff;
+  }
+
+  RelativePrefixSum<T> inner_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_DUAL_RPS_H_

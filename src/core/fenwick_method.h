@@ -1,0 +1,139 @@
+// d-dimensional Fenwick (binary indexed) tree baseline.
+//
+// Not part of the paper; included as the classic alternative point on
+// the query/update trade-off curve: O(log^d n) for both operations,
+// query*update product O(log^(2d) n). The paper's complexity table
+// (naive, prefix sum, RPS) is extended with this method in the
+// benchmark output so the crossovers are visible.
+
+#ifndef RPS_CORE_FENWICK_METHOD_H_
+#define RPS_CORE_FENWICK_METHOD_H_
+
+#include <string>
+
+#include "core/method.h"
+#include "cube/nd_array.h"
+
+namespace rps {
+
+template <typename T>
+class FenwickMethod final : public QueryMethod<T> {
+ public:
+  explicit FenwickMethod(const NdArray<T>& source) : tree_(source.shape()) {
+    Build(source);
+  }
+
+  std::string name() const override { return "fenwick"; }
+
+  void Build(const NdArray<T>& source) override {
+    RPS_CHECK(source.shape() == tree_.shape());
+    tree_.Fill(T{});
+    CellIndex cell = CellIndex::Filled(source.dims(), 0);
+    do {
+      const T value = source.at(cell);
+      if (value != T{}) AddInternal(cell, value);
+    } while (NextIndex(source.shape(), cell));
+  }
+
+  const Shape& shape() const override { return tree_.shape(); }
+
+  T RangeSum(const Box& range) const override {
+    const Shape& shape = tree_.shape();
+    RPS_CHECK(range.Within(shape));
+    const int d = shape.dims();
+    T total{};
+    CellIndex corner = CellIndex::Filled(d, 0);
+    for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+      bool skip = false;
+      int low_picks = 0;
+      for (int j = 0; j < d; ++j) {
+        if (mask & (1u << j)) {
+          ++low_picks;
+          if (range.lo()[j] == 0) {
+            skip = true;
+            break;
+          }
+          corner[j] = range.lo()[j] - 1;
+        } else {
+          corner[j] = range.hi()[j];
+        }
+      }
+      if (skip) continue;
+      if (low_picks % 2 == 0) {
+        total += PrefixSum(corner);
+      } else {
+        total -= PrefixSum(corner);
+      }
+    }
+    return total;
+  }
+
+  /// SUM(A[0..target]).
+  T PrefixSum(const CellIndex& target) const {
+    RPS_DCHECK(tree_.shape().Contains(target));
+    T total{};
+    CellIndex probe = CellIndex::Filled(target.dims(), 0);
+    PrefixRecurse(target, 0, probe, total);
+    return total;
+  }
+
+  UpdateStats Add(const CellIndex& cell, T delta) override {
+    return UpdateStats{AddInternal(cell, delta), 0};
+  }
+
+  UpdateStats Set(const CellIndex& cell, T value) override {
+    return Add(cell, value - ValueAt(cell));
+  }
+
+  T ValueAt(const CellIndex& cell) const override {
+    return RangeSum(Box::Cell(cell));
+  }
+
+  MemoryStats Memory() const override {
+    return MemoryStats{tree_.num_cells(), 0};
+  }
+
+ private:
+  // Classic BIT index steps on 1-based coordinates; coordinates are
+  // stored 0-based and shifted at the boundary.
+  int64_t AddInternal(const CellIndex& cell, T delta) {
+    RPS_DCHECK(tree_.shape().Contains(cell));
+    CellIndex probe = CellIndex::Filled(cell.dims(), 0);
+    return AddRecurse(cell, delta, 0, probe);
+  }
+
+  int64_t AddRecurse(const CellIndex& cell, T delta, int dim,
+                     CellIndex& probe) {
+    const Shape& shape = tree_.shape();
+    if (dim == shape.dims()) {
+      tree_.at(probe) += delta;
+      return 1;
+    }
+    int64_t touched = 0;
+    const int64_t n = shape.extent(dim);
+    for (int64_t i = cell[dim] + 1; i <= n; i += i & (-i)) {
+      probe[dim] = i - 1;
+      touched += AddRecurse(cell, delta, dim + 1, probe);
+    }
+    return touched;
+  }
+
+  void PrefixRecurse(const CellIndex& target, int dim, CellIndex& probe,
+                     T& total) const {
+    const Shape& shape = tree_.shape();
+    if (dim == shape.dims()) {
+      total += tree_.at(probe);
+      return;
+    }
+    for (int64_t i = target[dim] + 1; i > 0; i -= i & (-i)) {
+      probe[dim] = i - 1;
+      PrefixRecurse(target, dim + 1, probe, total);
+    }
+  }
+
+  NdArray<T> tree_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_FENWICK_METHOD_H_

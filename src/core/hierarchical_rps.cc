@@ -1,0 +1,25 @@
+#include "core/hierarchical_rps.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rps {
+
+CellIndex RecommendedHierarchicalBoxSize(const Shape& shape) {
+  // Balancing the RP tail (k^d) against the dominant face update
+  // (~n^((d-1)/2) * (n/k)^(1/2)) gives k ~ n^(d/(2d+1)); see the file
+  // header of hierarchical_rps.h.
+  const int d = shape.dims();
+  const double exponent =
+      static_cast<double>(d) / static_cast<double>(2 * d + 1);
+  CellIndex box_size = CellIndex::Filled(d, 1);
+  for (int j = 0; j < d; ++j) {
+    const int64_t n = shape.extent(j);
+    const int64_t k = static_cast<int64_t>(
+        std::llround(std::pow(static_cast<double>(n), exponent)));
+    box_size[j] = std::clamp<int64_t>(k, 1, n);
+  }
+  return box_size;
+}
+
+}  // namespace rps

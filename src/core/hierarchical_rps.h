@@ -1,0 +1,390 @@
+// Two-level hierarchical relative prefix sums.
+//
+// The paper closes by noting the method "reduces the overall
+// complexity of the range sum problem"; its authors' follow-up work
+// (the Dynamic Data Cube) pushes the idea further by composing the
+// structure with itself. This extension implements one such
+// composition. Partition the cube into boxes of side k_j, as in the
+// flat structure, and decompose any prefix region by classifying each
+// dimension as "earlier slices" ([0, a_j-1], whole boxes) or "own
+// slice" ([a_j, t_j], cells):
+//
+//   P[t] = sum over S subseteq D of W_S(t),
+//   W_S(t) = SUM( prod_{j in S} [a_j..t_j] x prod_{j notin S} [0..a_j-1] )
+//
+// * W_D is the box-local RP cell (same RP array as the flat method);
+// * W_{} is a prefix over the coarse cube of box totals -- maintained
+//   as an inner RelativePrefixSum over the (n/k)^d grid;
+// * each intermediate W_S is a range over the "face cube" F_S, which
+//   aggregates A at cell granularity in the S dimensions and box
+//   granularity elsewhere -- each maintained as its own inner
+//   RelativePrefixSum.
+//
+// A point update touches its RP box tail, one cell of the coarse cube
+// and one cell of each face cube -- each an inner-RPS point update of
+// cost O(sqrt(inner size)) -- so the flat method's (n/k)^d interior-
+// anchor bill becomes ~(n/k)^(d/2), and the total worst case drops
+// below O(n^(d/2)) (minimized near k = n^(d/(2d+1))). Queries stay
+// O(1): one RP read, one coarse prefix and 2^d - 2 face range sums,
+// each itself O(1).
+
+#ifndef RPS_CORE_HIERARCHICAL_RPS_H_
+#define RPS_CORE_HIERARCHICAL_RPS_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/relative_prefix_sum.h"
+
+namespace rps {
+
+/// Box sides minimizing the hierarchical worst case:
+/// k_j ~ n_j^(d/(2d+1)), clamped to [1, n_j].
+CellIndex RecommendedHierarchicalBoxSize(const Shape& shape);
+
+template <typename T>
+class HierarchicalRps final : public QueryMethod<T> {
+ public:
+  explicit HierarchicalRps(const NdArray<T>& source)
+      : HierarchicalRps(source,
+                        RecommendedHierarchicalBoxSize(source.shape())) {}
+
+  HierarchicalRps(const NdArray<T>& source, const CellIndex& box_size)
+      : shape_(source.shape()),
+        box_size_(box_size),
+        grid_shape_(MakeGridShape(source.shape(), box_size)),
+        rp_(source.shape()) {
+    BuildFrom(source);
+  }
+
+  std::string name() const override { return "hierarchical_rps"; }
+
+  void Build(const NdArray<T>& source) override {
+    RPS_CHECK(source.shape() == shape_);
+    BuildFrom(source);
+  }
+
+  const Shape& shape() const override { return shape_; }
+  const CellIndex& box_size() const { return box_size_; }
+  const Shape& grid_shape() const { return grid_shape_; }
+
+  /// Component access for snapshots (core/hierarchical_snapshot.h)
+  /// and tests.
+  const NdArray<T>& rp_array() const { return rp_; }
+  const RelativePrefixSum<T>& coarse() const { return *coarse_; }
+  /// Inner structure for dimension-subset `mask` (1 <= mask <
+  /// 2^d - 1).
+  const RelativePrefixSum<T>& face(uint32_t mask) const {
+    RPS_CHECK(mask >= 1 && mask < ((1u << shape_.dims()) - 1));
+    return *faces_[static_cast<size_t>(mask)];
+  }
+
+  /// Reassembles a structure from previously extracted contents (the
+  /// inverse of the component accessors). Inner structures must match
+  /// the geometry this shape/box_size implies.
+  static Result<HierarchicalRps> FromParts(
+      const Shape& shape, const CellIndex& box_size, NdArray<T> rp,
+      RelativePrefixSum<T> coarse,
+      std::vector<std::unique_ptr<RelativePrefixSum<T>>> faces) {
+    HierarchicalRps parts(shape, box_size, PartsTag{});
+    if (!(rp.shape() == shape)) {
+      return Status::InvalidArgument("RP shape mismatch");
+    }
+    if (!(coarse.shape() == parts.grid_shape_)) {
+      return Status::InvalidArgument("coarse shape mismatch");
+    }
+    const uint32_t full = (1u << shape.dims()) - 1;
+    if (faces.size() != static_cast<size_t>(full)) {
+      return Status::InvalidArgument("face count mismatch");
+    }
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      if (faces[static_cast<size_t>(mask)] == nullptr) {
+        return Status::InvalidArgument("missing face structure");
+      }
+      const Shape expected = parts.FaceShape(mask);
+      if (!(faces[static_cast<size_t>(mask)]->shape() == expected)) {
+        return Status::InvalidArgument("face shape mismatch");
+      }
+    }
+    parts.rp_ = std::move(rp);
+    parts.coarse_ =
+        std::make_unique<RelativePrefixSum<T>>(std::move(coarse));
+    parts.faces_ = std::move(faces);
+    return parts;
+  }
+
+  /// Shape of the face cube for `mask` (cell-granular in set bits).
+  Shape FaceShape(uint32_t mask) const {
+    std::vector<int64_t> extents;
+    for (int j = 0; j < shape_.dims(); ++j) {
+      extents.push_back((mask & (1u << j)) ? shape_.extent(j)
+                                           : grid_shape_.extent(j));
+    }
+    return Shape::FromExtents(extents);
+  }
+
+  /// P[t] assembled from the RP cell, the coarse prefix and one range
+  /// per face cube. O(1) lookups for fixed d.
+  T PrefixSum(const CellIndex& target) const {
+    const int d = shape_.dims();
+    RPS_DCHECK(shape_.Contains(target));
+    CellIndex box_index = CellIndex::Filled(d, 0);
+    CellIndex anchor = CellIndex::Filled(d, 0);
+    for (int j = 0; j < d; ++j) {
+      box_index[j] = target[j] / box_size_[j];
+      anchor[j] = box_index[j] * box_size_[j];
+    }
+
+    T total = rp_.at(target);  // W_D
+
+    // W_{}: whole earlier boxes, via the coarse structure.
+    {
+      bool nonempty = true;
+      CellIndex coarse_corner = box_index;
+      for (int j = 0; j < d; ++j) {
+        if (box_index[j] == 0) {
+          nonempty = false;
+          break;
+        }
+        coarse_corner[j] = box_index[j] - 1;
+      }
+      if (nonempty) total += coarse_->PrefixSum(coarse_corner);
+    }
+
+    // Intermediate subsets via face cubes.
+    const uint32_t full = (1u << d) - 1;
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      const RelativePrefixSum<T>* face =
+          faces_[static_cast<size_t>(mask)].get();
+      CellIndex lo = CellIndex::Filled(d, 0);
+      CellIndex hi = CellIndex::Filled(d, 0);
+      bool empty = false;
+      for (int j = 0; j < d; ++j) {
+        if (mask & (1u << j)) {  // cell granularity, own slice
+          lo[j] = anchor[j];
+          hi[j] = target[j];
+        } else {  // box granularity, earlier boxes
+          if (box_index[j] == 0) {
+            empty = true;
+            break;
+          }
+          lo[j] = 0;
+          hi[j] = box_index[j] - 1;
+        }
+      }
+      if (empty) continue;
+      total += face->RangeSum(Box(lo, hi));
+    }
+    return total;
+  }
+
+  T RangeSum(const Box& range) const override {
+    const int d = shape_.dims();
+    RPS_CHECK(range.Within(shape_));
+    T total{};
+    CellIndex corner = CellIndex::Filled(d, 0);
+    for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+      bool skip = false;
+      int low_picks = 0;
+      for (int j = 0; j < d; ++j) {
+        if (mask & (1u << j)) {
+          ++low_picks;
+          if (range.lo()[j] == 0) {
+            skip = true;
+            break;
+          }
+          corner[j] = range.lo()[j] - 1;
+        } else {
+          corner[j] = range.hi()[j];
+        }
+      }
+      if (skip) continue;
+      if (low_picks % 2 == 0) {
+        total += PrefixSum(corner);
+      } else {
+        total -= PrefixSum(corner);
+      }
+    }
+    return total;
+  }
+
+  UpdateStats Add(const CellIndex& cell, T delta) override {
+    const int d = shape_.dims();
+    RPS_CHECK(shape_.Contains(cell));
+    UpdateStats stats;
+    CellIndex box_index = CellIndex::Filled(d, 0);
+    CellIndex box_hi = CellIndex::Filled(d, 0);
+    for (int j = 0; j < d; ++j) {
+      box_index[j] = cell[j] / box_size_[j];
+      const int64_t anchor = box_index[j] * box_size_[j];
+      box_hi[j] =
+          std::min(anchor + box_size_[j], shape_.extent(j)) - 1;
+    }
+    // RP tail of the covering box.
+    {
+      Box affected(cell, box_hi);
+      CellIndex t = affected.lo();
+      do {
+        rp_.at(t) += delta;
+        ++stats.primary_cells;
+      } while (NextIndexInBox(affected, t));
+    }
+    // Coarse cube: one inner point update.
+    {
+      const UpdateStats inner = coarse_->Add(box_index, delta);
+      stats.aux_cells += inner.total();
+    }
+    // One point update per face cube.
+    const uint32_t full = (1u << d) - 1;
+    CellIndex face_cell = CellIndex::Filled(d, 0);
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      for (int j = 0; j < d; ++j) {
+        face_cell[j] = (mask & (1u << j)) ? cell[j] : box_index[j];
+      }
+      const UpdateStats inner =
+          faces_[static_cast<size_t>(mask)]->Add(face_cell, delta);
+      stats.aux_cells += inner.total();
+    }
+    return stats;
+  }
+
+  UpdateStats Set(const CellIndex& cell, T value) override {
+    return Add(cell, value - ValueAt(cell));
+  }
+
+  T ValueAt(const CellIndex& cell) const override {
+    // Box-local differencing on RP, as in the flat structure.
+    const int d = shape_.dims();
+    RPS_DCHECK(shape_.Contains(cell));
+    int above[kMaxDims];
+    int num_above = 0;
+    for (int j = 0; j < d; ++j) {
+      if (cell[j] % box_size_[j] != 0) above[num_above++] = j;
+    }
+    T total{};
+    CellIndex probe = cell;
+    for (uint32_t mask = 0; mask < (1u << num_above); ++mask) {
+      for (int i = 0; i < num_above; ++i) {
+        const int j = above[i];
+        probe[j] = (mask & (1u << i)) ? cell[j] - 1 : cell[j];
+      }
+      if (__builtin_popcount(mask) % 2 == 0) {
+        total += rp_.at(probe);
+      } else {
+        total -= rp_.at(probe);
+      }
+    }
+    return total;
+  }
+
+  MemoryStats Memory() const override {
+    MemoryStats memory{rp_.num_cells(), 0};
+    const MemoryStats coarse_memory = coarse_->Memory();
+    memory.aux_cells += coarse_memory.total();
+    for (const auto& face : faces_) {
+      if (face != nullptr) memory.aux_cells += face->Memory().total();
+    }
+    return memory;
+  }
+
+ private:
+  struct PartsTag {};
+  HierarchicalRps(const Shape& shape, const CellIndex& box_size, PartsTag)
+      : shape_(shape),
+        box_size_(box_size),
+        grid_shape_(MakeGridShape(shape, box_size)),
+        rp_(shape) {}
+
+  static Shape MakeGridShape(const Shape& shape, const CellIndex& box_size) {
+    RPS_CHECK(box_size.dims() == shape.dims());
+    std::vector<int64_t> extents;
+    for (int j = 0; j < shape.dims(); ++j) {
+      RPS_CHECK_MSG(box_size[j] >= 1 && box_size[j] <= shape.extent(j),
+                    "box side must be in [1, extent]");
+      extents.push_back(CeilDiv(shape.extent(j), box_size[j]));
+    }
+    return Shape::FromExtents(extents);
+  }
+
+  void BuildFrom(const NdArray<T>& source) {
+    const int d = shape_.dims();
+
+    // RP: prefix sums restarted at box boundaries.
+    rp_ = source;
+    for (int dim = 0; dim < d; ++dim) {
+      const int64_t extent = shape_.extent(dim);
+      if (extent == 1) continue;
+      const int64_t stride = shape_.Stride(dim);
+      const int64_t block = stride * extent;
+      const int64_t k = box_size_[dim];
+      for (int64_t base = 0; base < rp_.num_cells(); base += block) {
+        for (int64_t lane = 0; lane < stride; ++lane) {
+          int64_t offset = base + lane;
+          for (int64_t i = 1; i < extent; ++i) {
+            if (i % k != 0) {
+              rp_.at_linear(offset + stride) += rp_.at_linear(offset);
+            }
+            offset += stride;
+          }
+        }
+      }
+    }
+
+    // Coarse cube of box totals and the face cubes.
+    NdArray<T> coarse_cells(grid_shape_, T{});
+    const uint32_t full = (1u << d) - 1;
+    std::vector<NdArray<T>> face_cells(static_cast<size_t>(full));
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      std::vector<int64_t> extents;
+      for (int j = 0; j < d; ++j) {
+        extents.push_back((mask & (1u << j)) ? shape_.extent(j)
+                                             : grid_shape_.extent(j));
+      }
+      face_cells[static_cast<size_t>(mask)] =
+          NdArray<T>(Shape::FromExtents(extents), T{});
+    }
+    CellIndex cell = CellIndex::Filled(d, 0);
+    CellIndex coarse_index = CellIndex::Filled(d, 0);
+    CellIndex face_index = CellIndex::Filled(d, 0);
+    do {
+      const T value = source.at(cell);
+      if (value == T{}) {
+        // Zero cells contribute nothing; skip the fan-out.
+        continue;
+      }
+      for (int j = 0; j < d; ++j) coarse_index[j] = cell[j] / box_size_[j];
+      coarse_cells.at(coarse_index) += value;
+      for (uint32_t mask = 1; mask < full; ++mask) {
+        for (int j = 0; j < d; ++j) {
+          face_index[j] =
+              (mask & (1u << j)) ? cell[j] : coarse_index[j];
+        }
+        face_cells[static_cast<size_t>(mask)].at(face_index) += value;
+      }
+    } while (NextIndex(shape_, cell));
+
+    coarse_ = std::make_unique<RelativePrefixSum<T>>(coarse_cells);
+    faces_.clear();
+    faces_.resize(static_cast<size_t>(full));
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      faces_[static_cast<size_t>(mask)] =
+          std::make_unique<RelativePrefixSum<T>>(
+              face_cells[static_cast<size_t>(mask)]);
+    }
+  }
+
+  Shape shape_;
+  CellIndex box_size_;
+  Shape grid_shape_;
+  NdArray<T> rp_;
+  std::unique_ptr<RelativePrefixSum<T>> coarse_;
+  // Indexed by dimension-subset mask (bit j set = dimension j at cell
+  // granularity); slots 0 and full are unused.
+  std::vector<std::unique_ptr<RelativePrefixSum<T>>> faces_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_HIERARCHICAL_RPS_H_

@@ -1,0 +1,175 @@
+// Snapshot persistence for the two-level hierarchical structure.
+//
+// Format (native-endian, CRC-32 trailer):
+//   magic "RPSHIER1" | u32 value_size | i32 dims |
+//   i64 extents[dims] | i64 box_size[dims] |
+//   i64 rp_count, raw RP cells |
+//   flat-section for the coarse structure |
+//   flat-section for each face mask 1 .. 2^d - 2 | u32 crc32
+// where a flat-section is:
+//   i64 inner_box[dims] | i64 rp_count, raw cells |
+//   i64 overlay_count, raw values
+// (the inner structures' shapes are implied by the outer geometry).
+
+#ifndef RPS_CORE_HIERARCHICAL_SNAPSHOT_H_
+#define RPS_CORE_HIERARCHICAL_SNAPSHOT_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hierarchical_rps.h"
+#include "util/binary_io.h"
+
+namespace rps {
+
+inline constexpr char kHierSnapshotMagic[8] = {'R', 'P', 'S', 'H',
+                                               'I', 'E', 'R', '1'};
+
+namespace internal_hier_snapshot {
+
+template <typename T>
+Status WriteFlatSection(BinaryWriter& writer,
+                        const RelativePrefixSum<T>& rps) {
+  const CellIndex& box = rps.geometry().box_size();
+  for (int j = 0; j < box.dims(); ++j) {
+    RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(box[j]));
+  }
+  std::vector<T> rp_cells(static_cast<size_t>(rps.rp_array().num_cells()));
+  std::memcpy(rp_cells.data(), rps.rp_array().data(),
+              rp_cells.size() * sizeof(T));
+  RPS_RETURN_IF_ERROR(writer.WriteVector(rp_cells));
+  std::vector<T> overlay_values(
+      static_cast<size_t>(rps.overlay().num_values()));
+  for (int64_t slot = 0; slot < rps.overlay().num_values(); ++slot) {
+    overlay_values[static_cast<size_t>(slot)] = rps.overlay().at_slot(slot);
+  }
+  return writer.WriteVector(overlay_values);
+}
+
+template <typename T>
+Result<RelativePrefixSum<T>> ReadFlatSection(BinaryReader& reader,
+                                             const Shape& shape) {
+  CellIndex box = CellIndex::Filled(shape.dims(), 1);
+  for (int j = 0; j < shape.dims(); ++j) {
+    RPS_ASSIGN_OR_RETURN(const int64_t k, reader.ReadScalar<int64_t>());
+    if (k < 1 || k > shape.extent(j)) {
+      return Status::IoError("corrupt inner box size");
+    }
+    box[j] = k;
+  }
+  RPS_ASSIGN_OR_RETURN(std::vector<T> rp_cells,
+                       reader.ReadVector<T>(shape.num_cells()));
+  const OverlayGeometry geometry(shape, box);
+  RPS_ASSIGN_OR_RETURN(std::vector<T> overlay_values,
+                       reader.ReadVector<T>(geometry.total_stored_cells()));
+  return RelativePrefixSum<T>::FromParts(shape, box, std::move(rp_cells),
+                                         std::move(overlay_values));
+}
+
+}  // namespace internal_hier_snapshot
+
+template <typename T>
+Status SaveHierarchicalSnapshot(const HierarchicalRps<T>& hier,
+                                const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  RPS_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Create(path));
+  RPS_RETURN_IF_ERROR(writer.WriteBytes(kHierSnapshotMagic, 8));
+  RPS_RETURN_IF_ERROR(
+      writer.WriteScalar<uint32_t>(static_cast<uint32_t>(sizeof(T))));
+  const Shape& shape = hier.shape();
+  RPS_RETURN_IF_ERROR(writer.WriteScalar<int32_t>(shape.dims()));
+  for (int j = 0; j < shape.dims(); ++j) {
+    RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(shape.extent(j)));
+  }
+  for (int j = 0; j < shape.dims(); ++j) {
+    RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(hier.box_size()[j]));
+  }
+  std::vector<T> rp_cells(static_cast<size_t>(hier.rp_array().num_cells()));
+  std::memcpy(rp_cells.data(), hier.rp_array().data(),
+              rp_cells.size() * sizeof(T));
+  RPS_RETURN_IF_ERROR(writer.WriteVector(rp_cells));
+  RPS_RETURN_IF_ERROR(
+      internal_hier_snapshot::WriteFlatSection(writer, hier.coarse()));
+  const uint32_t full = (1u << shape.dims()) - 1;
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    RPS_RETURN_IF_ERROR(
+        internal_hier_snapshot::WriteFlatSection(writer, hier.face(mask)));
+  }
+  return writer.FinishWithChecksum();
+}
+
+template <typename T>
+Result<HierarchicalRps<T>> LoadHierarchicalSnapshot(const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  RPS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  char magic[8];
+  RPS_RETURN_IF_ERROR(reader.ReadBytes(magic, 8));
+  if (std::memcmp(magic, kHierSnapshotMagic, 8) != 0) {
+    return Status::IoError("not a hierarchical snapshot: " + path);
+  }
+  RPS_ASSIGN_OR_RETURN(const uint32_t value_size,
+                       reader.ReadScalar<uint32_t>());
+  if (value_size != sizeof(T)) {
+    return Status::IoError("snapshot value size mismatch");
+  }
+  RPS_ASSIGN_OR_RETURN(const int32_t dims, reader.ReadScalar<int32_t>());
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::IoError("corrupt snapshot dimensionality");
+  }
+  std::vector<int64_t> extents(static_cast<size_t>(dims));
+  for (auto& extent : extents) {
+    RPS_ASSIGN_OR_RETURN(extent, reader.ReadScalar<int64_t>());
+    if (extent < 1) return Status::IoError("corrupt snapshot extent");
+  }
+  const Shape shape = Shape::FromExtents(extents);
+  CellIndex box_size = CellIndex::Filled(dims, 1);
+  for (int j = 0; j < dims; ++j) {
+    RPS_ASSIGN_OR_RETURN(const int64_t k, reader.ReadScalar<int64_t>());
+    if (k < 1 || k > shape.extent(j)) {
+      return Status::IoError("corrupt snapshot box size");
+    }
+    box_size[j] = k;
+  }
+  RPS_ASSIGN_OR_RETURN(std::vector<T> rp_cells,
+                       reader.ReadVector<T>(shape.num_cells()));
+  if (static_cast<int64_t>(rp_cells.size()) != shape.num_cells()) {
+    return Status::IoError("snapshot RP cell count mismatch");
+  }
+  NdArray<T> rp(shape);
+  std::memcpy(rp.data(), rp_cells.data(), rp_cells.size() * sizeof(T));
+
+  // Shapes of the inner structures follow from the outer geometry; a
+  // scratch HierarchicalRps is not needed to compute them.
+  std::vector<int64_t> grid_extents;
+  for (int j = 0; j < dims; ++j) {
+    grid_extents.push_back(CeilDiv(shape.extent(j), box_size[j]));
+  }
+  const Shape grid_shape = Shape::FromExtents(grid_extents);
+  RPS_ASSIGN_OR_RETURN(
+      RelativePrefixSum<T> coarse,
+      internal_hier_snapshot::ReadFlatSection<T>(reader, grid_shape));
+
+  const uint32_t full = (1u << dims) - 1;
+  std::vector<std::unique_ptr<RelativePrefixSum<T>>> faces(
+      static_cast<size_t>(full));
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    std::vector<int64_t> face_extents;
+    for (int j = 0; j < dims; ++j) {
+      face_extents.push_back((mask & (1u << j)) ? shape.extent(j)
+                                                : grid_shape.extent(j));
+    }
+    RPS_ASSIGN_OR_RETURN(RelativePrefixSum<T> face,
+                         internal_hier_snapshot::ReadFlatSection<T>(
+                             reader, Shape::FromExtents(face_extents)));
+    faces[static_cast<size_t>(mask)] =
+        std::make_unique<RelativePrefixSum<T>>(std::move(face));
+  }
+  RPS_RETURN_IF_ERROR(reader.VerifyChecksum());
+  return HierarchicalRps<T>::FromParts(shape, box_size, std::move(rp),
+                                       std::move(coarse), std::move(faces));
+}
+
+}  // namespace rps
+
+#endif  // RPS_CORE_HIERARCHICAL_SNAPSHOT_H_

@@ -1,0 +1,58 @@
+// Common interface over range-sum query methods.
+//
+// The paper compares three approaches on the same operations: the
+// naive method, the prefix sum method of Ho et al., and the relative
+// prefix sum method. QueryMethod lets tests, benchmarks and the OLAP
+// engine drive any of them interchangeably.
+
+#ifndef RPS_CORE_METHOD_H_
+#define RPS_CORE_METHOD_H_
+
+#include <string>
+
+#include "core/stats.h"
+#include "cube/nd_array.h"
+
+namespace rps {
+
+/// A structure answering range-sum queries over a dense data cube and
+/// accepting point updates. T must form a group under +/- (the paper's
+/// invertible-operator requirement).
+///
+/// Thread-compatibility: const methods may be called concurrently;
+/// updates require external synchronization.
+template <typename T>
+class QueryMethod {
+ public:
+  virtual ~QueryMethod() = default;
+
+  /// Short stable identifier, e.g. "naive", "prefix_sum",
+  /// "relative_prefix_sum".
+  virtual std::string name() const = 0;
+
+  /// (Re)builds the structure from `source`. Invalidates prior state.
+  virtual void Build(const NdArray<T>& source) = 0;
+
+  virtual const Shape& shape() const = 0;
+
+  /// Sum of the cube cells inside `range` (inclusive bounds). The
+  /// range must lie within shape().
+  virtual T RangeSum(const Box& range) const = 0;
+
+  /// Adds `delta` to one cell. Returns exact touched-cell counts.
+  virtual UpdateStats Add(const CellIndex& cell, T delta) = 0;
+
+  /// Sets one cell to `value` (the paper's update model: "given any
+  /// new value for a cell"). Returns exact touched-cell counts.
+  virtual UpdateStats Set(const CellIndex& cell, T value) = 0;
+
+  /// Current value of one cube cell.
+  virtual T ValueAt(const CellIndex& cell) const = 0;
+
+  /// Storage footprint in cells.
+  virtual MemoryStats Memory() const = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_METHOD_H_

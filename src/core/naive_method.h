@@ -1,0 +1,57 @@
+// The naive method (paper, Section 2): keep the cube itself.
+//
+// Queries enumerate the whole range (O(n^d) worst case); updates
+// rewrite one cell (O(1)). The query*update product is O(n^d). Also
+// serves as the correctness oracle in tests.
+
+#ifndef RPS_CORE_NAIVE_METHOD_H_
+#define RPS_CORE_NAIVE_METHOD_H_
+
+#include <string>
+
+#include "core/method.h"
+#include "cube/nd_array.h"
+
+namespace rps {
+
+template <typename T>
+class NaiveMethod final : public QueryMethod<T> {
+ public:
+  explicit NaiveMethod(const NdArray<T>& source) : array_(source) {}
+
+  std::string name() const override { return "naive"; }
+
+  void Build(const NdArray<T>& source) override {
+    RPS_CHECK(source.shape() == array_.shape());
+    array_ = source;
+  }
+
+  const Shape& shape() const override { return array_.shape(); }
+
+  T RangeSum(const Box& range) const override { return array_.SumBox(range); }
+
+  UpdateStats Add(const CellIndex& cell, T delta) override {
+    array_.at(cell) += delta;
+    return UpdateStats{1, 0};
+  }
+
+  UpdateStats Set(const CellIndex& cell, T value) override {
+    array_.at(cell) = value;
+    return UpdateStats{1, 0};
+  }
+
+  T ValueAt(const CellIndex& cell) const override { return array_.at(cell); }
+
+  MemoryStats Memory() const override {
+    return MemoryStats{array_.num_cells(), 0};
+  }
+
+  const NdArray<T>& array() const { return array_; }
+
+ private:
+  NdArray<T> array_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_NAIVE_METHOD_H_

@@ -1,0 +1,135 @@
+#include "core/overlay.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace rps {
+
+OverlayGeometry::OverlayGeometry(const Shape& cube_shape,
+                                 const CellIndex& box_size)
+    : cube_shape_(cube_shape), box_size_(box_size) {
+  RPS_CHECK(box_size.dims() == cube_shape.dims());
+  std::vector<int64_t> grid_extents;
+  grid_extents.reserve(static_cast<size_t>(cube_shape.dims()));
+  for (int j = 0; j < cube_shape.dims(); ++j) {
+    RPS_CHECK_MSG(box_size[j] >= 1 && box_size[j] <= cube_shape.extent(j),
+                  "overlay box side must be in [1, extent]");
+    grid_extents.push_back(CeilDiv(cube_shape.extent(j), box_size[j]));
+  }
+  grid_shape_ = Shape::FromExtents(grid_extents);
+
+  const int64_t num_boxes = grid_shape_.num_cells();
+  slot_base_.resize(static_cast<size_t>(num_boxes) + 1);
+  int64_t base = 0;
+  CellIndex box_index = CellIndex::Filled(dims(), 0);
+  for (int64_t b = 0; b < num_boxes; ++b) {
+    slot_base_[static_cast<size_t>(b)] = base;
+    base += StoredCellsInBox(box_index);
+    NextIndex(grid_shape_, box_index);
+  }
+  slot_base_[static_cast<size_t>(num_boxes)] = base;
+  total_stored_cells_ = base;
+}
+
+CellIndex OverlayGeometry::BoxIndexOf(const CellIndex& cell) const {
+  RPS_DCHECK(cube_shape_.Contains(cell));
+  CellIndex box_index = CellIndex::Filled(dims(), 0);
+  for (int j = 0; j < dims(); ++j) box_index[j] = cell[j] / box_size_[j];
+  return box_index;
+}
+
+CellIndex OverlayGeometry::AnchorOf(const CellIndex& box_index) const {
+  RPS_DCHECK(grid_shape_.Contains(box_index));
+  CellIndex anchor = CellIndex::Filled(dims(), 0);
+  for (int j = 0; j < dims(); ++j) anchor[j] = box_index[j] * box_size_[j];
+  return anchor;
+}
+
+CellIndex OverlayGeometry::ExtentsOf(const CellIndex& box_index) const {
+  RPS_DCHECK(grid_shape_.Contains(box_index));
+  CellIndex extents = CellIndex::Filled(dims(), 0);
+  for (int j = 0; j < dims(); ++j) {
+    extents[j] = std::min(box_size_[j],
+                          cube_shape_.extent(j) - box_index[j] * box_size_[j]);
+  }
+  return extents;
+}
+
+Box OverlayGeometry::RegionOf(const CellIndex& box_index) const {
+  CellIndex lo = AnchorOf(box_index);
+  CellIndex extents = ExtentsOf(box_index);
+  CellIndex hi = lo;
+  for (int j = 0; j < dims(); ++j) hi[j] = lo[j] + extents[j] - 1;
+  return Box(lo, hi);
+}
+
+int64_t OverlayGeometry::StoredCellsInBox(const CellIndex& box_index) const {
+  CellIndex extents = ExtentsOf(box_index);
+  int64_t all = 1;
+  int64_t interior = 1;
+  for (int j = 0; j < dims(); ++j) {
+    all *= extents[j];
+    interior *= extents[j] - 1;
+  }
+  return all - interior;
+}
+
+int64_t OverlayGeometry::BorderRank(const CellIndex& extents,
+                                    const CellIndex& offsets) const {
+  // Stored cells have at least one zero offset. Group them by the
+  // first dimension whose offset is zero: group g holds cells with
+  // offsets o_0 > 0, ..., o_{g-1} > 0, o_g = 0 and o_{g+1..d-1} free.
+  // |group g| = prod_{i<g}(e_i - 1) * prod_{i>g} e_i. Within a group
+  // the cell's rank is the mixed-radix number formed by
+  // (o_0 - 1, ..., o_{g-1} - 1, o_{g+1}, ..., o_{d-1}) with radices
+  // (e_0 - 1, ..., e_{g-1} - 1, e_{g+1}, ..., e_{d-1}).
+  int first_zero = -1;
+  for (int j = 0; j < dims(); ++j) {
+    RPS_DCHECK(offsets[j] >= 0 && offsets[j] < extents[j]);
+    if (offsets[j] == 0) {
+      first_zero = j;
+      break;
+    }
+  }
+  RPS_CHECK_MSG(first_zero >= 0,
+                "interior box cell is not stored in the overlay");
+
+  int64_t rank = 0;
+  // Skip the full groups before `first_zero`.
+  {
+    // suffix_all[i] = prod_{i' >= i} e_{i'}; computed incrementally
+    // from the back below, but we need it per group; recompute cheaply
+    // since dims() <= kMaxDims.
+    for (int g = 0; g < first_zero; ++g) {
+      int64_t size = 1;
+      for (int i = 0; i < g; ++i) size *= extents[i] - 1;
+      for (int i = g + 1; i < dims(); ++i) size *= extents[i];
+      rank += size;
+    }
+  }
+  // Mixed-radix rank inside the group.
+  int64_t within = 0;
+  for (int i = 0; i < first_zero; ++i) {
+    within = within * (extents[i] - 1) + (offsets[i] - 1);
+  }
+  for (int i = first_zero + 1; i < dims(); ++i) {
+    within = within * extents[i] + offsets[i];
+  }
+  return rank + within;
+}
+
+int64_t OverlayGeometry::SlotOf(const CellIndex& box_index,
+                                const CellIndex& offsets) const {
+  const int64_t box_linear = grid_shape_.Linearize(box_index);
+  return slot_base_[static_cast<size_t>(box_linear)] +
+         BorderRank(ExtentsOf(box_index), offsets);
+}
+
+int64_t OverlayGeometry::AnchorSlotOf(const CellIndex& box_index) const {
+  // The all-zero offset cell is first in group 0, rank 0.
+  const int64_t box_linear = grid_shape_.Linearize(box_index);
+  return slot_base_[static_cast<size_t>(box_linear)];
+}
+
+}  // namespace rps

@@ -1,0 +1,134 @@
+// The overlay: partition of the cube into boxes storing anchor and
+// border values (paper, Section 3.1).
+//
+// An overlay box anchored at `a` covers cells with a_j <= x_j <
+// a_j + k_j (edge boxes are clipped to the cube). Only the cells of a
+// box having at least one coordinate equal to the anchor's are stored
+// -- the anchor cell plus the border cells, k^d - (k-1)^d cells per
+// box (Figure 6). OverlayGeometry maps (box, in-box offset) to a slot
+// in a flat value vector in O(d) with no search; Overlay<T> adds the
+// value storage.
+//
+// Stored-value semantics (d-dimensional; see DESIGN.md Section 1):
+// for overlay cell c of the box anchored at a, with
+// S(c) = { j : c_j > a_j },
+//   val(c) = SUM{ A[x] : x_j in [a_j+1 .. c_j]      for j in S(c),
+//                        x_j <= a_j                  for j not in S(c),
+//                        x_j < a_j for at least one j not in S(c) }.
+// The anchor cell (S empty) stores P[a] - A[a], the paper's anchor
+// value; in two dimensions the border cells store exactly the paper's
+// X/Y border values (Figure 8).
+
+#ifndef RPS_CORE_OVERLAY_H_
+#define RPS_CORE_OVERLAY_H_
+
+#include <vector>
+
+#include "cube/box.h"
+#include "cube/index.h"
+#include "util/check.h"
+
+namespace rps {
+
+/// Shape bookkeeping for an overlay: box grid, clipped box extents,
+/// and the compact indexing of stored (anchor + border) cells.
+class OverlayGeometry {
+ public:
+  /// `box_size` has one side length per dimension, each in
+  /// [1, extent]. Use cost-model helpers to choose sizes.
+  OverlayGeometry(const Shape& cube_shape, const CellIndex& box_size);
+
+  const Shape& cube_shape() const { return cube_shape_; }
+  const CellIndex& box_size() const { return box_size_; }
+  /// Shape of the grid of boxes: ceil(n_j / k_j) boxes per dimension.
+  const Shape& grid_shape() const { return grid_shape_; }
+  int dims() const { return cube_shape_.dims(); }
+  int64_t num_boxes() const { return grid_shape_.num_cells(); }
+
+  /// Box-grid index of the box covering `cell`.
+  CellIndex BoxIndexOf(const CellIndex& cell) const;
+
+  /// Anchor (first covered cell) of box `box_index`.
+  CellIndex AnchorOf(const CellIndex& box_index) const;
+
+  /// Clipped extents of box `box_index` (min(k_j, n_j - a_j) per dim).
+  CellIndex ExtentsOf(const CellIndex& box_index) const;
+
+  /// The cube region covered by box `box_index`.
+  Box RegionOf(const CellIndex& box_index) const;
+
+  /// Number of stored cells in box `box_index`:
+  /// prod(e_j) - prod(e_j - 1).
+  int64_t StoredCellsInBox(const CellIndex& box_index) const;
+
+  /// Total stored cells across all boxes.
+  int64_t total_stored_cells() const { return total_stored_cells_; }
+
+  /// Slot of the stored cell with in-box `offsets` (offset_j =
+  /// c_j - a_j) in box `box_index`, as an index into a flat value
+  /// array of size total_stored_cells(). Requires at least one zero
+  /// offset. O(d).
+  int64_t SlotOf(const CellIndex& box_index, const CellIndex& offsets) const;
+
+  /// Slot of the anchor cell of `box_index` (all-zero offsets).
+  int64_t AnchorSlotOf(const CellIndex& box_index) const;
+
+ private:
+  // Rank of `offsets` among the stored cells of a box with extents
+  // `extents`, in row-major offset order restricted to stored cells.
+  int64_t BorderRank(const CellIndex& extents,
+                     const CellIndex& offsets) const;
+
+  Shape cube_shape_;
+  CellIndex box_size_;
+  Shape grid_shape_;
+  // slot_base_[linearized box index] = first slot of that box;
+  // slot_base_[num_boxes] = total_stored_cells_.
+  std::vector<int64_t> slot_base_;
+  int64_t total_stored_cells_;
+};
+
+/// Overlay value storage on top of OverlayGeometry.
+template <typename T>
+class Overlay {
+ public:
+  Overlay(const Shape& cube_shape, const CellIndex& box_size)
+      : geometry_(cube_shape, box_size),
+        values_(static_cast<size_t>(geometry_.total_stored_cells()), T{}) {}
+
+  const OverlayGeometry& geometry() const { return geometry_; }
+
+  const T& at_slot(int64_t slot) const {
+    RPS_DCHECK(slot >= 0 &&
+               slot < static_cast<int64_t>(values_.size()));
+    return values_[static_cast<size_t>(slot)];
+  }
+  T& at_slot(int64_t slot) {
+    RPS_DCHECK(slot >= 0 &&
+               slot < static_cast<int64_t>(values_.size()));
+    return values_[static_cast<size_t>(slot)];
+  }
+
+  /// Value of the stored cell with in-box `offsets` of box
+  /// `box_index`.
+  const T& at(const CellIndex& box_index, const CellIndex& offsets) const {
+    return at_slot(geometry_.SlotOf(box_index, offsets));
+  }
+  T& at(const CellIndex& box_index, const CellIndex& offsets) {
+    return at_slot(geometry_.SlotOf(box_index, offsets));
+  }
+
+  int64_t num_values() const { return static_cast<int64_t>(values_.size()); }
+
+  void FillZero() {
+    for (auto& v : values_) v = T{};
+  }
+
+ private:
+  OverlayGeometry geometry_;
+  std::vector<T> values_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_OVERLAY_H_

@@ -1,0 +1,74 @@
+// The prefix sum method of Ho, Agrawal, Megiddo and Srikant
+// (SIGMOD'97), the baseline the paper improves on (Section 2,
+// Figures 2-4).
+//
+// P[t] = SUM(A[0..t]) for every cell; a range sum reads 2^d cells of P
+// (O(1) for fixed d). An update to A[u] must rewrite every P cell
+// dominating u -- O(n^d) worst case, the cascading-update problem.
+
+#ifndef RPS_CORE_PREFIX_SUM_METHOD_H_
+#define RPS_CORE_PREFIX_SUM_METHOD_H_
+
+#include <string>
+
+#include "core/method.h"
+#include "core/relative_prefix_sum.h"  // SumFromPrefixArray
+#include "cube/nd_array.h"
+#include "cube/prefix.h"
+
+namespace rps {
+
+template <typename T>
+class PrefixSumMethod final : public QueryMethod<T> {
+ public:
+  explicit PrefixSumMethod(const NdArray<T>& source) : prefix_(source) {
+    PrefixSumInPlace(prefix_);
+  }
+
+  std::string name() const override { return "prefix_sum"; }
+
+  void Build(const NdArray<T>& source) override {
+    RPS_CHECK(source.shape() == prefix_.shape());
+    prefix_ = source;
+    PrefixSumInPlace(prefix_);
+  }
+
+  const Shape& shape() const override { return prefix_.shape(); }
+
+  T RangeSum(const Box& range) const override {
+    return SumFromPrefixArray(prefix_, range);
+  }
+
+  UpdateStats Add(const CellIndex& cell, T delta) override {
+    // Every P cell dominating `cell` contains A[cell] (Figure 4).
+    UpdateStats stats;
+    Box affected(cell, Box::All(prefix_.shape()).hi());
+    CellIndex t = affected.lo();
+    do {
+      prefix_.at(t) += delta;
+      ++stats.primary_cells;
+    } while (NextIndexInBox(affected, t));
+    return stats;
+  }
+
+  UpdateStats Set(const CellIndex& cell, T value) override {
+    return Add(cell, value - ValueAt(cell));
+  }
+
+  T ValueAt(const CellIndex& cell) const override {
+    return SumFromPrefixArray(prefix_, Box::Cell(cell));
+  }
+
+  MemoryStats Memory() const override {
+    return MemoryStats{prefix_.num_cells(), 0};
+  }
+
+  const NdArray<T>& prefix_array() const { return prefix_; }
+
+ private:
+  NdArray<T> prefix_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_PREFIX_SUM_METHOD_H_

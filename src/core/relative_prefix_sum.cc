@@ -1,0 +1,16 @@
+#include "core/relative_prefix_sum.h"
+
+#include <algorithm>
+
+namespace rps {
+
+CellIndex RecommendedBoxSize(const Shape& shape) {
+  CellIndex box_size = CellIndex::Filled(shape.dims(), 1);
+  for (int j = 0; j < shape.dims(); ++j) {
+    const int64_t n = shape.extent(j);
+    box_size[j] = std::clamp<int64_t>(NearestSqrt(n), 1, n);
+  }
+  return box_size;
+}
+
+}  // namespace rps

@@ -1,0 +1,535 @@
+// The relative prefix sum structure (the paper's contribution,
+// Sections 3-4).
+//
+// Two components:
+//   * an Overlay storing anchor and border values per box
+//     (Section 3.1), and
+//   * the RP array of box-local prefix sums (Section 3.2):
+//     RP[t] = SUM(A[a..t]) where a anchors the box covering t.
+//
+// A prefix sum P[t] is assembled "on the fly" from one anchor value,
+// the border values of the projections of t onto the box's anchor
+// faces, and one RP cell (Figure 12); a range sum combines 2^d such
+// prefix sums by inclusion-exclusion (Figure 3). Updates touch at most
+// the trailing part of one RP box plus bounded border/anchor cells in
+// dominating boxes (Section 4.2, Figure 14); with k = sqrt(n) the
+// worst case is O(n^(d/2)) cells (Section 4.3).
+
+#ifndef RPS_CORE_RELATIVE_PREFIX_SUM_H_
+#define RPS_CORE_RELATIVE_PREFIX_SUM_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/method.h"
+#include "core/overlay.h"
+#include "core/stats.h"
+#include "cube/box.h"
+#include "cube/nd_array.h"
+#include "cube/prefix.h"
+#include "util/check.h"
+#include "util/math.h"
+#include "util/status.h"
+
+namespace rps {
+
+/// Returns the overlay box sizes recommended by the paper's cost
+/// analysis: k_j = nearest integer to sqrt(n_j), clamped to
+/// [1, n_j] (Section 4.3).
+CellIndex RecommendedBoxSize(const Shape& shape);
+
+/// Sum of prefix-array cells by inclusion-exclusion over the 2^d
+/// corners of `range`: the query of the prefix sum method, reused by
+/// builders and tests. `prefix` must be a full prefix-sum array.
+template <typename T>
+T SumFromPrefixArray(const NdArray<T>& prefix, const Box& range) {
+  const int d = range.dims();
+  RPS_CHECK(range.Within(prefix.shape()));
+  T total{};
+  CellIndex corner = CellIndex::Filled(d, 0);
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    bool skip = false;
+    int low_picks = 0;
+    for (int j = 0; j < d; ++j) {
+      if (mask & (1u << j)) {
+        ++low_picks;
+        if (range.lo()[j] == 0) {
+          skip = true;  // empty prefix below index 0
+          break;
+        }
+        corner[j] = range.lo()[j] - 1;
+      } else {
+        corner[j] = range.hi()[j];
+      }
+    }
+    if (skip) continue;
+    if (low_picks % 2 == 0) {
+      total += prefix.at(corner);
+    } else {
+      total -= prefix.at(corner);
+    }
+  }
+  return total;
+}
+
+template <typename T>
+class RelativePrefixSum final : public QueryMethod<T> {
+ public:
+  /// Builds the structure for `source` with the recommended
+  /// (sqrt(n)) box sizes.
+  explicit RelativePrefixSum(const NdArray<T>& source)
+      : RelativePrefixSum(source, RecommendedBoxSize(source.shape())) {}
+
+  /// Builds with explicit per-dimension box sizes (each in
+  /// [1, extent]).
+  RelativePrefixSum(const NdArray<T>& source, const CellIndex& box_size)
+      : rp_(source.shape()), overlay_(source.shape(), box_size) {
+    BuildFrom(source);
+  }
+
+  /// Reassembles a structure from previously extracted contents
+  /// (snapshot loading -- see core/snapshot.h). `rp_cells` is the RP
+  /// array in linear order; `overlay_values` the overlay in slot
+  /// order. Sizes must match the geometry exactly.
+  static Result<RelativePrefixSum> FromParts(const Shape& shape,
+                                             const CellIndex& box_size,
+                                             std::vector<T> rp_cells,
+                                             std::vector<T> overlay_values) {
+    RelativePrefixSum parts(shape, box_size, PartsTag{});
+    if (static_cast<int64_t>(rp_cells.size()) != parts.rp_.num_cells()) {
+      return Status::InvalidArgument("RP cell count mismatch");
+    }
+    if (static_cast<int64_t>(overlay_values.size()) !=
+        parts.overlay_.num_values()) {
+      return Status::InvalidArgument("overlay value count mismatch");
+    }
+    for (int64_t i = 0; i < parts.rp_.num_cells(); ++i) {
+      parts.rp_.at_linear(i) = rp_cells[static_cast<size_t>(i)];
+    }
+    for (int64_t slot = 0; slot < parts.overlay_.num_values(); ++slot) {
+      parts.overlay_.at_slot(slot) =
+          overlay_values[static_cast<size_t>(slot)];
+    }
+    return parts;
+  }
+
+  std::string name() const override { return "relative_prefix_sum"; }
+
+  void Build(const NdArray<T>& source) override {
+    RPS_CHECK(source.shape() == rp_.shape());
+    BuildFrom(source);
+  }
+
+  const Shape& shape() const override { return rp_.shape(); }
+  const OverlayGeometry& geometry() const { return overlay_.geometry(); }
+
+  /// P[t] = SUM(A[0..t]), assembled from anchor + border values + one
+  /// RP cell. At most 2^d + 1 cell reads.
+  T PrefixSum(const CellIndex& target) const;
+
+  T RangeSum(const Box& range) const override;
+
+  UpdateStats Add(const CellIndex& cell, T delta) override;
+
+  /// One delta of a batch update.
+  struct CellDelta {
+    CellIndex cell;
+    T delta;
+  };
+
+  /// Applies a batch of deltas, coalescing the anchor writes of
+  /// strictly dominating boxes: every update in a batch touches the
+  /// same (n/k)^d "interior" anchors (Figure 14), so a batch of m
+  /// updates in one box writes them once with the summed delta
+  /// instead of m times. Returns actual cells written (smaller than
+  /// the sum of individual Add costs whenever the batch shares
+  /// boxes).
+  UpdateStats AddBatch(const std::vector<CellDelta>& deltas);
+
+  UpdateStats Set(const CellIndex& cell, T value) override {
+    return Add(cell, value - ValueAt(cell));
+  }
+
+  /// Recovers A[cell] from the RP array by box-local differencing
+  /// (2^d RP reads; A itself is not stored).
+  T ValueAt(const CellIndex& cell) const override;
+
+  MemoryStats Memory() const override {
+    return MemoryStats{rp_.num_cells(), overlay_.num_values()};
+  }
+
+  /// Direct read access for tests and the paper-example checks.
+  const NdArray<T>& rp_array() const { return rp_; }
+  const Overlay<T>& overlay() const { return overlay_; }
+
+  /// Cell-lookup accounting in the paper's cost unit (Section 4.1:
+  /// a prefix lookup needs one anchor value, the border values of the
+  /// target's projections, and one RP cell). Counters accumulate
+  /// across queries; single-threaded use only.
+  struct LookupStats {
+    int64_t overlay_reads = 0;
+    int64_t rp_reads = 0;
+    int64_t total() const { return overlay_reads + rp_reads; }
+  };
+  const LookupStats& lookup_stats() const { return lookups_; }
+  void ResetLookupStats() const { lookups_ = LookupStats{}; }
+
+ private:
+  struct PartsTag {};
+  RelativePrefixSum(const Shape& shape, const CellIndex& box_size, PartsTag)
+      : rp_(shape), overlay_(shape, box_size) {}
+
+  void BuildFrom(const NdArray<T>& source);
+
+  NdArray<T> rp_;
+  Overlay<T> overlay_;
+  mutable LookupStats lookups_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation.
+
+template <typename T>
+void RelativePrefixSum<T>::BuildFrom(const NdArray<T>& source) {
+  const Shape& shape = source.shape();
+  const OverlayGeometry& geo = overlay_.geometry();
+  const int d = shape.dims();
+
+  // RP: prefix sums restarted at every box boundary, one pass per
+  // dimension (O(d*N)).
+  rp_ = source;
+  for (int dim = 0; dim < d; ++dim) {
+    const int64_t extent = shape.extent(dim);
+    if (extent == 1) continue;
+    const int64_t stride = shape.Stride(dim);
+    const int64_t block = stride * extent;
+    const int64_t k = geo.box_size()[dim];
+    for (int64_t base = 0; base < rp_.num_cells(); base += block) {
+      for (int64_t lane = 0; lane < stride; ++lane) {
+        int64_t offset = base + lane;
+        for (int64_t i = 1; i < extent; ++i) {
+          if (i % k != 0) {
+            rp_.at_linear(offset + stride) += rp_.at_linear(offset);
+          }
+          offset += stride;
+        }
+      }
+    }
+  }
+
+  // Full prefix array P, used once to fill the overlay.
+  NdArray<T> prefix = source;
+  PrefixSumInPlace(prefix);
+
+  // Overlay values. Stored cells of each box are visited in row-major
+  // offset order, so every proper projection of a cell (some positive
+  // offsets zeroed) is already computed; by
+  //   P[c] - RP[c] = sum over S' subset of S(c) of val(c_{S'}),
+  // the new value is P[c] - RP[c] minus the previously computed
+  // projections (DESIGN.md, Section 1).
+  overlay_.FillZero();
+  CellIndex box_index = CellIndex::Filled(d, 0);
+  const int64_t num_boxes = geo.num_boxes();
+  for (int64_t b = 0; b < num_boxes; ++b) {
+    const CellIndex anchor = geo.AnchorOf(box_index);
+    const CellIndex extents = geo.ExtentsOf(box_index);
+    const Shape box_shape =
+        [&] {
+          std::vector<int64_t> e(static_cast<size_t>(d));
+          for (int j = 0; j < d; ++j) e[static_cast<size_t>(j)] = extents[j];
+          return Shape::FromExtents(e);
+        }();
+    CellIndex offsets = CellIndex::Filled(d, 0);
+    do {
+      bool stored = false;
+      for (int j = 0; j < d; ++j) {
+        if (offsets[j] == 0) {
+          stored = true;
+          break;
+        }
+      }
+      if (!stored) continue;
+      CellIndex cell = anchor;
+      for (int j = 0; j < d; ++j) cell[j] = anchor[j] + offsets[j];
+      T value = prefix.at(cell) - rp_.at(cell);
+      // Subtract the values of all proper projections (subsets of the
+      // positive-offset dimensions).
+      int positive[kMaxDims];
+      int num_positive = 0;
+      for (int j = 0; j < d; ++j) {
+        if (offsets[j] > 0) positive[num_positive++] = j;
+      }
+      CellIndex proj = CellIndex::Filled(d, 0);
+      for (uint32_t mask = 0;
+           mask + 1 < (1u << num_positive); ++mask) {
+        for (int j = 0; j < d; ++j) proj[j] = 0;
+        for (int i = 0; i < num_positive; ++i) {
+          if (mask & (1u << i)) proj[positive[i]] = offsets[positive[i]];
+        }
+        value -= overlay_.at(box_index, proj);
+      }
+      overlay_.at(box_index, offsets) = value;
+    } while (NextIndex(box_shape, offsets));
+    NextIndex(geo.grid_shape(), box_index);
+  }
+}
+
+template <typename T>
+T RelativePrefixSum<T>::PrefixSum(const CellIndex& target) const {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& shape = rp_.shape();
+  RPS_DCHECK(shape.Contains(target));
+  const int d = shape.dims();
+
+  const CellIndex box_index = geo.BoxIndexOf(target);
+  const CellIndex anchor = geo.AnchorOf(box_index);
+
+  // Anchor value + RP cell.
+  T total = overlay_.at_slot(geo.AnchorSlotOf(box_index)) + rp_.at(target);
+  ++lookups_.overlay_reads;
+  ++lookups_.rp_reads;
+
+  // Border values of the projections of `target` onto the anchor
+  // faces: one per nonempty proper subset of the dimensions where the
+  // target exceeds the anchor.
+  int above[kMaxDims];
+  int num_above = 0;
+  for (int j = 0; j < d; ++j) {
+    if (target[j] > anchor[j]) above[num_above++] = j;
+  }
+  if (num_above == 0) return total;
+
+  const uint32_t full = 1u << num_above;
+  CellIndex offsets = CellIndex::Filled(d, 0);
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    if (num_above == d && mask == full - 1) continue;  // that cell is RP[t]
+    for (int j = 0; j < d; ++j) offsets[j] = 0;
+    for (int i = 0; i < num_above; ++i) {
+      if (mask & (1u << i)) {
+        const int j = above[i];
+        offsets[j] = target[j] - anchor[j];
+      }
+    }
+    total += overlay_.at(box_index, offsets);
+    ++lookups_.overlay_reads;
+  }
+  return total;
+}
+
+template <typename T>
+T RelativePrefixSum<T>::RangeSum(const Box& range) const {
+  const Shape& shape = rp_.shape();
+  RPS_CHECK(range.Within(shape));
+  const int d = shape.dims();
+  T total{};
+  CellIndex corner = CellIndex::Filled(d, 0);
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    bool skip = false;
+    int low_picks = 0;
+    for (int j = 0; j < d; ++j) {
+      if (mask & (1u << j)) {
+        ++low_picks;
+        if (range.lo()[j] == 0) {
+          skip = true;
+          break;
+        }
+        corner[j] = range.lo()[j] - 1;
+      } else {
+        corner[j] = range.hi()[j];
+      }
+    }
+    if (skip) continue;
+    if (low_picks % 2 == 0) {
+      total += PrefixSum(corner);
+    } else {
+      total -= PrefixSum(corner);
+    }
+  }
+  return total;
+}
+
+template <typename T>
+T RelativePrefixSum<T>::ValueAt(const CellIndex& cell) const {
+  const OverlayGeometry& geo = overlay_.geometry();
+  RPS_DCHECK(rp_.shape().Contains(cell));
+  const int d = rp_.dims();
+  const CellIndex box_index = geo.BoxIndexOf(cell);
+  const CellIndex anchor = geo.AnchorOf(box_index);
+  // Box-local differencing: A[u] = sum over subsets V of
+  // {j : u_j > a_j} of (-1)^|V| RP[u - 1_V].
+  int above[kMaxDims];
+  int num_above = 0;
+  for (int j = 0; j < d; ++j) {
+    if (cell[j] > anchor[j]) above[num_above++] = j;
+  }
+  T total{};
+  CellIndex probe = cell;
+  for (uint32_t mask = 0; mask < (1u << num_above); ++mask) {
+    for (int i = 0; i < num_above; ++i) {
+      const int j = above[i];
+      probe[j] = (mask & (1u << i)) ? cell[j] - 1 : cell[j];
+    }
+    if (__builtin_popcount(mask) % 2 == 0) {
+      total += rp_.at(probe);
+    } else {
+      total -= rp_.at(probe);
+    }
+  }
+  return total;
+}
+
+template <typename T>
+UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& shape = rp_.shape();
+  RPS_CHECK(shape.Contains(cell));
+  const int d = shape.dims();
+  UpdateStats stats;
+
+  const CellIndex own_box = geo.BoxIndexOf(cell);
+  const Box own_region = geo.RegionOf(own_box);
+
+  // 1. RP: cells of the covering box dominating `cell`
+  //    (cascading stops at the box boundary -- Section 4.2).
+  {
+    Box affected(cell, own_region.hi());
+    CellIndex t = affected.lo();
+    do {
+      rp_.at(t) += delta;
+      ++stats.primary_cells;
+    } while (NextIndexInBox(affected, t));
+  }
+
+  // 2. Overlay: every box whose grid index dominates the covering
+  //    box's, except the covering box itself (Figure 14). Within an
+  //    affected box anchored at a the touched stored cells are the
+  //    product over dimensions of:
+  //      {a_j}                         if u_j <= a_j,
+  //      {c_j : u_j <= c_j < a_j+e_j}  if u_j >  a_j (same box row).
+  const Shape& grid = geo.grid_shape();
+  Box grid_range(own_box, Box::All(grid).hi());
+  CellIndex box_index = grid_range.lo();
+  do {
+    if (box_index == own_box) continue;
+    const CellIndex anchor = geo.AnchorOf(box_index);
+    const CellIndex extents = geo.ExtentsOf(box_index);
+    // Offset ranges per dimension.
+    CellIndex off_lo = CellIndex::Filled(d, 0);
+    CellIndex off_hi = CellIndex::Filled(d, 0);
+    for (int j = 0; j < d; ++j) {
+      if (cell[j] > anchor[j]) {
+        off_lo[j] = cell[j] - anchor[j];
+        off_hi[j] = extents[j] - 1;
+      }  // else single offset 0
+    }
+    Box offsets_box(off_lo, off_hi);
+    CellIndex offsets = offsets_box.lo();
+    do {
+      overlay_.at(box_index, offsets) += delta;
+      ++stats.aux_cells;
+    } while (NextIndexInBox(offsets_box, offsets));
+  } while (NextIndexInBox(grid_range, box_index));
+
+  return stats;
+}
+
+template <typename T>
+UpdateStats RelativePrefixSum<T>::AddBatch(
+    const std::vector<CellDelta>& deltas) {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& shape = rp_.shape();
+  const Shape& grid = geo.grid_shape();
+  const int d = shape.dims();
+  UpdateStats stats;
+
+  // Group ops by covering box (sorted by box linear id).
+  std::vector<std::pair<int64_t, const CellDelta*>> grouped;
+  grouped.reserve(deltas.size());
+  for (const CellDelta& op : deltas) {
+    RPS_CHECK(shape.Contains(op.cell));
+    grouped.emplace_back(grid.Linearize(geo.BoxIndexOf(op.cell)), &op);
+  }
+  std::sort(grouped.begin(), grouped.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (size_t start = 0; start < grouped.size();) {
+    size_t end = start;
+    while (end < grouped.size() && grouped[end].first == grouped[start].first) {
+      ++end;
+    }
+    const CellIndex own_box = grid.Delinearize(grouped[start].first);
+    const Box own_region = geo.RegionOf(own_box);
+    T group_delta{};
+
+    for (size_t i = start; i < end; ++i) {
+      const CellDelta& op = *grouped[i].second;
+      group_delta += op.delta;
+      // RP: per-op, within the covering box.
+      Box affected(op.cell, own_region.hi());
+      CellIndex t = affected.lo();
+      do {
+        rp_.at(t) += op.delta;
+        ++stats.primary_cells;
+      } while (NextIndexInBox(affected, t));
+      // Overlay slabs: boxes b >= bu with at least one equal
+      // component (strict dominators are coalesced below).
+      Box grid_range(own_box, Box::All(grid).hi());
+      CellIndex box_index = grid_range.lo();
+      do {
+        if (box_index == own_box) continue;
+        bool strict = true;
+        for (int j = 0; j < d; ++j) {
+          if (box_index[j] == own_box[j]) {
+            strict = false;
+            break;
+          }
+        }
+        if (strict) continue;  // coalesced once per group
+        const CellIndex anchor = geo.AnchorOf(box_index);
+        const CellIndex extents = geo.ExtentsOf(box_index);
+        CellIndex off_lo = CellIndex::Filled(d, 0);
+        CellIndex off_hi = CellIndex::Filled(d, 0);
+        for (int j = 0; j < d; ++j) {
+          if (op.cell[j] > anchor[j]) {
+            off_lo[j] = op.cell[j] - anchor[j];
+            off_hi[j] = extents[j] - 1;
+          }
+        }
+        Box offsets_box(off_lo, off_hi);
+        CellIndex offsets = offsets_box.lo();
+        do {
+          overlay_.at(box_index, offsets) += op.delta;
+          ++stats.aux_cells;
+        } while (NextIndexInBox(offsets_box, offsets));
+      } while (NextIndexInBox(grid_range, box_index));
+    }
+
+    // Strictly dominating boxes: anchors only, summed delta, once per
+    // group.
+    bool any_strict = true;
+    CellIndex strict_lo = own_box;
+    for (int j = 0; j < d; ++j) {
+      if (own_box[j] + 1 >= grid.extent(j)) {
+        any_strict = false;
+        break;
+      }
+      strict_lo[j] = own_box[j] + 1;
+    }
+    if (any_strict) {
+      Box strict_range(strict_lo, Box::All(grid).hi());
+      CellIndex box_index = strict_range.lo();
+      do {
+        overlay_.at_slot(geo.AnchorSlotOf(box_index)) += group_delta;
+        ++stats.aux_cells;
+      } while (NextIndexInBox(strict_range, box_index));
+    }
+    start = end;
+  }
+  return stats;
+}
+
+}  // namespace rps
+
+#endif  // RPS_CORE_RELATIVE_PREFIX_SUM_H_

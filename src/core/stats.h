@@ -1,0 +1,47 @@
+// Cost accounting shared by all query methods.
+//
+// The paper's cost model counts *cells* read and written (Section 4.3
+// assumes overlay and RP cell accesses cost the same). Methods report
+// exact touched-cell counts so benchmarks can compare measured costs
+// against the analytic formulas in core/cost_model.h.
+
+#ifndef RPS_CORE_STATS_H_
+#define RPS_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace rps {
+
+/// Cells written by one update, split by structure. For the relative
+/// prefix sum method, `aux_cells` counts overlay-cell writes and
+/// `primary_cells` counts RP-array writes; other methods use
+/// `primary_cells` only.
+struct UpdateStats {
+  int64_t primary_cells = 0;
+  int64_t aux_cells = 0;
+
+  int64_t total() const { return primary_cells + aux_cells; }
+
+  UpdateStats& operator+=(const UpdateStats& other) {
+    primary_cells += other.primary_cells;
+    aux_cells += other.aux_cells;
+    return *this;
+  }
+};
+
+/// Cells read by one query.
+struct QueryStats {
+  int64_t cell_reads = 0;
+};
+
+/// Storage footprint of a method's structures, in cells.
+struct MemoryStats {
+  int64_t primary_cells = 0;  // main array (A, P, RP, or tree)
+  int64_t aux_cells = 0;      // overlay cells, if any
+
+  int64_t total() const { return primary_cells + aux_cells; }
+};
+
+}  // namespace rps
+
+#endif  // RPS_CORE_STATS_H_

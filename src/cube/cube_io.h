@@ -1,0 +1,76 @@
+// Cube (NdArray) file persistence.
+//
+// Format (native-endian, CRC-32 trailer):
+//   magic "RPSCUBE1" | u32 value_size | i32 dims | i64 extents[dims] |
+//   i64 cell_count, raw cells | u32 crc32
+
+#ifndef RPS_CUBE_CUBE_IO_H_
+#define RPS_CUBE_CUBE_IO_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cube/nd_array.h"
+#include "util/binary_io.h"
+
+namespace rps {
+
+inline constexpr char kCubeMagic[8] = {'R', 'P', 'S', 'C', 'U', 'B', 'E',
+                                       '1'};
+
+template <typename T>
+Status SaveCube(const NdArray<T>& cube, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  RPS_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Create(path));
+  RPS_RETURN_IF_ERROR(writer.WriteBytes(kCubeMagic, 8));
+  RPS_RETURN_IF_ERROR(
+      writer.WriteScalar<uint32_t>(static_cast<uint32_t>(sizeof(T))));
+  RPS_RETURN_IF_ERROR(writer.WriteScalar<int32_t>(cube.dims()));
+  for (int j = 0; j < cube.dims(); ++j) {
+    RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(cube.shape().extent(j)));
+  }
+  std::vector<T> cells(static_cast<size_t>(cube.num_cells()));
+  std::memcpy(cells.data(), cube.data(), cells.size() * sizeof(T));
+  RPS_RETURN_IF_ERROR(writer.WriteVector(cells));
+  return writer.FinishWithChecksum();
+}
+
+template <typename T>
+Result<NdArray<T>> LoadCube(const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  RPS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  char magic[8];
+  RPS_RETURN_IF_ERROR(reader.ReadBytes(magic, 8));
+  if (std::memcmp(magic, kCubeMagic, 8) != 0) {
+    return Status::IoError("not a cube file: " + path);
+  }
+  RPS_ASSIGN_OR_RETURN(const uint32_t value_size,
+                       reader.ReadScalar<uint32_t>());
+  if (value_size != sizeof(T)) {
+    return Status::IoError("cube value size mismatch in " + path);
+  }
+  RPS_ASSIGN_OR_RETURN(const int32_t dims, reader.ReadScalar<int32_t>());
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::IoError("corrupt cube dimensionality in " + path);
+  }
+  std::vector<int64_t> extents(static_cast<size_t>(dims));
+  for (auto& extent : extents) {
+    RPS_ASSIGN_OR_RETURN(extent, reader.ReadScalar<int64_t>());
+    if (extent < 1) return Status::IoError("corrupt cube extent in " + path);
+  }
+  const Shape shape = Shape::FromExtents(extents);
+  RPS_ASSIGN_OR_RETURN(std::vector<T> cells,
+                       reader.ReadVector<T>(shape.num_cells()));
+  if (static_cast<int64_t>(cells.size()) != shape.num_cells()) {
+    return Status::IoError("cube cell count mismatch in " + path);
+  }
+  RPS_RETURN_IF_ERROR(reader.VerifyChecksum());
+  NdArray<T> cube(shape);
+  std::memcpy(cube.data(), cells.data(), cells.size() * sizeof(T));
+  return cube;
+}
+
+}  // namespace rps
+
+#endif  // RPS_CUBE_CUBE_IO_H_

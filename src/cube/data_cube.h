@@ -1,0 +1,68 @@
+// A data cube: dense measure array plus dimension metadata.
+//
+// DataCube<T> ties an NdArray of aggregated measure values to the
+// Dimensions that define its axes (paper, Section 1-2: measure
+// attribute aggregated according to functional attributes). It is the
+// input handed to the query methods in src/core and the object the
+// OLAP layer (src/olap) builds from records.
+
+#ifndef RPS_CUBE_DATA_CUBE_H_
+#define RPS_CUBE_DATA_CUBE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cube/dimension.h"
+#include "cube/nd_array.h"
+
+namespace rps {
+
+template <typename T>
+class DataCube {
+ public:
+  /// A cube whose axes are the given dimensions; cells start at T{}.
+  explicit DataCube(std::vector<Dimension> dimensions)
+      : dimensions_(std::move(dimensions)), array_(MakeShape(dimensions_)) {}
+
+  /// Wraps an existing measure array; extents must match the
+  /// dimension sizes.
+  DataCube(std::vector<Dimension> dimensions, NdArray<T> array)
+      : dimensions_(std::move(dimensions)), array_(std::move(array)) {
+    RPS_CHECK(array_.shape() == MakeShape(dimensions_));
+  }
+
+  const Shape& shape() const { return array_.shape(); }
+  int dims() const { return array_.dims(); }
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+
+  /// Index of the dimension named `name`, or -1.
+  int DimensionIndex(const std::string& name) const {
+    for (int j = 0; j < static_cast<int>(dimensions_.size()); ++j) {
+      if (dimensions_[static_cast<size_t>(j)].name() == name) return j;
+    }
+    return -1;
+  }
+
+  const NdArray<T>& array() const { return array_; }
+  NdArray<T>& array() { return array_; }
+
+  const T& at(const CellIndex& index) const { return array_.at(index); }
+  T& at(const CellIndex& index) { return array_.at(index); }
+
+ private:
+  static Shape MakeShape(const std::vector<Dimension>& dimensions) {
+    RPS_CHECK(!dimensions.empty());
+    std::vector<int64_t> extents;
+    extents.reserve(dimensions.size());
+    for (const Dimension& dim : dimensions) extents.push_back(dim.size());
+    return Shape::FromExtents(extents);
+  }
+
+  std::vector<Dimension> dimensions_;
+  NdArray<T> array_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CUBE_DATA_CUBE_H_

@@ -1,0 +1,81 @@
+#include "cube/index.h"
+
+#include "util/math.h"
+
+namespace rps {
+
+std::string CellIndex::ToString() const {
+  std::string out = "(";
+  for (int j = 0; j < dims_; ++j) {
+    if (j > 0) out += ", ";
+    out += std::to_string(coord_[j]);
+  }
+  out += ")";
+  return out;
+}
+
+int64_t Shape::num_cells() const {
+  int64_t total = 1;
+  for (int j = 0; j < dims_; ++j) {
+    RPS_CHECK_MSG(!MulWouldOverflow(total, extent_[j]),
+                  "Shape::num_cells overflows int64");
+    total *= extent_[j];
+  }
+  return total;
+}
+
+bool Shape::Contains(const CellIndex& index) const {
+  if (index.dims() != dims_) return false;
+  for (int j = 0; j < dims_; ++j) {
+    if (index[j] < 0 || index[j] >= extent_[j]) return false;
+  }
+  return true;
+}
+
+int64_t Shape::Linearize(const CellIndex& index) const {
+  RPS_DCHECK(Contains(index));
+  int64_t linear = 0;
+  for (int j = 0; j < dims_; ++j) {
+    linear = linear * extent_[j] + index[j];
+  }
+  return linear;
+}
+
+CellIndex Shape::Delinearize(int64_t linear) const {
+  RPS_DCHECK(linear >= 0);
+  CellIndex index = CellIndex::Filled(dims_, 0);
+  for (int j = dims_ - 1; j >= 0; --j) {
+    index[j] = linear % extent_[j];
+    linear /= extent_[j];
+  }
+  RPS_DCHECK(linear == 0);
+  return index;
+}
+
+int64_t Shape::Stride(int j) const {
+  RPS_DCHECK(j >= 0 && j < dims_);
+  int64_t stride = 1;
+  for (int i = dims_ - 1; i > j; --i) stride *= extent_[i];
+  return stride;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (int j = 0; j < dims_; ++j) {
+    if (j > 0) out += " x ";
+    out += std::to_string(extent_[j]);
+  }
+  out += "]";
+  return out;
+}
+
+bool NextIndex(const Shape& shape, CellIndex& index) {
+  RPS_DCHECK(index.dims() == shape.dims());
+  for (int j = shape.dims() - 1; j >= 0; --j) {
+    if (++index[j] < shape.extent(j)) return true;
+    index[j] = 0;
+  }
+  return false;
+}
+
+}  // namespace rps

@@ -1,0 +1,79 @@
+// Dense in-memory d-dimensional array.
+//
+// NdArray<T> is the representation of the paper's array A (Figure 1)
+// and of the derived P and RP arrays. Storage is row-major and
+// contiguous; cells are addressed either by CellIndex or by linear
+// offset (hot paths precompute offsets).
+
+#ifndef RPS_CUBE_ND_ARRAY_H_
+#define RPS_CUBE_ND_ARRAY_H_
+
+#include <vector>
+
+#include "cube/box.h"
+#include "cube/index.h"
+#include "util/check.h"
+
+namespace rps {
+
+template <typename T>
+class NdArray {
+ public:
+  NdArray() = default;
+
+  /// An array of the given shape with every cell set to `fill`.
+  explicit NdArray(const Shape& shape, T fill = T{})
+      : shape_(shape),
+        cells_(static_cast<size_t>(shape.num_cells()), fill) {}
+
+  const Shape& shape() const { return shape_; }
+  int dims() const { return shape_.dims(); }
+  int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
+
+  const T& at(const CellIndex& index) const {
+    return cells_[static_cast<size_t>(shape_.Linearize(index))];
+  }
+  T& at(const CellIndex& index) {
+    return cells_[static_cast<size_t>(shape_.Linearize(index))];
+  }
+
+  const T& at_linear(int64_t linear) const {
+    RPS_DCHECK(linear >= 0 && linear < num_cells());
+    return cells_[static_cast<size_t>(linear)];
+  }
+  T& at_linear(int64_t linear) {
+    RPS_DCHECK(linear >= 0 && linear < num_cells());
+    return cells_[static_cast<size_t>(linear)];
+  }
+
+  void Fill(T value) {
+    for (auto& cell : cells_) cell = value;
+  }
+
+  /// Sum of all cells in `box` by direct enumeration -- the paper's
+  /// naive method; O(box volume). Also the test oracle.
+  T SumBox(const Box& box) const {
+    RPS_CHECK(box.Within(shape_));
+    T total{};
+    CellIndex index = box.lo();
+    do {
+      total += at(index);
+    } while (NextIndexInBox(box, index));
+    return total;
+  }
+
+  const T* data() const { return cells_.data(); }
+  T* data() { return cells_.data(); }
+
+  friend bool operator==(const NdArray& a, const NdArray& b) {
+    return a.shape_ == b.shape_ && a.cells_ == b.cells_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> cells_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_CUBE_ND_ARRAY_H_

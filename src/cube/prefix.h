@@ -1,0 +1,80 @@
+// In-place prefix-sum and difference transforms along cube dimensions.
+//
+// Running a prefix pass along every dimension turns A into the prefix
+// array P of Ho et al. (paper, Figure 2):
+//   P[x] = SUM(A[0..x])  for every cell x.
+// The difference transforms invert the passes exactly (the aggregate
+// operator must be invertible, as the paper requires).
+
+#ifndef RPS_CUBE_PREFIX_H_
+#define RPS_CUBE_PREFIX_H_
+
+#include "cube/nd_array.h"
+
+namespace rps {
+
+/// One prefix pass: for every row along dimension `dim`,
+/// cell[i] += cell[i-1].
+template <typename T>
+void PrefixSumAlongDim(NdArray<T>& array, int dim) {
+  const Shape& shape = array.shape();
+  RPS_CHECK(dim >= 0 && dim < shape.dims());
+  const int64_t extent = shape.extent(dim);
+  if (extent == 1) return;
+  const int64_t stride = shape.Stride(dim);
+  const int64_t num_cells = array.num_cells();
+  // Iterate over all "rows": cells whose coordinate along `dim` is 0.
+  // A linear offset belongs to a row start iff (offset / stride) %
+  // extent == 0; we enumerate them by two nested strides instead of
+  // testing every cell.
+  const int64_t block = stride * extent;  // cells spanned by one row group
+  for (int64_t base = 0; base < num_cells; base += block) {
+    for (int64_t lane = 0; lane < stride; ++lane) {
+      int64_t offset = base + lane;
+      for (int64_t i = 1; i < extent; ++i) {
+        array.at_linear(offset + stride) += array.at_linear(offset);
+        offset += stride;
+      }
+    }
+  }
+}
+
+/// Inverse of PrefixSumAlongDim.
+template <typename T>
+void DifferenceAlongDim(NdArray<T>& array, int dim) {
+  const Shape& shape = array.shape();
+  RPS_CHECK(dim >= 0 && dim < shape.dims());
+  const int64_t extent = shape.extent(dim);
+  if (extent == 1) return;
+  const int64_t stride = shape.Stride(dim);
+  const int64_t num_cells = array.num_cells();
+  const int64_t block = stride * extent;
+  for (int64_t base = 0; base < num_cells; base += block) {
+    for (int64_t lane = 0; lane < stride; ++lane) {
+      int64_t offset = base + lane + (extent - 1) * stride;
+      for (int64_t i = extent - 1; i >= 1; --i) {
+        array.at_linear(offset) -= array.at_linear(offset - stride);
+        offset -= stride;
+      }
+    }
+  }
+}
+
+/// Transforms `array` into its full prefix-sum array P in place
+/// (one pass per dimension, O(d * N) total).
+template <typename T>
+void PrefixSumInPlace(NdArray<T>& array) {
+  for (int dim = 0; dim < array.dims(); ++dim) PrefixSumAlongDim(array, dim);
+}
+
+/// Inverse of PrefixSumInPlace.
+template <typename T>
+void DifferenceInPlace(NdArray<T>& array) {
+  for (int dim = array.dims() - 1; dim >= 0; --dim) {
+    DifferenceAlongDim(array, dim);
+  }
+}
+
+}  // namespace rps
+
+#endif  // RPS_CUBE_PREFIX_H_

@@ -1,0 +1,74 @@
+// Thread-safe facade over OlapEngine.
+//
+// The core structures are single-writer (updates mutate RP and
+// overlay cells in place); this wrapper serializes writers and lets
+// readers proceed concurrently with a shared mutex -- the standard
+// OLAP pattern of many analysts querying while a loader streams
+// updates.
+
+#ifndef RPS_OLAP_CONCURRENT_ENGINE_H_
+#define RPS_OLAP_CONCURRENT_ENGINE_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "olap/engine.h"
+#include "olap/group_by.h"
+
+namespace rps {
+
+class ConcurrentOlapEngine {
+ public:
+  ConcurrentOlapEngine(Schema schema, EngineMethod method)
+      : engine_(std::move(schema), method) {}
+
+  const Schema& schema() const { return engine_.schema(); }
+
+  IngestReport Load(const std::vector<OlapRecord>& records) {
+    std::unique_lock lock(mutex_);
+    return engine_.Load(records);
+  }
+
+  Status Insert(const OlapRecord& record) {
+    std::unique_lock lock(mutex_);
+    return engine_.Insert(record);
+  }
+
+  Result<double> Sum(const RangeQuery& query) const {
+    std::shared_lock lock(mutex_);
+    return engine_.Sum(query);
+  }
+
+  Result<int64_t> Count(const RangeQuery& query) const {
+    std::shared_lock lock(mutex_);
+    return engine_.Count(query);
+  }
+
+  Result<double> Average(const RangeQuery& query) const {
+    std::shared_lock lock(mutex_);
+    return engine_.Average(query);
+  }
+
+  Result<std::vector<double>> RollingSum(const RangeQuery& query,
+                                         const std::string& dimension,
+                                         int64_t window) const {
+    std::shared_lock lock(mutex_);
+    return engine_.RollingSum(query, dimension, window);
+  }
+
+  Result<std::vector<GroupRow>> GroupBySlots(
+      const RangeQuery& query, const std::string& dimension) const {
+    std::shared_lock lock(mutex_);
+    return GroupBy(engine_, query, dimension);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  OlapEngine engine_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_OLAP_CONCURRENT_ENGINE_H_

@@ -1,0 +1,130 @@
+#include "olap/csv_loader.h"
+
+#include <charconv>
+#include <string_view>
+
+namespace rps {
+namespace {
+
+std::vector<std::string_view> SplitLine(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+Result<CsvParseReport> ParseCsv(const Schema& schema, const std::string& text,
+                                bool has_header) {
+  CsvParseReport report;
+  const size_t expected_fields =
+      static_cast<size_t>(schema.num_dimensions()) + 1;
+
+  size_t pos = 0;
+  int64_t line_number = 0;
+  bool header_pending = has_header;
+  // pos < size(): a trailing newline does not produce a final empty
+  // line.
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    const std::string_view line =
+        std::string_view(text).substr(pos, newline == std::string::npos
+                                               ? std::string::npos
+                                               : newline - pos);
+    pos = (newline == std::string::npos) ? text.size() + 1 : newline + 1;
+    ++line_number;
+
+    if (Trim(line).empty()) {
+      ++report.lines_skipped;
+      continue;
+    }
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+
+    const std::vector<std::string_view> fields = SplitLine(line);
+    if (fields.size() != expected_fields) {
+      report.errors.push_back("line " + std::to_string(line_number) + ": " +
+                              std::to_string(fields.size()) + " fields, want " +
+                              std::to_string(expected_fields));
+      continue;
+    }
+
+    OlapRecord record;
+    record.values.reserve(static_cast<size_t>(schema.num_dimensions()));
+    bool line_ok = true;
+    for (int j = 0; j < schema.num_dimensions() && line_ok; ++j) {
+      const Dimension& dim =
+          schema.dimensions()[static_cast<size_t>(j)];
+      const std::string_view field = fields[static_cast<size_t>(j)];
+      if (dim.is_integer()) {
+        int64_t value;
+        if (ParseInt(field, &value)) {
+          record.values.emplace_back(value);
+        } else {
+          report.errors.push_back("line " + std::to_string(line_number) +
+                                  ": bad integer for '" + dim.name() + "'");
+          line_ok = false;
+        }
+      } else if (dim.is_binned()) {
+        double value;
+        if (ParseDouble(field, &value)) {
+          record.values.emplace_back(value);
+        } else {
+          report.errors.push_back("line " + std::to_string(line_number) +
+                                  ": bad number for '" + dim.name() + "'");
+          line_ok = false;
+        }
+      } else {
+        record.values.emplace_back(std::string(Trim(field)));
+      }
+    }
+    if (!line_ok) continue;
+    if (!ParseDouble(fields.back(), &record.measure)) {
+      report.errors.push_back("line " + std::to_string(line_number) +
+                              ": bad measure value");
+      continue;
+    }
+    report.records.push_back(std::move(record));
+    ++report.lines_parsed;
+  }
+  return report;
+}
+
+}  // namespace rps

@@ -1,0 +1,38 @@
+// CSV record ingestion for the OLAP layer.
+//
+// Parses simple comma-separated text (no embedded commas/quotes --
+// synthetic and exported analytics data; a malformed line is reported
+// with its number) into OlapRecords against a schema: one column per
+// dimension in schema order, then the measure column. Integer
+// dimensions parse as int64, binned as double, categorical as the raw
+// label.
+
+#ifndef RPS_OLAP_CSV_LOADER_H_
+#define RPS_OLAP_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "olap/engine.h"
+#include "util/status.h"
+
+namespace rps {
+
+struct CsvParseReport {
+  std::vector<OlapRecord> records;
+  int64_t lines_parsed = 0;
+  int64_t lines_skipped = 0;          // blank lines
+  std::vector<std::string> errors;    // "line N: reason" (parse continues)
+};
+
+/// Parses `text` (entire CSV contents, '\n'-separated, optional
+/// header skipped when `has_header`). Field count must be
+/// dimensions + 1 (measure last). Lines that fail to parse are
+/// recorded in `errors` and skipped; a Status error is returned only
+/// for schema-level misuse (never for data content).
+Result<CsvParseReport> ParseCsv(const Schema& schema, const std::string& text,
+                                bool has_header);
+
+}  // namespace rps
+
+#endif  // RPS_OLAP_CSV_LOADER_H_

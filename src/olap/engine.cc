@@ -1,0 +1,173 @@
+#include "olap/engine.h"
+
+#include <algorithm>
+
+#include "core/hierarchical_rps.h"
+
+namespace rps {
+
+const char* EngineMethodName(EngineMethod method) {
+  switch (method) {
+    case EngineMethod::kNaive:
+      return "naive";
+    case EngineMethod::kPrefixSum:
+      return "prefix_sum";
+    case EngineMethod::kRelativePrefixSum:
+      return "relative_prefix_sum";
+    case EngineMethod::kFenwick:
+      return "fenwick";
+    case EngineMethod::kHierarchicalRps:
+      return "hierarchical_rps";
+  }
+  return "?";
+}
+
+std::unique_ptr<QueryMethod<double>> MakeDoubleMethod(EngineMethod method,
+                                                      const Shape& shape) {
+  const NdArray<double> empty(shape, 0.0);
+  switch (method) {
+    case EngineMethod::kNaive:
+      return std::make_unique<NaiveMethod<double>>(empty);
+    case EngineMethod::kPrefixSum:
+      return std::make_unique<PrefixSumMethod<double>>(empty);
+    case EngineMethod::kRelativePrefixSum:
+      return std::make_unique<RelativePrefixSum<double>>(empty);
+    case EngineMethod::kFenwick:
+      return std::make_unique<FenwickMethod<double>>(empty);
+    case EngineMethod::kHierarchicalRps:
+      return std::make_unique<HierarchicalRps<double>>(empty);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<QueryMethod<int64_t>> MakeCountMethod(EngineMethod method,
+                                                      const Shape& shape) {
+  const NdArray<int64_t> empty(shape, 0);
+  switch (method) {
+    case EngineMethod::kNaive:
+      return std::make_unique<NaiveMethod<int64_t>>(empty);
+    case EngineMethod::kPrefixSum:
+      return std::make_unique<PrefixSumMethod<int64_t>>(empty);
+    case EngineMethod::kRelativePrefixSum:
+      return std::make_unique<RelativePrefixSum<int64_t>>(empty);
+    case EngineMethod::kFenwick:
+      return std::make_unique<FenwickMethod<int64_t>>(empty);
+    case EngineMethod::kHierarchicalRps:
+      return std::make_unique<HierarchicalRps<int64_t>>(empty);
+  }
+  return nullptr;
+}
+
+OlapEngine::OlapEngine(Schema schema, EngineMethod method)
+    : schema_(std::move(schema)),
+      method_(method),
+      sums_(MakeDoubleMethod(method, schema_.CubeShape())),
+      counts_(MakeCountMethod(method, schema_.CubeShape())) {}
+
+IngestReport OlapEngine::Load(const std::vector<OlapRecord>& records) {
+  IngestReport report;
+  const Shape shape = schema_.CubeShape();
+  NdArray<double> sums(shape, 0.0);
+  NdArray<int64_t> counts(shape, 0);
+  for (const OlapRecord& record : records) {
+    const Result<CellIndex> cell = schema_.CellOf(record.values);
+    if (!cell.ok()) {
+      ++report.rejected;
+      continue;
+    }
+    sums.at(cell.value()) += record.measure;
+    counts.at(cell.value()) += 1;
+    ++report.accepted;
+  }
+  sums_->Build(sums);
+  counts_->Build(counts);
+  return report;
+}
+
+Status OlapEngine::Insert(const OlapRecord& record) {
+  RPS_ASSIGN_OR_RETURN(const CellIndex cell, schema_.CellOf(record.values));
+  update_cells_ += sums_->Add(cell, record.measure).total();
+  update_cells_ += counts_->Add(cell, 1).total();
+  return Status::Ok();
+}
+
+Result<double> OlapEngine::Sum(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  return sums_->RangeSum(range);
+}
+
+Result<int64_t> OlapEngine::Count(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  return counts_->RangeSum(range);
+}
+
+Result<double> OlapEngine::Average(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const int64_t count = counts_->RangeSum(range);
+  if (count == 0) {
+    return Status::FailedPrecondition("AVERAGE over a range with no records");
+  }
+  return sums_->RangeSum(range) / static_cast<double>(count);
+}
+
+Result<std::vector<double>> OlapEngine::RollingSum(
+    const RangeQuery& query, const std::string& dimension,
+    int64_t window) const {
+  if (window < 1) return Status::InvalidArgument("window must be >= 1");
+  RPS_ASSIGN_OR_RETURN(const int j, schema_.DimensionIndex(dimension));
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(range.Extent(j)));
+  for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[j] = std::max(range.lo()[j], p - window + 1);
+    hi[j] = p;
+    out.push_back(sums_->RangeSum(Box(lo, hi)));
+  }
+  return out;
+}
+
+Result<Box> OlapEngine::ResolveQuery(const RangeQuery& query) const {
+  return query.Resolve(schema_);
+}
+
+Result<double> OlapEngine::SumOverCells(const Box& range) const {
+  if (!range.Within(schema_.CubeShape())) {
+    return Status::OutOfRange("box outside the cube");
+  }
+  return sums_->RangeSum(range);
+}
+
+Result<int64_t> OlapEngine::CountOverCells(const Box& range) const {
+  if (!range.Within(schema_.CubeShape())) {
+    return Status::OutOfRange("box outside the cube");
+  }
+  return counts_->RangeSum(range);
+}
+
+Result<std::vector<double>> OlapEngine::RollingAverage(
+    const RangeQuery& query, const std::string& dimension,
+    int64_t window) const {
+  if (window < 1) return Status::InvalidArgument("window must be >= 1");
+  RPS_ASSIGN_OR_RETURN(const int j, schema_.DimensionIndex(dimension));
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(range.Extent(j)));
+  for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[j] = std::max(range.lo()[j], p - window + 1);
+    hi[j] = p;
+    const Box slab(lo, hi);
+    const int64_t count = counts_->RangeSum(slab);
+    out.push_back(count == 0
+                      ? 0.0
+                      : sums_->RangeSum(slab) / static_cast<double>(count));
+  }
+  return out;
+}
+
+}  // namespace rps

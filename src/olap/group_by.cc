@@ -1,0 +1,95 @@
+#include "olap/group_by.h"
+
+#include <algorithm>
+
+#include "olap/engine.h"
+
+namespace rps {
+
+Result<std::vector<GroupRow>> GroupBy(const OlapEngine& engine,
+                                      const RangeQuery& query,
+                                      const std::string& dimension) {
+  RPS_ASSIGN_OR_RETURN(const int j,
+                       engine.schema().DimensionIndex(dimension));
+  RPS_ASSIGN_OR_RETURN(const Box range, engine.ResolveQuery(query));
+  const Dimension& dim =
+      engine.schema().dimensions()[static_cast<size_t>(j)];
+
+  std::vector<GroupRow> rows;
+  rows.reserve(static_cast<size_t>(range.Extent(j)));
+  for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[j] = p;
+    hi[j] = p;
+    const Box slot(lo, hi);
+    GroupRow row;
+    row.slot = dim.SlotLabel(p);
+    RPS_ASSIGN_OR_RETURN(row.sum, engine.SumOverCells(slot));
+    RPS_ASSIGN_OR_RETURN(row.count, engine.CountOverCells(slot));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<CrossTab> CrossTabulate(const OlapEngine& engine,
+                               const RangeQuery& query,
+                               const std::string& row_dimension,
+                               const std::string& col_dimension) {
+  RPS_ASSIGN_OR_RETURN(const int r,
+                       engine.schema().DimensionIndex(row_dimension));
+  RPS_ASSIGN_OR_RETURN(const int c,
+                       engine.schema().DimensionIndex(col_dimension));
+  if (r == c) {
+    return Status::InvalidArgument(
+        "cross-tab needs two distinct dimensions");
+  }
+  RPS_ASSIGN_OR_RETURN(const Box range, engine.ResolveQuery(query));
+  const Dimension& row_dim =
+      engine.schema().dimensions()[static_cast<size_t>(r)];
+  const Dimension& col_dim =
+      engine.schema().dimensions()[static_cast<size_t>(c)];
+
+  CrossTab tab;
+  for (int64_t p = range.lo()[r]; p <= range.hi()[r]; ++p) {
+    tab.row_labels.push_back(row_dim.SlotLabel(p));
+  }
+  for (int64_t q = range.lo()[c]; q <= range.hi()[c]; ++q) {
+    tab.col_labels.push_back(col_dim.SlotLabel(q));
+  }
+  tab.sums.resize(tab.row_labels.size(),
+                  std::vector<double>(tab.col_labels.size(), 0.0));
+  for (int64_t p = range.lo()[r]; p <= range.hi()[r]; ++p) {
+    for (int64_t q = range.lo()[c]; q <= range.hi()[c]; ++q) {
+      CellIndex lo = range.lo();
+      CellIndex hi = range.hi();
+      lo[r] = p;
+      hi[r] = p;
+      lo[c] = q;
+      hi[c] = q;
+      RPS_ASSIGN_OR_RETURN(
+          tab.sums[static_cast<size_t>(p - range.lo()[r])]
+                  [static_cast<size_t>(q - range.lo()[c])],
+          engine.SumOverCells(Box(lo, hi)));
+    }
+  }
+  return tab;
+}
+
+Result<std::vector<GroupRow>> TopSlotsBySum(const OlapEngine& engine,
+                                            const RangeQuery& query,
+                                            const std::string& dimension,
+                                            int64_t limit) {
+  RPS_ASSIGN_OR_RETURN(std::vector<GroupRow> rows,
+                       GroupBy(engine, query, dimension));
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const GroupRow& a, const GroupRow& b) {
+                     return a.sum > b.sum;
+                   });
+  if (limit > 0 && static_cast<int64_t>(rows.size()) > limit) {
+    rows.resize(static_cast<size_t>(limit));
+  }
+  return rows;
+}
+
+}  // namespace rps

@@ -1,0 +1,119 @@
+#include "olap/multi_measure_engine.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace rps {
+
+MultiMeasureEngine::MultiMeasureEngine(std::vector<std::string> measure_names,
+                                       std::vector<Dimension> dimensions,
+                                       EngineMethod method)
+    : schema_("<multi>", std::move(dimensions)),
+      measure_names_(std::move(measure_names)) {
+  RPS_CHECK_MSG(!measure_names_.empty(), "need at least one measure");
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : measure_names_) {
+    RPS_CHECK_MSG(seen.insert(name).second, "measure names must be unique");
+  }
+  const Shape shape = schema_.CubeShape();
+  sums_.reserve(measure_names_.size());
+  for (size_t m = 0; m < measure_names_.size(); ++m) {
+    sums_.push_back(MakeDoubleMethod(method, shape));
+  }
+  counts_ = MakeCountMethod(method, shape);
+}
+
+Result<int> MultiMeasureEngine::MeasureIndex(
+    const std::string& measure) const {
+  for (size_t m = 0; m < measure_names_.size(); ++m) {
+    if (measure_names_[m] == measure) return static_cast<int>(m);
+  }
+  return Status::NotFound("no measure named '" + measure + "'");
+}
+
+IngestReport MultiMeasureEngine::Load(
+    const std::vector<MultiMeasureRecord>& records) {
+  IngestReport report;
+  const Shape shape = schema_.CubeShape();
+  std::vector<NdArray<double>> sums(measure_names_.size(),
+                                    NdArray<double>(shape, 0.0));
+  NdArray<int64_t> counts(shape, 0);
+  for (const MultiMeasureRecord& record : records) {
+    if (record.measures.size() != measure_names_.size()) {
+      ++report.rejected;
+      continue;
+    }
+    const Result<CellIndex> cell = schema_.CellOf(record.values);
+    if (!cell.ok()) {
+      ++report.rejected;
+      continue;
+    }
+    for (size_t m = 0; m < measure_names_.size(); ++m) {
+      sums[m].at(cell.value()) += record.measures[m];
+    }
+    counts.at(cell.value()) += 1;
+    ++report.accepted;
+  }
+  for (size_t m = 0; m < measure_names_.size(); ++m) {
+    sums_[m]->Build(sums[m]);
+  }
+  counts_->Build(counts);
+  return report;
+}
+
+Status MultiMeasureEngine::Insert(const MultiMeasureRecord& record) {
+  if (record.measures.size() != measure_names_.size()) {
+    return Status::InvalidArgument("record has " +
+                                   std::to_string(record.measures.size()) +
+                                   " measures, engine has " +
+                                   std::to_string(measure_names_.size()));
+  }
+  RPS_ASSIGN_OR_RETURN(const CellIndex cell, schema_.CellOf(record.values));
+  for (size_t m = 0; m < measure_names_.size(); ++m) {
+    sums_[m]->Add(cell, record.measures[m]);
+  }
+  counts_->Add(cell, 1);
+  return Status::Ok();
+}
+
+Result<double> MultiMeasureEngine::Sum(const std::string& measure,
+                                       const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const int m, MeasureIndex(measure));
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  return sums_[static_cast<size_t>(m)]->RangeSum(range);
+}
+
+Result<int64_t> MultiMeasureEngine::Count(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  return counts_->RangeSum(range);
+}
+
+Result<double> MultiMeasureEngine::Average(const std::string& measure,
+                                           const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const int m, MeasureIndex(measure));
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const int64_t count = counts_->RangeSum(range);
+  if (count == 0) {
+    return Status::FailedPrecondition("AVERAGE over a range with no records");
+  }
+  return sums_[static_cast<size_t>(m)]->RangeSum(range) /
+         static_cast<double>(count);
+}
+
+Result<double> MultiMeasureEngine::RatioOfSums(const std::string& numerator,
+                                               const std::string& denominator,
+                                               const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const int num, MeasureIndex(numerator));
+  RPS_ASSIGN_OR_RETURN(const int den, MeasureIndex(denominator));
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const double denominator_sum =
+      sums_[static_cast<size_t>(den)]->RangeSum(range);
+  if (denominator_sum == 0.0) {
+    return Status::FailedPrecondition("denominator sums to zero");
+  }
+  return sums_[static_cast<size_t>(num)]->RangeSum(range) / denominator_sum;
+}
+
+}  // namespace rps

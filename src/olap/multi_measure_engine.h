@@ -1,0 +1,72 @@
+// Multi-measure OLAP engine: several measure attributes over one set
+// of dimensions (e.g. SALES and COST per age x day), each backed by
+// its own range-sum structure, sharing a single COUNT structure.
+// Supports per-measure SUM/AVERAGE and ratios of sums (e.g. margin =
+// SUM(profit)/SUM(sales)) -- all reductions to the paper's range-sum
+// primitive.
+
+#ifndef RPS_OLAP_MULTI_MEASURE_ENGINE_H_
+#define RPS_OLAP_MULTI_MEASURE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "olap/engine.h"
+
+namespace rps {
+
+/// One input record: dimension values (schema order) + one value per
+/// measure (declaration order).
+struct MultiMeasureRecord {
+  std::vector<FieldValue> values;
+  std::vector<double> measures;
+};
+
+class MultiMeasureEngine {
+ public:
+  /// `measure_names` must be nonempty and unique.
+  MultiMeasureEngine(std::vector<std::string> measure_names,
+                     std::vector<Dimension> dimensions, EngineMethod method);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<std::string>& measure_names() const {
+    return measure_names_;
+  }
+
+  /// Bulk loads, replacing contents; wrong-arity or out-of-domain
+  /// records are counted and skipped.
+  IngestReport Load(const std::vector<MultiMeasureRecord>& records);
+
+  /// Point-inserts one record into every measure structure.
+  Status Insert(const MultiMeasureRecord& record);
+
+  /// SUM of `measure` over the query range.
+  Result<double> Sum(const std::string& measure,
+                     const RangeQuery& query) const;
+
+  /// Records in the query range.
+  Result<int64_t> Count(const RangeQuery& query) const;
+
+  /// SUM(measure)/COUNT over the range; fails on empty ranges.
+  Result<double> Average(const std::string& measure,
+                         const RangeQuery& query) const;
+
+  /// SUM(numerator)/SUM(denominator) over the range; fails when the
+  /// denominator sums to zero.
+  Result<double> RatioOfSums(const std::string& numerator,
+                             const std::string& denominator,
+                             const RangeQuery& query) const;
+
+ private:
+  Result<int> MeasureIndex(const std::string& measure) const;
+
+  Schema schema_;
+  std::vector<std::string> measure_names_;
+  std::vector<std::unique_ptr<QueryMethod<double>>> sums_;
+  std::unique_ptr<QueryMethod<int64_t>> counts_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_OLAP_MULTI_MEASURE_ENGINE_H_

@@ -1,0 +1,126 @@
+#include "olap/query.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rps {
+
+RangeQuery& RangeQuery::WhereIntBetween(const std::string& dimension,
+                                        int64_t lo, int64_t hi) {
+  Predicate p;
+  p.dimension = dimension;
+  p.kind = Predicate::Kind::kIntRange;
+  p.int_lo = lo;
+  p.int_hi = hi;
+  predicates_.push_back(std::move(p));
+  return *this;
+}
+
+RangeQuery& RangeQuery::WhereDoubleBetween(const std::string& dimension,
+                                           double lo, double hi) {
+  Predicate p;
+  p.dimension = dimension;
+  p.kind = Predicate::Kind::kDoubleRange;
+  p.double_lo = lo;
+  p.double_hi = hi;
+  predicates_.push_back(std::move(p));
+  return *this;
+}
+
+RangeQuery& RangeQuery::WhereLabelIs(const std::string& dimension,
+                                     const std::string& label) {
+  return WhereLabelBetween(dimension, label, label);
+}
+
+RangeQuery& RangeQuery::WhereLabelBetween(const std::string& dimension,
+                                          const std::string& from,
+                                          const std::string& to) {
+  Predicate p;
+  p.dimension = dimension;
+  p.kind = Predicate::Kind::kLabelRange;
+  p.label_lo = from;
+  p.label_hi = to;
+  predicates_.push_back(std::move(p));
+  return *this;
+}
+
+Result<Box> RangeQuery::Resolve(const Schema& schema) const {
+  const int d = schema.num_dimensions();
+  CellIndex lo = CellIndex::Filled(d, 0);
+  CellIndex hi = CellIndex::Filled(d, 0);
+  for (int j = 0; j < d; ++j) {
+    hi[j] = schema.dimensions()[static_cast<size_t>(j)].size() - 1;
+  }
+
+  for (const Predicate& p : predicates_) {
+    RPS_ASSIGN_OR_RETURN(const int j, schema.DimensionIndex(p.dimension));
+    const Dimension& dim = schema.dimensions()[static_cast<size_t>(j)];
+    int64_t index_lo = 0;
+    int64_t index_hi = 0;
+    switch (p.kind) {
+      case Predicate::Kind::kIntRange: {
+        if (p.int_lo > p.int_hi) {
+          return Status::InvalidArgument("empty range on '" + p.dimension +
+                                         "'");
+        }
+        RPS_ASSIGN_OR_RETURN(index_lo, dim.IndexOfInt(p.int_lo));
+        RPS_ASSIGN_OR_RETURN(index_hi, dim.IndexOfInt(p.int_hi));
+        break;
+      }
+      case Predicate::Kind::kDoubleRange: {
+        if (!(p.double_lo < p.double_hi)) {
+          return Status::InvalidArgument("empty range on '" + p.dimension +
+                                         "'");
+        }
+        RPS_ASSIGN_OR_RETURN(index_lo, dim.IndexOfDouble(p.double_lo));
+        // hi is exclusive: the last included bin is the one containing
+        // the largest value strictly below hi. Nudging by resolving
+        // hi and stepping back when hi falls on a bin boundary is
+        // fragile with floats; instead resolve the midpoint of the
+        // half-open interval's final bin by probing hi - epsilon via
+        // the bin of lo plus arithmetic on the dimension is not
+        // exposed, so resolve hi and subtract one bin when hi lands
+        // exactly on a boundary value that maps out of range.
+        Result<int64_t> hi_bin = dim.IndexOfDouble(p.double_hi);
+        if (hi_bin.ok()) {
+          index_hi = hi_bin.value();
+          // hi exclusive: if hi is exactly the lower edge of its bin,
+          // the bin itself is excluded. Detect via lo-edge
+          // reconstruction: SlotLabel is informational only, so use a
+          // tolerance-free check through the previous bin's upper
+          // edge: bins are uniform, so compare against the bin of the
+          // immediately smaller representable value.
+          const double prev = std::nextafter(p.double_hi, p.double_lo);
+          RPS_ASSIGN_OR_RETURN(const int64_t prev_bin,
+                               dim.IndexOfDouble(prev));
+          index_hi = prev_bin;
+        } else {
+          // hi at or beyond the domain top: clamp to the last bin.
+          const double prev = std::nextafter(p.double_hi, p.double_lo);
+          RPS_ASSIGN_OR_RETURN(index_hi, dim.IndexOfDouble(prev));
+        }
+        break;
+      }
+      case Predicate::Kind::kLabel:
+      case Predicate::Kind::kLabelRange: {
+        RPS_ASSIGN_OR_RETURN(index_lo, dim.IndexOfLabel(p.label_lo));
+        RPS_ASSIGN_OR_RETURN(index_hi, dim.IndexOfLabel(p.label_hi));
+        break;
+      }
+    }
+    if (index_lo > index_hi) {
+      return Status::InvalidArgument("empty resolved range on '" +
+                                     p.dimension + "'");
+    }
+    // Multiple predicates on one dimension intersect.
+    lo[j] = std::max(lo[j], index_lo);
+    hi[j] = std::min(hi[j], index_hi);
+    if (lo[j] > hi[j]) {
+      return Status::InvalidArgument("predicates on '" + p.dimension +
+                                     "' have empty intersection");
+    }
+  }
+  return Box(lo, hi);
+}
+
+}  // namespace rps

@@ -1,0 +1,61 @@
+#include "olap/window.h"
+
+#include "olap/engine.h"
+
+namespace rps {
+
+Result<std::vector<double>> SlotSeries(const OlapEngine& engine,
+                                       const RangeQuery& query,
+                                       const std::string& dimension) {
+  RPS_ASSIGN_OR_RETURN(const int j,
+                       engine.schema().DimensionIndex(dimension));
+  RPS_ASSIGN_OR_RETURN(const Box range, engine.ResolveQuery(query));
+  std::vector<double> series;
+  series.reserve(static_cast<size_t>(range.Extent(j)));
+  for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[j] = p;
+    hi[j] = p;
+    RPS_ASSIGN_OR_RETURN(const double sum,
+                         engine.SumOverCells(Box(lo, hi)));
+    series.push_back(sum);
+  }
+  return series;
+}
+
+Result<std::vector<double>> PeriodDelta(const OlapEngine& engine,
+                                        const RangeQuery& query,
+                                        const std::string& dimension,
+                                        int64_t lag) {
+  if (lag < 1) return Status::InvalidArgument("lag must be >= 1");
+  RPS_ASSIGN_OR_RETURN(const std::vector<double> series,
+                       SlotSeries(engine, query, dimension));
+  std::vector<double> deltas(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    deltas[i] = (static_cast<int64_t>(i) >= lag)
+                    ? series[i] - series[i - static_cast<size_t>(lag)]
+                    : series[i];
+  }
+  return deltas;
+}
+
+Result<std::vector<double>> CumulativeSeries(const OlapEngine& engine,
+                                             const RangeQuery& query,
+                                             const std::string& dimension) {
+  RPS_ASSIGN_OR_RETURN(const int j,
+                       engine.schema().DimensionIndex(dimension));
+  RPS_ASSIGN_OR_RETURN(const Box range, engine.ResolveQuery(query));
+  std::vector<double> series;
+  series.reserve(static_cast<size_t>(range.Extent(j)));
+  for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
+    CellIndex hi = range.hi();
+    hi[j] = p;
+    RPS_ASSIGN_OR_RETURN(const double sum,
+                         engine.SumOverCells(Box(range.lo(), hi)));
+    series.push_back(sum);
+  }
+  return series;
+}
+
+}  // namespace rps

@@ -1,0 +1,43 @@
+// Window operators over one dimension, built on range sums: per-slot
+// series, period-over-period deltas, and cumulative series. Together
+// with RollingSum/RollingAverage (olap/engine.h) these cover the
+// paper's ROLLING operators and the trend questions its introduction
+// motivates ("queries of this form can be very useful in finding
+// trends").
+
+#ifndef RPS_OLAP_WINDOW_H_
+#define RPS_OLAP_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rps {
+
+class OlapEngine;
+class RangeQuery;
+
+/// SUM per slot of `dimension` within the query range (the series
+/// GROUP BY produces, without labels/counts).
+Result<std::vector<double>> SlotSeries(const OlapEngine& engine,
+                                       const RangeQuery& query,
+                                       const std::string& dimension);
+
+/// Period-over-period delta: out[i] = series[i] - series[i - lag],
+/// with out[i] = series[i] for i < lag (no earlier period). lag >= 1.
+/// E.g. lag=7 on a day dimension gives week-over-week change.
+Result<std::vector<double>> PeriodDelta(const OlapEngine& engine,
+                                        const RangeQuery& query,
+                                        const std::string& dimension,
+                                        int64_t lag);
+
+/// Cumulative sums along `dimension` within the query range:
+/// out[i] = sum of slots lo..lo+i.
+Result<std::vector<double>> CumulativeSeries(const OlapEngine& engine,
+                                             const RangeQuery& query,
+                                             const std::string& dimension);
+
+}  // namespace rps
+
+#endif  // RPS_OLAP_WINDOW_H_

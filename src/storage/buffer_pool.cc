@@ -1,0 +1,127 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rps {
+
+PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    frame_ = std::exchange(other.frame_, -1);
+    data_ = std::exchange(other.data_, nullptr);
+  }
+  return *this;
+}
+
+PinnedPage::~PinnedPage() { Release(); }
+
+void PinnedPage::MarkDirty() {
+  RPS_CHECK_MSG(valid(), "MarkDirty on released page");
+  pool_->MarkDirty(frame_);
+}
+
+void PinnedPage::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, int64_t capacity)
+    : pager_(pager), capacity_(capacity) {
+  RPS_CHECK(pager != nullptr);
+  RPS_CHECK_MSG(capacity >= 1, "buffer pool needs at least one frame");
+  frames_.resize(static_cast<size_t>(capacity));
+  for (auto& frame : frames_) {
+    frame.data.resize(static_cast<size_t>(pager_->page_size()));
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best effort write-back; errors are unreportable here, and callers
+  // that care must FlushAll() explicitly.
+  (void)FlushAll();
+}
+
+Result<PinnedPage> BufferPool::Pin(PageId id) {
+  if (auto it = page_to_frame_.find(id); it != page_to_frame_.end()) {
+    Frame& frame = frames_[static_cast<size_t>(it->second)];
+    ++frame.pins;
+    ++stats_.hits;
+    TouchLru(it->second);
+    return PinnedPage(this, it->second, frame.data.data());
+  }
+
+  ++stats_.misses;
+  RPS_ASSIGN_OR_RETURN(const int64_t frame_id, AcquireFrame());
+  Frame& frame = frames_[static_cast<size_t>(frame_id)];
+  RPS_RETURN_IF_ERROR(pager_->ReadPage(id, frame.data.data()));
+  frame.page = id;
+  frame.pins = 1;
+  frame.dirty = false;
+  page_to_frame_[id] = frame_id;
+  TouchLru(frame_id);
+  return PinnedPage(this, frame_id, frame.data.data());
+}
+
+Status BufferPool::FlushAll() {
+  for (int64_t frame_id = 0; frame_id < capacity_; ++frame_id) {
+    Frame& frame = frames_[static_cast<size_t>(frame_id)];
+    if (frame.page >= 0 && frame.dirty) {
+      RPS_RETURN_IF_ERROR(pager_->WritePage(frame.page, frame.data.data()));
+      frame.dirty = false;
+      ++stats_.write_backs;
+    }
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Unpin(int64_t frame_id) {
+  Frame& frame = frames_[static_cast<size_t>(frame_id)];
+  RPS_CHECK(frame.pins > 0);
+  --frame.pins;
+}
+
+void BufferPool::MarkDirty(int64_t frame_id) {
+  frames_[static_cast<size_t>(frame_id)].dirty = true;
+}
+
+Result<int64_t> BufferPool::AcquireFrame() {
+  // Free frame?
+  for (int64_t frame_id = 0; frame_id < capacity_; ++frame_id) {
+    if (frames_[static_cast<size_t>(frame_id)].page < 0) return frame_id;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const int64_t frame_id = *it;
+    Frame& frame = frames_[static_cast<size_t>(frame_id)];
+    if (frame.pins > 0) continue;
+    if (frame.dirty) {
+      RPS_RETURN_IF_ERROR(pager_->WritePage(frame.page, frame.data.data()));
+      frame.dirty = false;
+      ++stats_.write_backs;
+    }
+    page_to_frame_.erase(frame.page);
+    frame.page = -1;
+    lru_pos_.erase(frame_id);
+    lru_.erase(it);
+    ++stats_.evictions;
+    return frame_id;
+  }
+  return Status::ResourceExhausted("all buffer pool frames are pinned");
+}
+
+void BufferPool::TouchLru(int64_t frame_id) {
+  if (auto it = lru_pos_.find(frame_id); it != lru_pos_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_back(frame_id);
+  lru_pos_[frame_id] = std::prev(lru_.end());
+}
+
+}  // namespace rps

@@ -1,0 +1,119 @@
+// LRU buffer pool over a Pager.
+//
+// Holds up to `capacity` pages in memory frames. Pages are fetched
+// with Pin() (loading on miss, evicting the least recently used
+// unpinned frame when full) and released by the PinnedPage RAII
+// handle. Dirty frames are written back on eviction and on
+// FlushAll(). Hit/miss/eviction counters feed the Section 4.4
+// experiments: a well-chosen overlay box size makes query and update
+// touch a constant number of pages.
+
+#ifndef RPS_STORAGE_BUFFER_POOL_H_
+#define RPS_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace rps {
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t write_backs = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on one page frame. Move-only; unpins on destruction.
+/// data()/MarkDirty() are valid while the handle lives.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(BufferPool* pool, int64_t frame, std::byte* data)
+      : pool_(pool), frame_(frame), data_(data) {}
+  PinnedPage(PinnedPage&& other) noexcept { *this = std::move(other); }
+  PinnedPage& operator=(PinnedPage&& other) noexcept;
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+  ~PinnedPage();
+
+  bool valid() const { return pool_ != nullptr; }
+  const std::byte* data() const { return data_; }
+  std::byte* data() { return data_; }
+
+  /// Marks the frame dirty; it will be written back before reuse.
+  void MarkDirty();
+
+  /// Explicit early release (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int64_t frame_ = -1;
+  std::byte* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` frames over `pager` (not owned, must outlive the
+  /// pool).
+  BufferPool(Pager* pager, int64_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, loading it on a miss. Fails if the page does not
+  /// exist, the load fails, or every frame is pinned.
+  Result<PinnedPage> Pin(PageId id);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  int64_t capacity() const { return capacity_; }
+  int64_t pages_resident() const {
+    return static_cast<int64_t>(page_to_frame_.size());
+  }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  Pager* pager() { return pager_; }
+
+ private:
+  friend class PinnedPage;
+
+  struct Frame {
+    PageId page = -1;
+    int64_t pins = 0;
+    bool dirty = false;
+    std::vector<std::byte> data;
+  };
+
+  void Unpin(int64_t frame_id);
+  void MarkDirty(int64_t frame_id);
+  // Picks a frame to (re)use: a free frame, else evicts the LRU
+  // unpinned one.
+  Result<int64_t> AcquireFrame();
+  void TouchLru(int64_t frame_id);
+
+  Pager* pager_;
+  int64_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int64_t> page_to_frame_;
+  // LRU order of frames (front = least recent). Only unpinned frames
+  // are eligible for eviction, but all resident frames are tracked.
+  std::list<int64_t> lru_;
+  std::unordered_map<int64_t, std::list<int64_t>::iterator> lru_pos_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,168 @@
+// A dense d-dimensional array of T stored on pages through a
+// BufferPool.
+//
+// Two cell-to-page layouts (Section 4.4):
+//   * kLinear: row-major linear order, split into pages;
+//   * kBoxClustered: cells grouped by overlay box, each box starting
+//     at a page boundary ("set the overlay box size such that the
+//     corresponding region of RP fits exactly into a constant number
+//     of disk pages"). Edge-clipped boxes are padded to the full box
+//     footprint so box arithmetic stays O(d).
+
+#ifndef RPS_STORAGE_PAGED_ARRAY_H_
+#define RPS_STORAGE_PAGED_ARRAY_H_
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "cube/index.h"
+#include "cube/nd_array.h"
+#include "storage/buffer_pool.h"
+#include "util/math.h"
+#include "util/status.h"
+
+namespace rps {
+
+enum class PageLayout {
+  kLinear,
+  kBoxClustered,
+};
+
+template <typename T>
+class PagedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "paged cells are stored as raw bytes");
+
+ public:
+  /// Creates the array on `pool`'s pager, growing it to the required
+  /// number of pages starting at page `base_page`. For kBoxClustered,
+  /// `box_size` gives the clustering box (ignored for kLinear).
+  static Result<std::unique_ptr<PagedArray>> Create(
+      BufferPool* pool, const Shape& shape, PageLayout layout,
+      const CellIndex& box_size = CellIndex{}, PageId base_page = 0) {
+    auto array = std::unique_ptr<PagedArray>(
+        new PagedArray(pool, shape, layout, box_size, base_page));
+    RPS_RETURN_IF_ERROR(
+        pool->pager()->Grow(base_page + array->num_pages_));
+    return array;
+  }
+
+  const Shape& shape() const { return shape_; }
+  PageLayout layout() const { return layout_; }
+  int64_t num_pages() const { return num_pages_; }
+  int64_t cells_per_page() const { return cells_per_page_; }
+  /// Pages spanned by one clustering box (kBoxClustered only).
+  int64_t pages_per_box() const { return pages_per_box_; }
+  PageId end_page() const { return base_page_ + num_pages_; }
+
+  Result<T> Get(const CellIndex& cell) const {
+    const auto [page, slot] = Locate(cell);
+    RPS_ASSIGN_OR_RETURN(PinnedPage pin, pool_->Pin(page));
+    T value;
+    std::memcpy(&value, pin.data() + static_cast<size_t>(slot) * sizeof(T),
+                sizeof(T));
+    return value;
+  }
+
+  Status Set(const CellIndex& cell, T value) {
+    const auto [page, slot] = Locate(cell);
+    RPS_ASSIGN_OR_RETURN(PinnedPage pin, pool_->Pin(page));
+    std::memcpy(pin.data() + static_cast<size_t>(slot) * sizeof(T), &value,
+                sizeof(T));
+    pin.MarkDirty();
+    return Status::Ok();
+  }
+
+  Status Add(const CellIndex& cell, T delta) {
+    const auto [page, slot] = Locate(cell);
+    RPS_ASSIGN_OR_RETURN(PinnedPage pin, pool_->Pin(page));
+    T value;
+    std::byte* at = pin.data() + static_cast<size_t>(slot) * sizeof(T);
+    std::memcpy(&value, at, sizeof(T));
+    value += delta;
+    std::memcpy(at, &value, sizeof(T));
+    pin.MarkDirty();
+    return Status::Ok();
+  }
+
+  /// Bulk-loads every cell from `source` (same shape).
+  Status LoadFrom(const NdArray<T>& source) {
+    RPS_CHECK(source.shape() == shape_);
+    CellIndex cell = CellIndex::Filled(shape_.dims(), 0);
+    do {
+      RPS_RETURN_IF_ERROR(Set(cell, source.at(cell)));
+    } while (NextIndex(shape_, cell));
+    return pool_->FlushAll();
+  }
+
+  /// Page holding `cell` (exposed so experiments can reason about
+  /// locality).
+  PageId PageOf(const CellIndex& cell) const { return Locate(cell).first; }
+
+ private:
+  PagedArray(BufferPool* pool, const Shape& shape, PageLayout layout,
+             const CellIndex& box_size, PageId base_page)
+      : pool_(pool),
+        shape_(shape),
+        layout_(layout),
+        base_page_(base_page),
+        cells_per_page_(pool->pager()->page_size() /
+                        static_cast<int64_t>(sizeof(T))) {
+    RPS_CHECK_MSG(cells_per_page_ >= 1, "page smaller than one cell");
+    if (layout == PageLayout::kLinear) {
+      num_pages_ = CeilDiv(shape.num_cells(), cells_per_page_);
+    } else {
+      RPS_CHECK(box_size.dims() == shape.dims());
+      box_size_ = box_size;
+      int64_t box_cells = 1;
+      std::vector<int64_t> grid;
+      for (int j = 0; j < shape.dims(); ++j) {
+        RPS_CHECK(box_size[j] >= 1 && box_size[j] <= shape.extent(j));
+        box_cells *= box_size[j];
+        grid.push_back(CeilDiv(shape.extent(j), box_size[j]));
+      }
+      grid_shape_ = Shape::FromExtents(grid);
+      pages_per_box_ = CeilDiv(box_cells, cells_per_page_);
+      num_pages_ = grid_shape_.num_cells() * pages_per_box_;
+    }
+  }
+
+  // (page id, cell slot within page) of `cell`.
+  std::pair<PageId, int64_t> Locate(const CellIndex& cell) const {
+    RPS_DCHECK(shape_.Contains(cell));
+    if (layout_ == PageLayout::kLinear) {
+      const int64_t linear = shape_.Linearize(cell);
+      return {base_page_ + linear / cells_per_page_,
+              linear % cells_per_page_};
+    }
+    // Box-clustered: box base page + row-major rank inside the
+    // (full-size) box.
+    int64_t box_linear = 0;
+    int64_t within = 0;
+    for (int j = 0; j < shape_.dims(); ++j) {
+      const int64_t b = cell[j] / box_size_[j];
+      const int64_t o = cell[j] % box_size_[j];
+      box_linear = box_linear * grid_shape_.extent(j) + b;
+      within = within * box_size_[j] + o;
+    }
+    const PageId page = base_page_ + box_linear * pages_per_box_ +
+                        within / cells_per_page_;
+    return {page, within % cells_per_page_};
+  }
+
+  BufferPool* pool_;
+  Shape shape_;
+  PageLayout layout_;
+  PageId base_page_;
+  int64_t cells_per_page_;
+  int64_t num_pages_ = 0;
+  // kBoxClustered only:
+  CellIndex box_size_;
+  Shape grid_shape_;
+  int64_t pages_per_box_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_STORAGE_PAGED_ARRAY_H_

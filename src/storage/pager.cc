@@ -1,0 +1,147 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <memory>
+
+#include "util/check.h"
+
+namespace rps {
+
+MemPager::MemPager(int64_t page_size) : page_size_(page_size) {
+  RPS_CHECK(page_size >= 8);
+}
+
+Status MemPager::Grow(int64_t count) {
+  if (count < 0) return Status::InvalidArgument("negative page count");
+  while (num_pages() < count) {
+    pages_.emplace_back(static_cast<size_t>(page_size_), std::byte{0});
+    ++stats_.allocations;
+  }
+  return Status::Ok();
+}
+
+Status MemPager::ReadPage(PageId id, std::byte* out) {
+  if (id < 0 || id >= num_pages()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(out, pages_[static_cast<size_t>(id)].data(),
+              static_cast<size_t>(page_size_));
+  ++stats_.page_reads;
+  return Status::Ok();
+}
+
+Status MemPager::WritePage(PageId id, const std::byte* data) {
+  if (id < 0 || id >= num_pages()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(pages_[static_cast<size_t>(id)].data(), data,
+              static_cast<size_t>(page_size_));
+  ++stats_.page_writes;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Create(const std::string& path,
+                                                     int64_t page_size) {
+  if (page_size < 8) return Status::InvalidArgument("page size too small");
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IoError("cannot create page file: " + path);
+  }
+  return std::unique_ptr<FilePager>(
+      new FilePager(path, file, page_size));
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::OpenExisting(
+    const std::string& path, int64_t page_size) {
+  if (page_size < 8) return Status::InvalidArgument("page size too small");
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::IoError("cannot open page file: " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed: " + path);
+  }
+  const long size = std::ftell(file);
+  if (size < 0 || size % page_size != 0) {
+    std::fclose(file);
+    return Status::IoError("file size is not a whole number of pages: " +
+                           path);
+  }
+  auto pager =
+      std::unique_ptr<FilePager>(new FilePager(path, file, page_size));
+  pager->num_pages_ = size / page_size;
+  return pager;
+}
+
+FilePager::~FilePager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FilePager::Close() {
+  if (file_ == nullptr) return Status::FailedPrecondition("already closed");
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed: " + path_);
+  return Status::Ok();
+}
+
+Status FilePager::Grow(int64_t count) {
+  if (file_ == nullptr) return Status::FailedPrecondition("pager closed");
+  if (count < 0) return Status::InvalidArgument("negative page count");
+  if (count <= num_pages_) return Status::Ok();
+  // Extend by writing a zero page at the new end; intermediate bytes
+  // become a hole (or zeros) per stdio semantics.
+  std::vector<std::byte> zero(static_cast<size_t>(page_size_), std::byte{0});
+  for (int64_t id = num_pages_; id < count; ++id) {
+    if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) !=
+        0) {
+      return Status::IoError("seek failed while growing " + path_);
+    }
+    if (std::fwrite(zero.data(), 1, static_cast<size_t>(page_size_),
+                    file_) != static_cast<size_t>(page_size_)) {
+      return Status::IoError("write failed while growing " + path_);
+    }
+    ++stats_.allocations;
+  }
+  num_pages_ = count;
+  return Status::Ok();
+}
+
+Status FilePager::ReadPage(PageId id, std::byte* out) {
+  if (file_ == nullptr) return Status::FailedPrecondition("pager closed");
+  if (id < 0 || id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + path_);
+  }
+  if (std::fread(out, 1, static_cast<size_t>(page_size_), file_) !=
+      static_cast<size_t>(page_size_)) {
+    return Status::IoError("short read: " + path_);
+  }
+  ++stats_.page_reads;
+  return Status::Ok();
+}
+
+Status FilePager::WritePage(PageId id, const std::byte* data) {
+  if (file_ == nullptr) return Status::FailedPrecondition("pager closed");
+  if (id < 0 || id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + path_);
+  }
+  if (std::fwrite(data, 1, static_cast<size_t>(page_size_), file_) !=
+      static_cast<size_t>(page_size_)) {
+    return Status::IoError("short write: " + path_);
+  }
+  ++stats_.page_writes;
+  return Status::Ok();
+}
+
+}  // namespace rps

@@ -1,0 +1,156 @@
+// Block storage abstraction for Section 4.4 ("the large size of RP
+// would require that it be stored on disk").
+//
+// A Pager reads and writes fixed-size pages by id and counts every
+// physical page access, so experiments can report exact page-I/O
+// numbers. Implementations: MemPager (deterministic in-memory backing,
+// used by the benchmarks -- see DESIGN.md Section 4 on substitutions),
+// FilePager (a real file), and FaultInjectionPager (wraps another
+// pager and fails selected operations, for failure-path tests).
+
+#ifndef RPS_STORAGE_PAGER_H_
+#define RPS_STORAGE_PAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rps {
+
+using PageId = int64_t;
+
+/// Default page size; matches a common filesystem block.
+inline constexpr int64_t kDefaultPageSize = 4096;
+
+/// Physical page access counters.
+struct PagerStats {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+  int64_t allocations = 0;
+};
+
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  virtual int64_t page_size() const = 0;
+  virtual int64_t num_pages() const = 0;
+
+  /// Grows the store to at least `count` pages (new pages zeroed).
+  virtual Status Grow(int64_t count) = 0;
+
+  /// Copies page `id` into `out` (page_size() bytes).
+  virtual Status ReadPage(PageId id, std::byte* out) = 0;
+
+  /// Writes page `id` from `data` (page_size() bytes).
+  virtual Status WritePage(PageId id, const std::byte* data) = 0;
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+
+ protected:
+  PagerStats stats_;
+};
+
+/// Pager backed by process memory. Gives the disk experiments a
+/// deterministic substrate with identical accounting to FilePager.
+class MemPager final : public Pager {
+ public:
+  explicit MemPager(int64_t page_size = kDefaultPageSize);
+
+  int64_t page_size() const override { return page_size_; }
+  int64_t num_pages() const override {
+    return static_cast<int64_t>(pages_.size());
+  }
+  Status Grow(int64_t count) override;
+  Status ReadPage(PageId id, std::byte* out) override;
+  Status WritePage(PageId id, const std::byte* data) override;
+
+ private:
+  int64_t page_size_;
+  std::vector<std::vector<std::byte>> pages_;
+};
+
+/// Pager backed by a real file. The file is created on open and
+/// removed by Close() when `remove_on_close` is set.
+class FilePager final : public Pager {
+ public:
+  ~FilePager() override;
+
+  /// Creates (truncates) `path` as a page store.
+  static Result<std::unique_ptr<FilePager>> Create(
+      const std::string& path, int64_t page_size = kDefaultPageSize);
+
+  /// Opens an existing page store; the file size must be a whole
+  /// number of pages.
+  static Result<std::unique_ptr<FilePager>> OpenExisting(
+      const std::string& path, int64_t page_size = kDefaultPageSize);
+
+  int64_t page_size() const override { return page_size_; }
+  int64_t num_pages() const override { return num_pages_; }
+  Status Grow(int64_t count) override;
+  Status ReadPage(PageId id, std::byte* out) override;
+  Status WritePage(PageId id, const std::byte* data) override;
+
+  /// Flushes and closes the file; further operations fail.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePager(std::string path, std::FILE* file, int64_t page_size)
+      : path_(std::move(path)), file_(file), page_size_(page_size) {}
+
+  std::string path_;
+  std::FILE* file_;
+  int64_t page_size_;
+  int64_t num_pages_ = 0;
+};
+
+/// Wraps a pager and injects IO_ERROR failures: the N-th upcoming
+/// read and/or write fails (0 = disabled). Counts are one-shot.
+class FaultInjectionPager final : public Pager {
+ public:
+  explicit FaultInjectionPager(Pager* base) : base_(base) {}
+
+  /// Fail the n-th read from now (n >= 1); 0 cancels.
+  void FailReadAfter(int64_t n) { fail_read_in_ = n; }
+  /// Fail the n-th write from now (n >= 1); 0 cancels.
+  void FailWriteAfter(int64_t n) { fail_write_in_ = n; }
+
+  int64_t page_size() const override { return base_->page_size(); }
+  int64_t num_pages() const override { return base_->num_pages(); }
+  Status Grow(int64_t count) override { return base_->Grow(count); }
+
+  Status ReadPage(PageId id, std::byte* out) override {
+    if (fail_read_in_ > 0 && --fail_read_in_ == 0) {
+      return Status::IoError("injected read fault at page " +
+                             std::to_string(id));
+    }
+    ++stats_.page_reads;
+    return base_->ReadPage(id, out);
+  }
+
+  Status WritePage(PageId id, const std::byte* data) override {
+    if (fail_write_in_ > 0 && --fail_write_in_ == 0) {
+      return Status::IoError("injected write fault at page " +
+                             std::to_string(id));
+    }
+    ++stats_.page_writes;
+    return base_->WritePage(id, data);
+  }
+
+ private:
+  Pager* base_;
+  int64_t fail_read_in_ = 0;
+  int64_t fail_write_in_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_STORAGE_PAGER_H_

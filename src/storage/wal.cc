@@ -1,0 +1,139 @@
+#include "storage/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace rps {
+namespace {
+
+// Record layout: u32 crc | i64 coords[dims] | payload bytes.
+// The CRC covers coords + payload.
+size_t RecordBodySize(int dims, int64_t payload_size) {
+  return sizeof(int64_t) * static_cast<size_t>(dims) +
+         static_cast<size_t>(payload_size);
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      dims_(other.dims_),
+      payload_size_(other.payload_size_),
+      appended_(other.appended_) {}
+
+Result<WriteAheadLog> WriteAheadLog::OpenForAppend(const std::string& path,
+                                                   int dims,
+                                                   int64_t payload_size) {
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::InvalidArgument("bad WAL dimensionality");
+  }
+  if (payload_size < 1) {
+    return Status::InvalidArgument("bad WAL payload size");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL: " + path);
+  }
+  return WriteAheadLog(file, path, dims, payload_size);
+}
+
+Status WriteAheadLog::Append(const CellIndex& cell, const void* payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL closed");
+  if (cell.dims() != dims_) {
+    return Status::InvalidArgument("cell dimensionality mismatch");
+  }
+  const size_t body_size = RecordBodySize(dims_, payload_size_);
+  std::vector<std::byte> body(body_size);
+  for (int j = 0; j < dims_; ++j) {
+    const int64_t coord = cell[j];
+    std::memcpy(body.data() + sizeof(int64_t) * static_cast<size_t>(j),
+                &coord, sizeof(coord));
+  }
+  std::memcpy(body.data() + sizeof(int64_t) * static_cast<size_t>(dims_),
+              payload, static_cast<size_t>(payload_size_));
+  const uint32_t crc = Crc32::Of(body.data(), body.size());
+  if (std::fwrite(&crc, 1, sizeof(crc), file_) != sizeof(crc) ||
+      std::fwrite(body.data(), 1, body.size(), file_) != body.size()) {
+    return Status::IoError("WAL append failed: " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("WAL flush failed: " + path_);
+  }
+  ++appended_;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL closed");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");  // truncate
+  if (file_ == nullptr) {
+    return Status::IoError("cannot truncate WAL: " + path_);
+  }
+  appended_ = 0;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Close() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL closed");
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("WAL close failed: " + path_);
+  return Status::Ok();
+}
+
+Result<WalReplay> WriteAheadLog::Replay(const std::string& path, int dims,
+                                        int64_t payload_size) {
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::InvalidArgument("bad WAL dimensionality");
+  }
+  WalReplay replay;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return replay;  // no log yet: empty replay
+
+  const size_t body_size = RecordBodySize(dims, payload_size);
+  std::vector<std::byte> body(body_size);
+  while (true) {
+    uint32_t crc;
+    const size_t got_crc = std::fread(&crc, 1, sizeof(crc), file);
+    if (got_crc == 0) break;  // clean end
+    if (got_crc != sizeof(crc)) {
+      replay.tail_truncated = true;
+      break;
+    }
+    if (std::fread(body.data(), 1, body.size(), file) != body.size()) {
+      replay.tail_truncated = true;  // torn record
+      break;
+    }
+    if (Crc32::Of(body.data(), body.size()) != crc) {
+      replay.tail_truncated = true;  // corrupt record: stop replay
+      break;
+    }
+    WalRecord record;
+    record.cell = CellIndex::Filled(dims, 0);
+    for (int j = 0; j < dims; ++j) {
+      int64_t coord;
+      std::memcpy(&coord,
+                  body.data() + sizeof(int64_t) * static_cast<size_t>(j),
+                  sizeof(coord));
+      record.cell[j] = coord;
+    }
+    record.payload.assign(
+        body.begin() +
+            static_cast<long>(sizeof(int64_t) * static_cast<size_t>(dims)),
+        body.end());
+    replay.records.push_back(std::move(record));
+  }
+  std::fclose(file);
+  return replay;
+}
+
+}  // namespace rps

@@ -1,0 +1,80 @@
+// Write-ahead log of point updates.
+//
+// Each record holds one cell update (coordinates + a fixed-size value
+// payload) protected by a per-record CRC-32. Appends go straight to
+// the file; replay reads records until end-of-file or the first
+// corrupt/partial record (a torn tail from a crash is expected and
+// reported, not an error). The log is value-type agnostic: the payload
+// is raw bytes sized at open time.
+
+#ifndef RPS_STORAGE_WAL_H_
+#define RPS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cube/index.h"
+#include "util/status.h"
+
+namespace rps {
+
+/// One replayed update record.
+struct WalRecord {
+  CellIndex cell;
+  std::vector<std::byte> payload;
+};
+
+/// Result of replaying a log.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  bool tail_truncated = false;  // a torn/corrupt tail was discarded
+};
+
+class WriteAheadLog {
+ public:
+  ~WriteAheadLog();
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&&) = delete;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens `path` for appending (created if missing). `dims` and
+  /// `payload_size` fix the record geometry.
+  static Result<WriteAheadLog> OpenForAppend(const std::string& path,
+                                             int dims, int64_t payload_size);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const CellIndex& cell, const void* payload);
+
+  /// Number of records appended through this handle.
+  int64_t appended() const { return appended_; }
+
+  /// Truncates the log to empty (after a checkpoint).
+  Status Reset();
+
+  Status Close();
+
+  /// Replays `path`. Records after a corrupt/partial one are
+  /// discarded with tail_truncated = true. A missing file replays
+  /// empty.
+  static Result<WalReplay> Replay(const std::string& path, int dims,
+                                  int64_t payload_size);
+
+ private:
+  WriteAheadLog(std::FILE* file, std::string path, int dims,
+                int64_t payload_size)
+      : file_(file), path_(std::move(path)), dims_(dims),
+        payload_size_(payload_size) {}
+
+  std::FILE* file_;
+  std::string path_;
+  int dims_;
+  int64_t payload_size_;
+  int64_t appended_ = 0;
+};
+
+}  // namespace rps
+
+#endif  // RPS_STORAGE_WAL_H_

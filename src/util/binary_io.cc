@@ -1,0 +1,78 @@
+#include "util/binary_io.h"
+
+namespace rps {
+
+Result<BinaryWriter> BinaryWriter::Create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create: " + path);
+  }
+  return BinaryWriter(file, path);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  if (size == 0) return Status::Ok();
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError("short write: " + path_);
+  }
+  crc_.Update(data, size);
+  return Status::Ok();
+}
+
+Status BinaryWriter::FinishWithChecksum() {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  const uint32_t checksum = crc_.value();
+  if (std::fwrite(&checksum, 1, sizeof(checksum), file_) !=
+      sizeof(checksum)) {
+    return Status::IoError("short checksum write: " + path_);
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed: " + path_);
+  return Status::Ok();
+}
+
+Result<BinaryReader> BinaryReader::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open: " + path);
+  }
+  return BinaryReader(file, path);
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t size) {
+  if (file_ == nullptr) return Status::FailedPrecondition("reader closed");
+  if (size == 0) return Status::Ok();
+  if (std::fread(data, 1, size, file_) != size) {
+    return Status::IoError("short read: " + path_);
+  }
+  crc_.Update(data, size);
+  return Status::Ok();
+}
+
+Status BinaryReader::VerifyChecksum() {
+  if (file_ == nullptr) return Status::FailedPrecondition("reader closed");
+  const uint32_t expected = crc_.value();  // CRC of payload bytes read
+  uint32_t stored;
+  if (std::fread(&stored, 1, sizeof(stored), file_) != sizeof(stored)) {
+    return Status::IoError("missing checksum: " + path_);
+  }
+  if (stored != expected) {
+    return Status::IoError("checksum mismatch in " + path_);
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed: " + path_);
+  return Status::Ok();
+}
+
+}  // namespace rps

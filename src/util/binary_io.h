@@ -1,0 +1,126 @@
+// Checksummed binary file I/O for structure snapshots.
+//
+// BinaryWriter/BinaryReader wrap stdio with Status-reporting
+// primitives and keep a running CRC-32 of every byte written/read, so
+// snapshot formats get integrity verification for free. All integers
+// are stored little-endian-native; snapshots are not intended to
+// cross endianness boundaries (documented in the format headers).
+
+#ifndef RPS_UTIL_BINARY_IO_H_
+#define RPS_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace rps {
+
+class BinaryWriter {
+ public:
+  /// Creates/truncates `path`.
+  static Result<BinaryWriter> Create(const std::string& path);
+
+  BinaryWriter(BinaryWriter&& other) noexcept
+      : file_(other.file_), path_(std::move(other.path_)),
+        crc_(other.crc_) {
+    other.file_ = nullptr;
+  }
+  BinaryWriter& operator=(BinaryWriter&&) = delete;
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+  ~BinaryWriter();
+
+  Status WriteBytes(const void* data, size_t size);
+
+  template <typename T>
+  Status WriteScalar(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(value));
+  }
+
+  template <typename T>
+  Status WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RPS_RETURN_IF_ERROR(WriteScalar<int64_t>(
+        static_cast<int64_t>(values.size())));
+    return WriteBytes(values.data(), values.size() * sizeof(T));
+  }
+
+  /// CRC-32 of everything written so far.
+  uint32_t crc() const { return crc_.value(); }
+
+  /// Appends the running CRC and closes the file.
+  Status FinishWithChecksum();
+
+ private:
+  BinaryWriter(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  Crc32 crc_;
+};
+
+class BinaryReader {
+ public:
+  /// Opens `path` for reading.
+  static Result<BinaryReader> Open(const std::string& path);
+
+  BinaryReader(BinaryReader&& other) noexcept
+      : file_(other.file_), path_(std::move(other.path_)),
+        crc_(other.crc_) {
+    other.file_ = nullptr;
+  }
+  BinaryReader& operator=(BinaryReader&&) = delete;
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+  ~BinaryReader();
+
+  Status ReadBytes(void* data, size_t size);
+
+  template <typename T>
+  Result<T> ReadScalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    RPS_RETURN_IF_ERROR(ReadBytes(&value, sizeof(value)));
+    return value;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> ReadVector(int64_t max_elements) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RPS_ASSIGN_OR_RETURN(const int64_t count, ReadScalar<int64_t>());
+    if (count < 0 || count > max_elements) {
+      return Status::IoError("corrupt vector length " +
+                             std::to_string(count) + " in " + path_);
+    }
+    std::vector<T> values(static_cast<size_t>(count));
+    RPS_RETURN_IF_ERROR(
+        ReadBytes(values.data(), values.size() * sizeof(T)));
+    return values;
+  }
+
+  /// CRC-32 of everything read so far.
+  uint32_t crc() const { return crc_.value(); }
+
+  /// Reads the trailing checksum (written by FinishWithChecksum) and
+  /// verifies it matches the bytes read.
+  Status VerifyChecksum();
+
+ private:
+  BinaryReader(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  Crc32 crc_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_BINARY_IO_H_

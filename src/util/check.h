@@ -1,0 +1,51 @@
+// Invariant-checking macros for programmer errors.
+//
+// RPS_CHECK fires in all build modes; RPS_DCHECK only in debug builds
+// (when NDEBUG is not defined). Both abort the process with a message
+// naming the failed condition and source location. Use them for
+// contract violations (out-of-range indices, broken invariants), not
+// for recoverable conditions -- those use rps::Status (see
+// util/status.h).
+
+#ifndef RPS_UTIL_CHECK_H_
+#define RPS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rps::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* condition, const char* file,
+                                   int line, const char* message) {
+  std::fprintf(stderr, "RPS_CHECK failed: %s at %s:%d%s%s\n", condition, file,
+               line, message[0] != '\0' ? ": " : "", message);
+  std::abort();
+}
+
+}  // namespace rps::internal_check
+
+#define RPS_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::rps::internal_check::CheckFail(#condition, __FILE__, __LINE__,    \
+                                       "");                               \
+    }                                                                     \
+  } while (false)
+
+#define RPS_CHECK_MSG(condition, message)                                 \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::rps::internal_check::CheckFail(#condition, __FILE__, __LINE__,    \
+                                       (message));                        \
+    }                                                                     \
+  } while (false)
+
+#ifndef NDEBUG
+#define RPS_DCHECK(condition) RPS_CHECK(condition)
+#else
+#define RPS_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#endif
+
+#endif  // RPS_UTIL_CHECK_H_

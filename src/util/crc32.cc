@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+namespace rps {
+namespace {
+
+// Table generated at first use from the reflected polynomial
+// 0xEDB88320 (trivially destructible static storage: plain array).
+struct Crc32Table {
+  uint32_t entry[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entry[i] = c;
+    }
+  }
+};
+
+const uint32_t* Table() {
+  static const Crc32Table table;
+  return table.entry;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t size) {
+  const uint32_t* table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = state_;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+}  // namespace rps

@@ -1,0 +1,36 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for snapshot integrity
+// checking.
+
+#ifndef RPS_UTIL_CRC32_H_
+#define RPS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rps {
+
+/// Incrementally updatable CRC-32. Start from kCrc32Init, feed bytes,
+/// read value().
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  void Update(const void* data, size_t size);
+
+  /// Final checksum of all bytes fed so far.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  /// One-shot convenience.
+  static uint32_t Of(const void* data, size_t size) {
+    Crc32 crc;
+    crc.Update(data, size);
+    return crc.value();
+  }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_CRC32_H_

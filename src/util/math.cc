@@ -1,0 +1,59 @@
+#include "util/math.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace rps {
+
+bool MulWouldOverflow(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return false;
+  int64_t result;
+  return __builtin_mul_overflow(a, b, &result);
+}
+
+int64_t IntPow(int64_t base, int exp) {
+  RPS_CHECK(exp >= 0);
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    RPS_CHECK_MSG(!MulWouldOverflow(result, base), "IntPow overflow");
+    result *= base;
+  }
+  return result;
+}
+
+int64_t CeilDiv(int64_t a, int64_t b) {
+  RPS_CHECK(a >= 0);
+  RPS_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+int64_t ISqrt(int64_t x) {
+  RPS_CHECK(x >= 0);
+  if (x < 2) return x;
+  // Newton's method on integers; converges in a few dozen iterations.
+  int64_t guess = x;
+  int64_t next = (guess + 1) / 2;
+  while (next < guess) {
+    guess = next;
+    next = (guess + x / guess) / 2;
+  }
+  // guess = floor(sqrt(x)) up to off-by-one; correct exactly.
+  // Division-based comparisons avoid overflow near sqrt(INT64_MAX).
+  while (guess > 0 && guess > x / guess) --guess;
+  while (guess + 1 <= x / (guess + 1)) ++guess;
+  return guess;
+}
+
+int64_t NearestSqrt(int64_t x) {
+  RPS_CHECK(x >= 1);
+  int64_t lo = ISqrt(x);
+  int64_t hi = lo + 1;
+  // Compare |x - lo^2| vs |hi^2 - x| without overflow concerns (x is a
+  // cube extent, far below the int64 square root bound after ISqrt).
+  int64_t down = x - lo * lo;
+  int64_t up = hi * hi - x;
+  return (down <= up) ? lo : hi;
+}
+
+}  // namespace rps

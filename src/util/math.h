@@ -1,0 +1,33 @@
+// Small integer-math helpers used throughout the library.
+//
+// All helpers operate on int64_t (cube extents and cell counts can
+// overflow 32 bits quickly: a 4-d cube of side 256 already has 2^32
+// cells).
+
+#ifndef RPS_UTIL_MATH_H_
+#define RPS_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace rps {
+
+/// Returns base^exp for exp >= 0. Checked against int64 overflow.
+int64_t IntPow(int64_t base, int exp);
+
+/// Returns ceil(a / b) for a >= 0, b > 0.
+int64_t CeilDiv(int64_t a, int64_t b);
+
+/// Returns floor(sqrt(x)) for x >= 0, exactly.
+int64_t ISqrt(int64_t x);
+
+/// Returns the integer k >= 1 closest to sqrt(x) (x >= 1); ties go to
+/// the smaller candidate. This is the paper's recommended overlay box
+/// side (Section 4.3: cost minimized at k = sqrt(n)).
+int64_t NearestSqrt(int64_t x);
+
+/// True if a*b would overflow int64.
+bool MulWouldOverflow(int64_t a, int64_t b);
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_MATH_H_

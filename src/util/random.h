@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generation for tests, workloads and
+// benchmarks.
+//
+// We implement our own small generator (SplitMix64 seeding a
+// xoshiro256**) so that workloads are reproducible across standard
+// library implementations; std::mt19937 distributions are not
+// bit-stable across vendors.
+
+#ifndef RPS_UTIL_RANDOM_H_
+#define RPS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rps {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Satisfies the
+/// UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, 1, ..., n-1} where rank
+/// r has probability proportional to 1/(r+1)^s. Precomputes the CDF
+/// once; sampling is a binary search. Used to generate skewed cube
+/// fills and hotspot update streams.
+class ZipfDistribution {
+ public:
+  /// n >= 1; s >= 0 (s = 0 degenerates to uniform).
+  ZipfDistribution(int64_t n, double s);
+
+  int64_t operator()(Rng& rng) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_RANDOM_H_

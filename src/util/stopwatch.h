@@ -1,0 +1,37 @@
+// Monotonic wall-clock stopwatch for workload drivers and table
+// benchmarks (google-benchmark handles its own timing).
+
+#ifndef RPS_UTIL_STOPWATCH_H_
+#define RPS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rps {
+
+/// Measures elapsed wall time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed nanoseconds since construction/Reset.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_STOPWATCH_H_

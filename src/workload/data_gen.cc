@@ -1,0 +1,84 @@
+#include "workload/data_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rps {
+
+NdArray<int64_t> UniformCube(const Shape& shape, int64_t lo, int64_t hi,
+                             uint64_t seed) {
+  RPS_CHECK(lo <= hi);
+  Rng rng(seed);
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(lo, hi);
+  }
+  return cube;
+}
+
+NdArray<int64_t> ZipfCube(const Shape& shape, double skew, int64_t total_mass,
+                          uint64_t seed) {
+  RPS_CHECK(total_mass >= 0);
+  Rng rng(seed);
+  NdArray<int64_t> cube(shape, 0);
+  // Draw cells by Zipf rank over a shuffled order so the hot cells are
+  // scattered across the cube rather than packed at low indices.
+  const int64_t n = cube.num_cells();
+  ZipfDistribution zipf(n, skew);
+  // Fisher-Yates permutation of cell ids.
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = rng.UniformInt(0, i);
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  for (int64_t unit = 0; unit < total_mass; ++unit) {
+    const int64_t rank = zipf(rng);
+    cube.at_linear(perm[static_cast<size_t>(rank)]) += 1;
+  }
+  return cube;
+}
+
+NdArray<int64_t> ClusteredCube(const Shape& shape, int clusters,
+                               int64_t cluster_side, int64_t lo, int64_t hi,
+                               uint64_t seed) {
+  RPS_CHECK(clusters >= 0);
+  RPS_CHECK(cluster_side >= 1);
+  RPS_CHECK(lo <= hi);
+  Rng rng(seed);
+  NdArray<int64_t> cube(shape, 0);
+  const int d = shape.dims();
+  for (int c = 0; c < clusters; ++c) {
+    CellIndex box_lo = CellIndex::Filled(d, 0);
+    CellIndex box_hi = CellIndex::Filled(d, 0);
+    for (int j = 0; j < d; ++j) {
+      const int64_t side = std::min(cluster_side, shape.extent(j));
+      const int64_t start = rng.UniformInt(0, shape.extent(j) - side);
+      box_lo[j] = start;
+      box_hi[j] = start + side - 1;
+    }
+    const Box box(box_lo, box_hi);
+    CellIndex cell = box.lo();
+    do {
+      cube.at(cell) += rng.UniformInt(lo, hi);
+    } while (NextIndexInBox(box, cell));
+  }
+  return cube;
+}
+
+NdArray<int64_t> SparseCube(const Shape& shape, double density, int64_t hi,
+                            uint64_t seed) {
+  RPS_CHECK(density >= 0 && density <= 1);
+  RPS_CHECK(hi >= 1);
+  Rng rng(seed);
+  NdArray<int64_t> cube(shape, 0);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    if (rng.Bernoulli(density)) {
+      cube.at_linear(i) = rng.UniformInt(1, hi);
+    }
+  }
+  return cube;
+}
+
+}  // namespace rps

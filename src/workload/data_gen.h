@@ -1,0 +1,40 @@
+// Synthetic cube generators.
+//
+// The paper evaluates on synthetic cubes; these fills provide the
+// standard shapes: uniform noise, Zipf-skewed mass (a few hot cells
+// carry most of the measure, typical of sales data), clustered
+// hotspots (dense rectangular sub-regions) and sparse cubes.
+
+#ifndef RPS_WORKLOAD_DATA_GEN_H_
+#define RPS_WORKLOAD_DATA_GEN_H_
+
+#include <cstdint>
+
+#include "cube/nd_array.h"
+#include "util/random.h"
+
+namespace rps {
+
+/// Independent uniform integer cells in [lo, hi].
+NdArray<int64_t> UniformCube(const Shape& shape, int64_t lo, int64_t hi,
+                             uint64_t seed);
+
+/// Zipf-skewed fill: cell ranks are assigned by a permutation-free
+/// hash of the linear index; mass concentrates on low ranks with
+/// exponent `skew`. total_mass units are distributed.
+NdArray<int64_t> ZipfCube(const Shape& shape, double skew,
+                          int64_t total_mass, uint64_t seed);
+
+/// `clusters` dense boxes of side ~cluster_side with uniform values in
+/// [lo, hi] inside, zero elsewhere.
+NdArray<int64_t> ClusteredCube(const Shape& shape, int clusters,
+                               int64_t cluster_side, int64_t lo, int64_t hi,
+                               uint64_t seed);
+
+/// Each cell nonzero (uniform in [1, hi]) with probability `density`.
+NdArray<int64_t> SparseCube(const Shape& shape, double density, int64_t hi,
+                            uint64_t seed);
+
+}  // namespace rps
+
+#endif  // RPS_WORKLOAD_DATA_GEN_H_

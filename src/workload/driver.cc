@@ -1,0 +1,68 @@
+#include "workload/driver.h"
+
+#include "util/stopwatch.h"
+
+namespace rps {
+namespace {
+
+template <typename QueryGen, typename UpdateGen>
+WorkloadReport RunWorkloadImpl(QueryMethod<int64_t>& method, QueryGen& queries,
+                               UpdateGen& updates, const WorkloadSpec& spec) {
+  WorkloadReport report;
+  report.method = method.name();
+
+  const int64_t rounds = std::max(spec.num_queries, spec.num_updates);
+  int64_t issued_queries = 0;
+  int64_t issued_updates = 0;
+
+  auto do_query = [&] {
+    const Box range = queries.Next();
+    Stopwatch watch;
+    const int64_t sum = method.RangeSum(range);
+    report.query_seconds += watch.ElapsedSeconds();
+    report.query_checksum += sum;
+    ++report.queries;
+  };
+  auto do_update = [&] {
+    const UpdateOp op = updates.Next();
+    Stopwatch watch;
+    const UpdateStats stats = method.Add(op.cell, op.delta);
+    report.update_seconds += watch.ElapsedSeconds();
+    report.update_cells += stats.total();
+    ++report.updates;
+  };
+
+  if (spec.interleave) {
+    for (int64_t round = 0; round < rounds; ++round) {
+      if (issued_queries < spec.num_queries) {
+        do_query();
+        ++issued_queries;
+      }
+      if (issued_updates < spec.num_updates) {
+        do_update();
+        ++issued_updates;
+      }
+    }
+  } else {
+    for (; issued_queries < spec.num_queries; ++issued_queries) do_query();
+    for (; issued_updates < spec.num_updates; ++issued_updates) do_update();
+  }
+  return report;
+}
+
+}  // namespace
+
+WorkloadReport RunWorkload(QueryMethod<int64_t>& method,
+                           UniformQueryGen& queries, UniformUpdateGen& updates,
+                           const WorkloadSpec& spec) {
+  return RunWorkloadImpl(method, queries, updates, spec);
+}
+
+WorkloadReport RunWorkload(QueryMethod<int64_t>& method,
+                           SelectivityQueryGen& queries,
+                           HotspotUpdateGen& updates,
+                           const WorkloadSpec& spec) {
+  return RunWorkloadImpl(method, queries, updates, spec);
+}
+
+}  // namespace rps

@@ -1,0 +1,86 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rps {
+
+Box UniformQueryGen::Next() {
+  const int d = shape_.dims();
+  CellIndex lo = CellIndex::Filled(d, 0);
+  CellIndex hi = lo;
+  for (int j = 0; j < d; ++j) {
+    const int64_t a = rng_.UniformInt(0, shape_.extent(j) - 1);
+    const int64_t b = rng_.UniformInt(0, shape_.extent(j) - 1);
+    lo[j] = std::min(a, b);
+    hi[j] = std::max(a, b);
+  }
+  return Box(lo, hi);
+}
+
+SelectivityQueryGen::SelectivityQueryGen(const Shape& shape,
+                                         double selectivity, uint64_t seed)
+    : shape_(shape),
+      side_(CellIndex::Filled(shape.dims(), 1)),
+      rng_(seed) {
+  RPS_CHECK(selectivity > 0 && selectivity <= 1);
+  const double per_dim =
+      std::pow(selectivity, 1.0 / static_cast<double>(shape.dims()));
+  for (int j = 0; j < shape.dims(); ++j) {
+    const int64_t side = std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::llround(per_dim * static_cast<double>(shape.extent(j)))));
+    side_[j] = std::min(side, shape.extent(j));
+  }
+}
+
+Box SelectivityQueryGen::Next() {
+  const int d = shape_.dims();
+  CellIndex lo = CellIndex::Filled(d, 0);
+  CellIndex hi = lo;
+  for (int j = 0; j < d; ++j) {
+    const int64_t start = rng_.UniformInt(0, shape_.extent(j) - side_[j]);
+    lo[j] = start;
+    hi[j] = start + side_[j] - 1;
+  }
+  return Box(lo, hi);
+}
+
+UpdateOp UniformUpdateGen::Next() {
+  const int d = shape_.dims();
+  CellIndex cell = CellIndex::Filled(d, 0);
+  for (int j = 0; j < d; ++j) {
+    cell[j] = rng_.UniformInt(0, shape_.extent(j) - 1);
+  }
+  int64_t delta = rng_.UniformInt(-max_abs_delta_, max_abs_delta_);
+  if (delta == 0) delta = 1;
+  return UpdateOp{cell, delta};
+}
+
+HotspotUpdateGen::HotspotUpdateGen(const Shape& shape, double skew,
+                                   int64_t max_abs_delta, uint64_t seed)
+    : shape_(shape),
+      max_abs_delta_(max_abs_delta),
+      rng_(seed),
+      zipf_(shape.num_cells(), skew),
+      perm_(static_cast<size_t>(shape.num_cells())) {
+  for (int64_t i = 0; i < shape.num_cells(); ++i) {
+    perm_[static_cast<size_t>(i)] = i;
+  }
+  for (int64_t i = shape.num_cells() - 1; i > 0; --i) {
+    const int64_t j = rng_.UniformInt(0, i);
+    std::swap(perm_[static_cast<size_t>(i)], perm_[static_cast<size_t>(j)]);
+  }
+}
+
+UpdateOp HotspotUpdateGen::Next() {
+  const int64_t rank = zipf_(rng_);
+  const int64_t linear = perm_[static_cast<size_t>(rank)];
+  int64_t delta = rng_.UniformInt(-max_abs_delta_, max_abs_delta_);
+  if (delta == 0) delta = 1;
+  return UpdateOp{shape_.Delinearize(linear), delta};
+}
+
+}  // namespace rps

@@ -1,0 +1,86 @@
+// Query and update stream generators.
+//
+// Range-query streams: uniform random corners, fixed target
+// selectivity (each dimension's extent chosen so the box covers a
+// given fraction of the cube), and hotspot-focused. Update streams:
+// uniform cells or Zipf-skewed hot cells, with bounded deltas.
+
+#ifndef RPS_WORKLOAD_QUERY_GEN_H_
+#define RPS_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/box.h"
+#include "util/random.h"
+
+namespace rps {
+
+/// Uniformly random boxes (independent random corners per dimension).
+class UniformQueryGen {
+ public:
+  UniformQueryGen(const Shape& shape, uint64_t seed)
+      : shape_(shape), rng_(seed) {}
+
+  Box Next();
+
+ private:
+  Shape shape_;
+  Rng rng_;
+};
+
+/// Boxes of (approximately) fixed selectivity: each dimension's side
+/// is extent * selectivity^(1/d), placed uniformly at random.
+class SelectivityQueryGen {
+ public:
+  /// selectivity in (0, 1]: target fraction of cube cells per query.
+  SelectivityQueryGen(const Shape& shape, double selectivity, uint64_t seed);
+
+  Box Next();
+
+ private:
+  Shape shape_;
+  CellIndex side_;
+  Rng rng_;
+};
+
+/// Point-update stream: cell + delta.
+struct UpdateOp {
+  CellIndex cell;
+  int64_t delta;
+};
+
+/// Uniformly random update cells.
+class UniformUpdateGen {
+ public:
+  UniformUpdateGen(const Shape& shape, int64_t max_abs_delta, uint64_t seed)
+      : shape_(shape), max_abs_delta_(max_abs_delta), rng_(seed) {}
+
+  UpdateOp Next();
+
+ private:
+  Shape shape_;
+  int64_t max_abs_delta_;
+  Rng rng_;
+};
+
+/// Zipf-skewed update cells: a hot set of cells receives most
+/// updates (e.g. "today's" slice of a sales cube).
+class HotspotUpdateGen {
+ public:
+  HotspotUpdateGen(const Shape& shape, double skew, int64_t max_abs_delta,
+                   uint64_t seed);
+
+  UpdateOp Next();
+
+ private:
+  Shape shape_;
+  int64_t max_abs_delta_;
+  Rng rng_;
+  ZipfDistribution zipf_;
+  std::vector<int64_t> perm_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_WORKLOAD_QUERY_GEN_H_

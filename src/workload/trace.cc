@@ -1,0 +1,140 @@
+#include "workload/trace.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+constexpr char kTraceMagic[8] = {'R', 'P', 'S', 'T', 'R', 'C', 'E', '1'};
+
+Status WriteIndex(BinaryWriter& writer, const CellIndex& index) {
+  for (int j = 0; j < index.dims(); ++j) {
+    RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(index[j]));
+  }
+  return Status::Ok();
+}
+
+Result<CellIndex> ReadIndex(BinaryReader& reader, int dims) {
+  CellIndex index = CellIndex::Filled(dims, 0);
+  for (int j = 0; j < dims; ++j) {
+    RPS_ASSIGN_OR_RETURN(index[j], reader.ReadScalar<int64_t>());
+  }
+  return index;
+}
+
+}  // namespace
+
+Trace RecordMixedTrace(const Shape& shape, int64_t queries, int64_t updates,
+                       uint64_t seed) {
+  Trace trace;
+  trace.shape = shape;
+  UniformQueryGen query_gen(shape, seed);
+  UniformUpdateGen update_gen(shape, 9, seed + 1);
+  const int64_t rounds = std::max(queries, updates);
+  for (int64_t round = 0; round < rounds; ++round) {
+    if (round < queries) {
+      trace.ops.push_back(TraceOp::Query(query_gen.Next()));
+    }
+    if (round < updates) {
+      const UpdateOp op = update_gen.Next();
+      trace.ops.push_back(TraceOp::Add(op.cell, op.delta));
+    }
+  }
+  return trace;
+}
+
+Status SaveTrace(const Trace& trace, const std::string& path) {
+  RPS_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Create(path));
+  RPS_RETURN_IF_ERROR(writer.WriteBytes(kTraceMagic, 8));
+  RPS_RETURN_IF_ERROR(writer.WriteScalar<int32_t>(trace.shape.dims()));
+  for (int j = 0; j < trace.shape.dims(); ++j) {
+    RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(trace.shape.extent(j)));
+  }
+  RPS_RETURN_IF_ERROR(
+      writer.WriteScalar<int64_t>(static_cast<int64_t>(trace.ops.size())));
+  for (const TraceOp& op : trace.ops) {
+    RPS_RETURN_IF_ERROR(
+        writer.WriteScalar<uint8_t>(static_cast<uint8_t>(op.kind)));
+    if (op.kind == TraceOp::Kind::kQuery) {
+      RPS_RETURN_IF_ERROR(WriteIndex(writer, op.range.lo()));
+      RPS_RETURN_IF_ERROR(WriteIndex(writer, op.range.hi()));
+    } else {
+      RPS_RETURN_IF_ERROR(WriteIndex(writer, op.cell));
+      RPS_RETURN_IF_ERROR(writer.WriteScalar<int64_t>(op.delta));
+    }
+  }
+  return writer.FinishWithChecksum();
+}
+
+Result<Trace> LoadTrace(const std::string& path) {
+  RPS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  char magic[8];
+  RPS_RETURN_IF_ERROR(reader.ReadBytes(magic, 8));
+  if (std::memcmp(magic, kTraceMagic, 8) != 0) {
+    return Status::IoError("not a trace file: " + path);
+  }
+  RPS_ASSIGN_OR_RETURN(const int32_t dims, reader.ReadScalar<int32_t>());
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::IoError("corrupt trace dimensionality");
+  }
+  std::vector<int64_t> extents(static_cast<size_t>(dims));
+  for (auto& extent : extents) {
+    RPS_ASSIGN_OR_RETURN(extent, reader.ReadScalar<int64_t>());
+    if (extent < 1) return Status::IoError("corrupt trace extent");
+  }
+  Trace trace;
+  trace.shape = Shape::FromExtents(extents);
+  RPS_ASSIGN_OR_RETURN(const int64_t count, reader.ReadScalar<int64_t>());
+  if (count < 0) return Status::IoError("corrupt trace op count");
+  trace.ops.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    RPS_ASSIGN_OR_RETURN(const uint8_t kind, reader.ReadScalar<uint8_t>());
+    if (kind == static_cast<uint8_t>(TraceOp::Kind::kQuery)) {
+      RPS_ASSIGN_OR_RETURN(const CellIndex lo, ReadIndex(reader, dims));
+      RPS_ASSIGN_OR_RETURN(const CellIndex hi, ReadIndex(reader, dims));
+      for (int j = 0; j < dims; ++j) {
+        if (lo[j] < 0 || hi[j] < lo[j] || hi[j] >= trace.shape.extent(j)) {
+          return Status::IoError("corrupt trace query range");
+        }
+      }
+      trace.ops.push_back(TraceOp::Query(Box(lo, hi)));
+    } else if (kind == static_cast<uint8_t>(TraceOp::Kind::kAdd)) {
+      RPS_ASSIGN_OR_RETURN(const CellIndex cell, ReadIndex(reader, dims));
+      if (!trace.shape.Contains(cell)) {
+        return Status::IoError("corrupt trace update cell");
+      }
+      RPS_ASSIGN_OR_RETURN(const int64_t delta, reader.ReadScalar<int64_t>());
+      trace.ops.push_back(TraceOp::Add(cell, delta));
+    } else {
+      return Status::IoError("corrupt trace op kind");
+    }
+  }
+  RPS_RETURN_IF_ERROR(reader.VerifyChecksum());
+  return trace;
+}
+
+Result<TraceReplayReport> ReplayTrace(QueryMethod<int64_t>& method,
+                                      const Trace& trace) {
+  if (!(method.shape() == trace.shape)) {
+    return Status::FailedPrecondition("method shape " +
+                                      method.shape().ToString() +
+                                      " != trace shape " +
+                                      trace.shape.ToString());
+  }
+  TraceReplayReport report;
+  for (const TraceOp& op : trace.ops) {
+    if (op.kind == TraceOp::Kind::kQuery) {
+      report.query_checksum += method.RangeSum(op.range);
+      ++report.queries;
+    } else {
+      report.update_cells += method.Add(op.cell, op.delta).total();
+      ++report.updates;
+    }
+  }
+  return report;
+}
+
+}  // namespace rps

@@ -1,0 +1,75 @@
+// Workload traces: record a stream of range queries and point
+// updates, persist it (CRC-checked), and replay it against any
+// QueryMethod. Replays are bit-reproducible, so methods can be
+// compared on exactly the same operation sequence across runs and
+// machines.
+
+#ifndef RPS_WORKLOAD_TRACE_H_
+#define RPS_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "cube/box.h"
+#include "util/status.h"
+
+namespace rps {
+
+/// One traced operation.
+struct TraceOp {
+  enum class Kind : uint8_t { kQuery = 0, kAdd = 1 };
+  Kind kind = Kind::kQuery;
+  Box range;       // kQuery
+  CellIndex cell;  // kAdd
+  int64_t delta = 0;
+
+  static TraceOp Query(Box range) {
+    TraceOp op;
+    op.kind = Kind::kQuery;
+    op.range = std::move(range);
+    return op;
+  }
+  static TraceOp Add(CellIndex cell, int64_t delta) {
+    TraceOp op;
+    op.kind = Kind::kAdd;
+    op.cell = std::move(cell);
+    op.delta = delta;
+    return op;
+  }
+};
+
+/// A recorded operation stream over a cube of a given shape.
+struct Trace {
+  Shape shape;
+  std::vector<TraceOp> ops;
+};
+
+/// Builds a mixed trace from the generators: `queries` range queries
+/// and `updates` point updates, interleaved.
+Trace RecordMixedTrace(const Shape& shape, int64_t queries, int64_t updates,
+                       uint64_t seed);
+
+/// Persists `trace` to `path` (format "RPSTRCE1", CRC-32 trailer).
+Status SaveTrace(const Trace& trace, const std::string& path);
+
+/// Loads a trace written by SaveTrace.
+Result<Trace> LoadTrace(const std::string& path);
+
+/// Outcome of replaying a trace.
+struct TraceReplayReport {
+  int64_t queries = 0;
+  int64_t updates = 0;
+  int64_t query_checksum = 0;  // sum of all query results
+  int64_t update_cells = 0;    // total touched cells
+};
+
+/// Replays every operation against `method` (which must match the
+/// trace's shape).
+Result<TraceReplayReport> ReplayTrace(QueryMethod<int64_t>& method,
+                                      const Trace& trace);
+
+}  // namespace rps
+
+#endif  // RPS_WORKLOAD_TRACE_H_

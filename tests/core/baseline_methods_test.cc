@@ -1,0 +1,132 @@
+// Focused unit tests for the baseline methods: naive, prefix sum
+// (Ho et al.) and the Fenwick-tree extension.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/fenwick_method.h"
+#include "core/naive_method.h"
+#include "core/prefix_sum_method.h"
+#include "cube/prefix.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+NdArray<int64_t> Iota(const Shape& shape) {
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) cube.at_linear(i) = i + 1;
+  return cube;
+}
+
+TEST(NaiveMethodTest, UpdateCostIsAlwaysOneCell) {
+  NaiveMethod<int64_t> naive(Iota(Shape{5, 5}));
+  EXPECT_EQ(naive.Add(CellIndex{0, 0}, 7).total(), 1);
+  EXPECT_EQ(naive.Set(CellIndex{4, 4}, 0).total(), 1);
+}
+
+TEST(NaiveMethodTest, QueryScansRange) {
+  NaiveMethod<int64_t> naive(Iota(Shape{4, 4}));
+  // Cells 1..16; full sum = 136.
+  EXPECT_EQ(naive.RangeSum(Box::All(Shape{4, 4})), 136);
+  EXPECT_EQ(naive.RangeSum(Box(CellIndex{0, 0}, CellIndex{0, 3})),
+            1 + 2 + 3 + 4);
+}
+
+TEST(PrefixSumMethodTest, PrefixValuesAreDominancePrefixSums) {
+  const Shape shape{3, 4};
+  NdArray<int64_t> cube = Iota(shape);
+  PrefixSumMethod<int64_t> ps(cube);
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    EXPECT_EQ(ps.prefix_array().at(cell),
+              cube.SumBox(Box(CellIndex{0, 0}, cell)));
+  } while (NextIndex(shape, cell));
+}
+
+TEST(PrefixSumMethodTest, UpdateAtOriginRewritesEverything) {
+  PrefixSumMethod<int64_t> ps(Iota(Shape{6, 6}));
+  EXPECT_EQ(ps.Add(CellIndex{0, 0}, 1).total(), 36);
+  EXPECT_EQ(ps.Add(CellIndex{5, 5}, 1).total(), 1);
+}
+
+TEST(PrefixSumMethodTest, QueryIsTwoToTheDLookups) {
+  // The structure of SumFromPrefixArray: interior ranges use all 2^d
+  // corners; ranges touching index 0 use fewer. We verify values, the
+  // lookup count being structural.
+  Rng rng(0x321);
+  const Shape shape{8, 8, 8};
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(0, 9);
+  }
+  PrefixSumMethod<int64_t> ps(cube);
+  EXPECT_EQ(ps.RangeSum(Box(CellIndex{1, 2, 3}, CellIndex{5, 6, 7})),
+            cube.SumBox(Box(CellIndex{1, 2, 3}, CellIndex{5, 6, 7})));
+  EXPECT_EQ(ps.RangeSum(Box(CellIndex{0, 0, 0}, CellIndex{3, 3, 3})),
+            cube.SumBox(Box(CellIndex{0, 0, 0}, CellIndex{3, 3, 3})));
+}
+
+TEST(FenwickMethodTest, LogarithmicUpdateCost) {
+  NdArray<int64_t> cube(Shape{64}, 0);
+  FenwickMethod<int64_t> fenwick(cube);
+  // Updating cell 0 touches the chain 1, 2, 4, ..., 64: 7 nodes.
+  EXPECT_EQ(fenwick.Add(CellIndex{0}, 1).total(), 7);
+  // Updating the last cell touches only index 64: 1 node.
+  EXPECT_EQ(fenwick.Add(CellIndex{63}, 1).total(), 1);
+}
+
+TEST(FenwickMethodTest, TwoDimensionalAgainstPrefix) {
+  Rng rng(0x456);
+  const Shape shape{13, 9};
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(-5, 15);
+  }
+  FenwickMethod<int64_t> fenwick(cube);
+  NdArray<int64_t> prefix = cube;
+  PrefixSumInPlace(prefix);
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    ASSERT_EQ(fenwick.PrefixSum(cell), prefix.at(cell)) << cell.ToString();
+  } while (NextIndex(shape, cell));
+}
+
+TEST(FenwickMethodTest, BuildSkipsZeroCells) {
+  // Build() inserts only nonzero cells; an all-zero cube must produce
+  // an all-zero tree and correct queries.
+  NdArray<int64_t> cube(Shape{10, 10}, 0);
+  FenwickMethod<int64_t> fenwick(cube);
+  EXPECT_EQ(fenwick.RangeSum(Box::All(Shape{10, 10})), 0);
+  fenwick.Add(CellIndex{3, 4}, 5);
+  EXPECT_EQ(fenwick.RangeSum(Box::All(Shape{10, 10})), 5);
+  EXPECT_EQ(fenwick.ValueAt(CellIndex{3, 4}), 5);
+  EXPECT_EQ(fenwick.ValueAt(CellIndex{4, 3}), 0);
+}
+
+TEST(SumFromPrefixArrayTest, MatchesDirectEnumeration) {
+  Rng rng(0x789);
+  const Shape shape{6, 5, 4};
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(0, 20);
+  }
+  NdArray<int64_t> prefix = cube;
+  PrefixSumInPlace(prefix);
+  for (int trial = 0; trial < 100; ++trial) {
+    CellIndex lo = CellIndex::Filled(3, 0);
+    CellIndex hi = lo;
+    for (int j = 0; j < 3; ++j) {
+      const int64_t a = rng.UniformInt(0, shape.extent(j) - 1);
+      const int64_t b = rng.UniformInt(0, shape.extent(j) - 1);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    const Box range(lo, hi);
+    ASSERT_EQ(SumFromPrefixArray(prefix, range), cube.SumBox(range));
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,155 @@
+// Validates the analytic cost model of Section 4.3 against measured
+// behaviour and against the paper's closed-form claims.
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/prefix_sum_method.h"
+#include "core/relative_prefix_sum.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+TEST(CostModelTest, PrefixSumUpdateCellsMatchesMeasured) {
+  const Shape shape{6, 7};
+  NdArray<int64_t> cube(shape, 1);
+  PrefixSumMethod<int64_t> ps(cube);
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    PrefixSumMethod<int64_t> fresh(cube);
+    const UpdateStats stats = fresh.Add(cell, 3);
+    ASSERT_EQ(stats.total(), PrefixSumUpdateCells(shape, cell))
+        << cell.ToString();
+  } while (NextIndex(shape, cell));
+}
+
+TEST(CostModelTest, PrefixSumWorstCaseIsWholeCube) {
+  EXPECT_EQ(PrefixSumWorstCaseUpdateCells(Shape{9, 9}), 81);
+  EXPECT_EQ(PrefixSumWorstCaseUpdateCells(Shape{4, 5, 6}), 120);
+}
+
+TEST(CostModelTest, RpsWorstCaseBoundsEveryCell) {
+  const Shape shape{12, 12};
+  const OverlayGeometry geometry(shape, CellIndex{4, 4});
+  const int64_t worst = RpsWorstCaseUpdateCells(geometry).total();
+  CellIndex cell = CellIndex::Filled(2, 0);
+  int64_t observed_max = 0;
+  do {
+    const int64_t cost = RpsUpdateCells(geometry, cell).total();
+    ASSERT_LE(cost, worst) << cell.ToString();
+    observed_max = std::max(observed_max, cost);
+  } while (NextIndex(shape, cell));
+  EXPECT_EQ(observed_max, worst);
+}
+
+TEST(CostModelTest, RpsWorstCaseBoundsEveryCell3D) {
+  const Shape shape{8, 9, 10};
+  const OverlayGeometry geometry(shape, CellIndex{3, 3, 3});
+  const int64_t worst = RpsWorstCaseUpdateCells(geometry).total();
+  CellIndex cell = CellIndex::Filled(3, 0);
+  int64_t observed_max = 0;
+  do {
+    const int64_t cost = RpsUpdateCells(geometry, cell).total();
+    ASSERT_LE(cost, worst) << cell.ToString();
+    observed_max = std::max(observed_max, cost);
+  } while (NextIndex(shape, cell));
+  EXPECT_EQ(observed_max, worst);
+}
+
+TEST(CostModelTest, PaperApproximationTracksExactWorstCase) {
+  // The paper's k^d + d n k^(d-2) + (n/k)^d approximates the exact
+  // worst case within a small factor for divisible n/k.
+  for (int d = 1; d <= 3; ++d) {
+    const int64_t n = 64;
+    for (int64_t k : {2, 4, 8, 16, 32}) {
+      const OverlayGeometry geometry(Shape::Hypercube(d, n),
+                                     CellIndex::Filled(d, k));
+      const double exact =
+          static_cast<double>(RpsWorstCaseUpdateCells(geometry).total());
+      const double approx = PaperRpsUpdateApprox(n, d, k);
+      EXPECT_GT(approx, 0.3 * exact) << "d=" << d << " k=" << k;
+      EXPECT_LT(approx, 3.0 * exact) << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(CostModelTest, BestUniformBoxSizeIsNearSqrtN) {
+  // Section 4.3: "the cost is minimized when the overlay box size is
+  // chosen to be k = sqrt(n)". The exact optimum can deviate by a
+  // small factor; require it within [sqrt(n)/2, 2*sqrt(n)].
+  for (int d = 1; d <= 3; ++d) {
+    for (int64_t n : {16, 64, 144}) {
+      const int64_t best = BestUniformBoxSize(n, d);
+      const int64_t root = ISqrt(n);
+      EXPECT_GE(best, root / 2) << "d=" << d << " n=" << n;
+      EXPECT_LE(best, 2 * root) << "d=" << d << " n=" << n;
+    }
+  }
+}
+
+TEST(CostModelTest, SqrtBoxGivesOrderNdOver2) {
+  // With k = sqrt(n) the worst case is O(n^(d/2)): growing n by 4x
+  // grows the cost by about 2^d, far below the prefix sum method's
+  // 4^d factor.
+  for (int d = 1; d <= 2; ++d) {
+    const int64_t n1 = 64;
+    const int64_t n2 = 256;
+    const OverlayGeometry g1(Shape::Hypercube(d, n1),
+                             CellIndex::Filled(d, ISqrt(n1)));
+    const OverlayGeometry g2(Shape::Hypercube(d, n2),
+                             CellIndex::Filled(d, ISqrt(n2)));
+    const double c1 = static_cast<double>(RpsWorstCaseUpdateCells(g1).total());
+    const double c2 = static_cast<double>(RpsWorstCaseUpdateCells(g2).total());
+    const double growth = c2 / c1;
+    const double expected = std::pow(2.0, d);  // (n2/n1)^(d/2)
+    EXPECT_GT(growth, expected / 2.5) << "d=" << d;
+    EXPECT_LT(growth, expected * 2.5) << "d=" << d;
+  }
+}
+
+TEST(CostModelTest, OverlayStorageFigure16) {
+  // Figure 16: storage requirements of overlay boxes as a percentage
+  // of the RP region they cover. Spot values: d=2, k=100 -> 1.99%;
+  // d=1 -> always 100/k %; d=2, k=10 -> 19%.
+  EXPECT_EQ(OverlayCellsPerBox(100, 2), 199);
+  EXPECT_NEAR(OverlayStoragePercent(100, 2), 1.99, 1e-9);
+  EXPECT_NEAR(OverlayStoragePercent(10, 2), 19.0, 1e-9);
+  EXPECT_NEAR(OverlayStoragePercent(4, 1), 25.0, 1e-9);
+  EXPECT_NEAR(OverlayStoragePercent(2, 3), 87.5, 1e-9);
+  // Monotone decreasing in k for fixed d.
+  for (int d = 1; d <= 4; ++d) {
+    double prev = 101;
+    for (int64_t k = 1; k <= 64; k *= 2) {
+      const double pct = OverlayStoragePercent(k, d);
+      EXPECT_LT(pct, prev) << "d=" << d << " k=" << k;
+      prev = pct;
+    }
+  }
+}
+
+TEST(CostModelTest, QueryUpdateProductOrdering) {
+  // Section 5: naive and PS have product O(n^d); RPS reduces it to
+  // O(n^(d/2)). Verify the measured analogue: worst-case update cells
+  // times worst-case query cell reads, with query reads 2^d (PS/RPS
+  // lookups) or n^d (naive scan).
+  const int d = 2;
+  const int64_t n = 64;
+  const Shape shape = Shape::Hypercube(d, n);
+  const OverlayGeometry geometry(shape, CellIndex::Filled(d, ISqrt(n)));
+  const double naive_product = static_cast<double>(shape.num_cells()) * 1.0;
+  const double ps_product =
+      4.0 * static_cast<double>(PrefixSumWorstCaseUpdateCells(shape));
+  const double rps_product =
+      static_cast<double>((1 << d) * ((1 << d) + 1)) *
+      static_cast<double>(RpsWorstCaseUpdateCells(geometry).total());
+  EXPECT_LT(rps_product, naive_product);
+  EXPECT_LT(rps_product, ps_product);
+}
+
+}  // namespace
+}  // namespace rps

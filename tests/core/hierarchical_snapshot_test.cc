@@ -1,0 +1,125 @@
+#include "core/hierarchical_snapshot.h"
+
+#include <cstdint>
+
+#include "core/snapshot.h"
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class HierarchicalSnapshotTest : public testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_ = TempPath("rps_hier_snapshot.bin");
+};
+
+TEST_F(HierarchicalSnapshotTest, RoundTripPreservesBehaviour) {
+  const Shape shape{21, 13};
+  NdArray<int64_t> oracle = UniformCube(shape, -30, 80, 1);
+  HierarchicalRps<int64_t> original(oracle, CellIndex{4, 3});
+  // Mutate so the snapshot differs from a fresh build.
+  Rng rng(2);
+  for (int i = 0; i < 15; ++i) {
+    const CellIndex cell{rng.UniformInt(0, 20), rng.UniformInt(0, 12)};
+    const int64_t delta = rng.UniformInt(-9, 9);
+    oracle.at(cell) += delta;
+    original.Add(cell, delta);
+  }
+  ASSERT_TRUE(SaveHierarchicalSnapshot(original, path_).ok());
+
+  auto loaded = LoadHierarchicalSnapshot<int64_t>(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  HierarchicalRps<int64_t> restored = std::move(loaded).value();
+  EXPECT_EQ(restored.shape(), shape);
+  EXPECT_EQ(restored.box_size(), (CellIndex{4, 3}));
+
+  UniformQueryGen queries(shape, 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Box range = queries.Next();
+    ASSERT_EQ(restored.RangeSum(range), oracle.SumBox(range));
+  }
+  // Still updatable after restore.
+  restored.Add(CellIndex{0, 0}, 7);
+  oracle.at(CellIndex{0, 0}) += 7;
+  EXPECT_EQ(restored.RangeSum(Box::All(shape)),
+            oracle.SumBox(Box::All(shape)));
+}
+
+TEST_F(HierarchicalSnapshotTest, ThreeDimensionalRoundTrip) {
+  const Shape shape{8, 6, 10};
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 4);
+  const HierarchicalRps<int64_t> original(cube, CellIndex{2, 3, 4});
+  ASSERT_TRUE(SaveHierarchicalSnapshot(original, path_).ok());
+  auto restored = LoadHierarchicalSnapshot<int64_t>(path_);
+  ASSERT_TRUE(restored.ok());
+  CellIndex cell = CellIndex::Filled(3, 0);
+  do {
+    ASSERT_EQ(restored.value().PrefixSum(cell), original.PrefixSum(cell))
+        << cell.ToString();
+  } while (NextIndex(shape, cell));
+}
+
+TEST_F(HierarchicalSnapshotTest, WrongMagicRejected) {
+  // A flat snapshot is not a hierarchical one.
+  const NdArray<int64_t> cube = UniformCube(Shape{8, 8}, 0, 9, 5);
+  RelativePrefixSum<int64_t> flat(cube);
+  ASSERT_TRUE(SaveSnapshot(flat, path_).ok());
+  EXPECT_FALSE(LoadHierarchicalSnapshot<int64_t>(path_).ok());
+}
+
+TEST_F(HierarchicalSnapshotTest, CorruptionDetected) {
+  const NdArray<int64_t> cube = UniformCube(Shape{10, 10}, 0, 9, 6);
+  const HierarchicalRps<int64_t> original(cube, CellIndex{3, 3});
+  ASSERT_TRUE(SaveHierarchicalSnapshot(original, path_).ok());
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 120, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 120, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadHierarchicalSnapshot<int64_t>(path_).ok());
+}
+
+TEST_F(HierarchicalSnapshotTest, ValueSizeMismatchRejected) {
+  const NdArray<int64_t> cube = UniformCube(Shape{8, 8}, 0, 9, 7);
+  const HierarchicalRps<int64_t> original(cube);
+  ASSERT_TRUE(SaveHierarchicalSnapshot(original, path_).ok());
+  EXPECT_FALSE(LoadHierarchicalSnapshot<int32_t>(path_).ok());
+}
+
+TEST(HierarchicalFromPartsTest, RejectsMismatchedComponents) {
+  const Shape shape{8, 8};
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 8);
+  const HierarchicalRps<int64_t> donor(cube, CellIndex{3, 3});
+  // Wrong RP shape.
+  {
+    auto bad = HierarchicalRps<int64_t>::FromParts(
+        shape, CellIndex{3, 3}, NdArray<int64_t>(Shape{4, 4}),
+        RelativePrefixSum<int64_t>(NdArray<int64_t>(donor.grid_shape(), 0)),
+        {});
+    EXPECT_FALSE(bad.ok());
+  }
+  // Wrong face count.
+  {
+    auto bad = HierarchicalRps<int64_t>::FromParts(
+        shape, CellIndex{3, 3}, NdArray<int64_t>(shape),
+        RelativePrefixSum<int64_t>(NdArray<int64_t>(donor.grid_shape(), 0)),
+        {});
+    EXPECT_FALSE(bad.ok());
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,107 @@
+// Measures query cost in the paper's own unit -- cell lookups -- and
+// checks the constant-time claims of Sections 4.1 and 3.2:
+//   * a prefix lookup reads one anchor value, the border values of
+//     the target's projections, and one RP cell;
+//   * in two dimensions that is at most 1 + 2 + 1 = 4 reads ("one
+//     anchor value, d border values, and one value from RP");
+//   * in d dimensions at most 2^d + 1 reads;
+//   * a range query reads at most 2^d prefix assemblies, independent
+//     of n.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/relative_prefix_sum.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+TEST(LookupCostTest, TwoDimensionalPrefixIsAtMostFourReads) {
+  const Shape shape{27, 27};
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 1);
+  const RelativePrefixSum<int64_t> rps(cube, CellIndex{5, 5});
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    rps.ResetLookupStats();
+    rps.PrefixSum(cell);
+    const auto& stats = rps.lookup_stats();
+    ASSERT_EQ(stats.rp_reads, 1) << cell.ToString();
+    ASSERT_LE(stats.overlay_reads, 3) << cell.ToString();  // anchor + 2
+    ASSERT_LE(stats.total(), 4) << cell.ToString();
+  } while (NextIndex(shape, cell));
+}
+
+TEST(LookupCostTest, GenericDimensionPrefixBound) {
+  for (int d = 1; d <= 5; ++d) {
+    const Shape shape = Shape::Hypercube(d, 6);
+    const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 2);
+    const RelativePrefixSum<int64_t> rps(cube, CellIndex::Filled(d, 3));
+    // Tight bound: anchor + (2^d - 2) border projections + 1 RP cell
+    // (when every target coordinate exceeds the anchor, the full
+    // projection IS the RP cell).
+    const int64_t bound = int64_t{1} << d;
+    CellIndex cell = CellIndex::Filled(d, 0);
+    int64_t max_seen = 0;
+    do {
+      rps.ResetLookupStats();
+      rps.PrefixSum(cell);
+      ASSERT_LE(rps.lookup_stats().total(), bound)
+          << "d=" << d << " at " << cell.ToString();
+      max_seen = std::max(max_seen, rps.lookup_stats().total());
+    } while (NextIndex(shape, cell));
+    // The bound is tight: some cell attains it.
+    EXPECT_EQ(max_seen, bound) << "d=" << d;
+  }
+}
+
+TEST(LookupCostTest, RangeQueryBoundIndependentOfN) {
+  for (int64_t n : {16, 64, 256}) {
+    const Shape shape = Shape::Hypercube(2, n);
+    const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 3);
+    const RelativePrefixSum<int64_t> rps(cube);
+    UniformQueryGen gen(shape, 4);
+    int64_t worst = 0;
+    for (int trial = 0; trial < 100; ++trial) {
+      const Box range = gen.Next();
+      rps.ResetLookupStats();
+      rps.RangeSum(range);
+      worst = std::max(worst, rps.lookup_stats().total());
+    }
+    // 2^d prefix assemblies x 2^d reads each.
+    EXPECT_LE(worst, 4 * 4) << "n=" << n;
+    EXPECT_GT(worst, 0);
+  }
+}
+
+TEST(LookupCostTest, AnchorAlignedTargetsReadLess) {
+  // A target on a box anchor needs only the anchor value and its RP
+  // cell: 2 reads.
+  const Shape shape{16, 16};
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 5);
+  const RelativePrefixSum<int64_t> rps(cube, CellIndex{4, 4});
+  rps.ResetLookupStats();
+  rps.PrefixSum(CellIndex{8, 8});
+  EXPECT_EQ(rps.lookup_stats().total(), 2);
+  // One dimension off-anchor: anchor + 1 border + RP = 3.
+  rps.ResetLookupStats();
+  rps.PrefixSum(CellIndex{8, 9});
+  EXPECT_EQ(rps.lookup_stats().total(), 3);
+}
+
+TEST(LookupCostTest, ValueAtDoesNotChargeQueryCounters) {
+  // ValueAt reads RP cells directly (box-local differencing); its
+  // accounting is intentionally not part of the prefix-query
+  // counters.
+  const Shape shape{9, 9};
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 6);
+  const RelativePrefixSum<int64_t> rps(cube, CellIndex{3, 3});
+  rps.ResetLookupStats();
+  rps.ValueAt(CellIndex{4, 4});
+  EXPECT_EQ(rps.lookup_stats().total(), 0);
+}
+
+}  // namespace
+}  // namespace rps

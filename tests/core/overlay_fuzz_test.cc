@@ -1,0 +1,125 @@
+// Fuzz-style cross-checks of OverlayGeometry against brute-force
+// reference implementations, over randomized shapes and box sizes.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/overlay.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+TEST(OverlayFuzzTest, SlotMappingIsDenseBijectionAcrossRandomConfigs) {
+  // For random shapes/box sizes: every stored cell of every box gets
+  // a distinct slot; a box's slots are exactly the dense range
+  // [AnchorSlotOf(box), AnchorSlotOf(box) + StoredCellsInBox(box))
+  // with the anchor first; and the union covers [0, total) exactly.
+  Rng rng(0xf022);
+  for (int config = 0; config < 12; ++config) {
+    const int d = static_cast<int>(rng.UniformInt(1, 4));
+    std::vector<int64_t> extents;
+    CellIndex box_size = CellIndex::Filled(d, 1);
+    for (int j = 0; j < d; ++j) {
+      extents.push_back(rng.UniformInt(2, 9));
+      box_size[j] = rng.UniformInt(1, extents.back());
+    }
+    const Shape shape = Shape::FromExtents(extents);
+    const OverlayGeometry geo(shape, box_size);
+
+    std::map<int64_t, int> slot_uses;
+    CellIndex box_index = CellIndex::Filled(d, 0);
+    do {
+      const CellIndex box_extents = geo.ExtentsOf(box_index);
+      const int64_t base = geo.AnchorSlotOf(box_index);
+      const int64_t stored = geo.StoredCellsInBox(box_index);
+      std::vector<int64_t> ext(static_cast<size_t>(d));
+      for (int j = 0; j < d; ++j) {
+        ext[static_cast<size_t>(j)] = box_extents[j];
+      }
+      const Shape box_shape = Shape::FromExtents(ext);
+      EXPECT_EQ(geo.SlotOf(box_index, CellIndex::Filled(d, 0)), base);
+      CellIndex offsets = CellIndex::Filled(d, 0);
+      do {
+        bool is_stored = false;
+        for (int j = 0; j < d; ++j) {
+          if (offsets[j] == 0) {
+            is_stored = true;
+            break;
+          }
+        }
+        if (!is_stored) continue;
+        const int64_t slot = geo.SlotOf(box_index, offsets);
+        ASSERT_GE(slot, base) << "shape " << shape.ToString();
+        ASSERT_LT(slot, base + stored)
+            << "shape " << shape.ToString() << " box "
+            << box_index.ToString() << " offsets " << offsets.ToString();
+        ++slot_uses[slot];
+      } while (NextIndex(box_shape, offsets));
+    } while (NextIndex(geo.grid_shape(), box_index));
+
+    ASSERT_EQ(static_cast<int64_t>(slot_uses.size()),
+              geo.total_stored_cells());
+    for (const auto& [slot, uses] : slot_uses) {
+      ASSERT_EQ(uses, 1) << "slot " << slot;
+    }
+    ASSERT_EQ(slot_uses.begin()->first, 0);
+    ASSERT_EQ(slot_uses.rbegin()->first, geo.total_stored_cells() - 1);
+  }
+}
+
+TEST(OverlayFuzzTest, RegionsPartitionTheCube) {
+  Rng rng(0xbeef);
+  for (int config = 0; config < 8; ++config) {
+    const int d = static_cast<int>(rng.UniformInt(1, 4));
+    std::vector<int64_t> extents;
+    CellIndex box_size = CellIndex::Filled(d, 1);
+    for (int j = 0; j < d; ++j) {
+      extents.push_back(rng.UniformInt(2, 8));
+      box_size[j] = rng.UniformInt(1, extents.back());
+    }
+    const Shape shape = Shape::FromExtents(extents);
+    const OverlayGeometry geo(shape, box_size);
+    // Every cube cell is covered by exactly one box region.
+    std::map<int64_t, int> covered;
+    CellIndex box_index = CellIndex::Filled(d, 0);
+    do {
+      const Box region = geo.RegionOf(box_index);
+      CellIndex cell = region.lo();
+      do {
+        ++covered[shape.Linearize(cell)];
+      } while (NextIndexInBox(region, cell));
+    } while (NextIndex(geo.grid_shape(), box_index));
+    ASSERT_EQ(static_cast<int64_t>(covered.size()), shape.num_cells());
+    for (const auto& [linear, count] : covered) {
+      ASSERT_EQ(count, 1) << "cell " << linear << " covered " << count
+                          << " times";
+    }
+  }
+}
+
+TEST(OverlayFuzzTest, StoredCountsSumToTotal) {
+  Rng rng(0xcafe);
+  for (int config = 0; config < 10; ++config) {
+    const int d = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<int64_t> extents;
+    CellIndex box_size = CellIndex::Filled(d, 1);
+    for (int j = 0; j < d; ++j) {
+      extents.push_back(rng.UniformInt(2, 7));
+      box_size[j] = rng.UniformInt(1, extents.back());
+    }
+    const OverlayGeometry geo(Shape::FromExtents(extents), box_size);
+    int64_t total = 0;
+    CellIndex box_index = CellIndex::Filled(d, 0);
+    do {
+      total += geo.StoredCellsInBox(box_index);
+    } while (NextIndex(geo.grid_shape(), box_index));
+    ASSERT_EQ(total, geo.total_stored_cells());
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,114 @@
+// Value-type coverage: the structures are templated on any group
+// type under +/- (the paper's invertible-operator requirement). These
+// tests exercise int32, float and double instantiations, plus the
+// maximum supported dimensionality.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/fenwick_method.h"
+#include "core/hierarchical_rps.h"
+#include "core/prefix_sum_method.h"
+#include "core/relative_prefix_sum.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+TEST(ValueTypeTest, Int32Cube) {
+  Rng rng(1);
+  const Shape shape{10, 10};
+  NdArray<int32_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = static_cast<int32_t>(rng.UniformInt(-50, 50));
+  }
+  RelativePrefixSum<int32_t> rps(cube);
+  for (int trial = 0; trial < 40; ++trial) {
+    CellIndex lo{rng.UniformInt(0, 9), rng.UniformInt(0, 9)};
+    CellIndex hi{rng.UniformInt(lo[0], 9), rng.UniformInt(lo[1], 9)};
+    const Box range(lo, hi);
+    ASSERT_EQ(rps.RangeSum(range), cube.SumBox(range));
+  }
+  rps.Add(CellIndex{3, 3}, 7);
+  EXPECT_EQ(rps.ValueAt(CellIndex{3, 3}), cube.at(CellIndex{3, 3}) + 7);
+}
+
+TEST(ValueTypeTest, FloatCube) {
+  Rng rng(2);
+  const Shape shape{8, 8};
+  NdArray<float> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = static_cast<float>(rng.UniformInt(0, 100)) / 4.0f;
+  }
+  RelativePrefixSum<float> rps(cube, CellIndex{3, 3});
+  for (int trial = 0; trial < 30; ++trial) {
+    CellIndex lo{rng.UniformInt(0, 7), rng.UniformInt(0, 7)};
+    CellIndex hi{rng.UniformInt(lo[0], 7), rng.UniformInt(lo[1], 7)};
+    const Box range(lo, hi);
+    // Quarter-integers sum exactly in float at this scale.
+    ASSERT_FLOAT_EQ(rps.RangeSum(range), cube.SumBox(range));
+  }
+}
+
+TEST(ValueTypeTest, AllMethodsInstantiateForDouble) {
+  Rng rng(3);
+  const Shape shape{6, 6};
+  NdArray<double> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = static_cast<double>(rng.UniformInt(0, 8));
+  }
+  PrefixSumMethod<double> ps(cube);
+  FenwickMethod<double> fenwick(cube);
+  HierarchicalRps<double> hier(cube);
+  const Box all = Box::All(shape);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(all), cube.SumBox(all));
+  EXPECT_DOUBLE_EQ(fenwick.RangeSum(all), cube.SumBox(all));
+  EXPECT_DOUBLE_EQ(hier.RangeSum(all), cube.SumBox(all));
+}
+
+TEST(ValueTypeTest, MaximumDimensionality) {
+  // kMaxDims-dimensional cube of side 2 (4096 cells).
+  const Shape shape = Shape::Hypercube(kMaxDims, 2);
+  Rng rng(4);
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(0, 3);
+  }
+  RelativePrefixSum<int64_t> rps(cube, CellIndex::Filled(kMaxDims, 2));
+  EXPECT_EQ(rps.RangeSum(Box::All(shape)), cube.SumBox(Box::All(shape)));
+  // A few random boxes.
+  for (int trial = 0; trial < 10; ++trial) {
+    CellIndex lo = CellIndex::Filled(kMaxDims, 0);
+    CellIndex hi = lo;
+    for (int j = 0; j < kMaxDims; ++j) {
+      lo[j] = rng.UniformInt(0, 1);
+      hi[j] = rng.UniformInt(lo[j], 1);
+    }
+    const Box range(lo, hi);
+    ASSERT_EQ(rps.RangeSum(range), cube.SumBox(range));
+  }
+  // Update still exact.
+  rps.Add(CellIndex::Filled(kMaxDims, 1), 9);
+  cube.at(CellIndex::Filled(kMaxDims, 1)) += 9;
+  EXPECT_EQ(rps.RangeSum(Box::All(shape)), cube.SumBox(Box::All(shape)));
+}
+
+TEST(ValueTypeTest, SixDimensionalSweep) {
+  const Shape shape = Shape::Hypercube(6, 3);
+  Rng rng(5);
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(-4, 9);
+  }
+  RelativePrefixSum<int64_t> rps(cube, CellIndex::Filled(6, 2));
+  NdArray<int64_t> prefix = cube;
+  PrefixSumInPlace(prefix);
+  CellIndex cell = CellIndex::Filled(6, 0);
+  do {
+    ASSERT_EQ(rps.PrefixSum(cell), prefix.at(cell)) << cell.ToString();
+  } while (NextIndex(shape, cell));
+}
+
+}  // namespace
+}  // namespace rps

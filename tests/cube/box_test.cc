@@ -1,0 +1,85 @@
+#include "cube/box.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(BoxTest, BasicProperties) {
+  const Box box(CellIndex{1, 2}, CellIndex{3, 2});
+  EXPECT_EQ(box.dims(), 2);
+  EXPECT_EQ(box.Extent(0), 3);
+  EXPECT_EQ(box.Extent(1), 1);
+  EXPECT_EQ(box.NumCells(), 3);
+  EXPECT_EQ(box.ToString(), "(1, 2)..(3, 2)");
+}
+
+TEST(BoxTest, AllCoversShape) {
+  const Box box = Box::All(Shape{4, 5});
+  EXPECT_EQ(box.lo(), (CellIndex{0, 0}));
+  EXPECT_EQ(box.hi(), (CellIndex{3, 4}));
+  EXPECT_EQ(box.NumCells(), 20);
+  EXPECT_TRUE(box.Within(Shape{4, 5}));
+  EXPECT_FALSE(box.Within(Shape{4, 4}));
+}
+
+TEST(BoxTest, CellBox) {
+  const Box box = Box::Cell(CellIndex{2, 3});
+  EXPECT_EQ(box.NumCells(), 1);
+  EXPECT_TRUE(box.Contains(CellIndex{2, 3}));
+  EXPECT_FALSE(box.Contains(CellIndex{2, 2}));
+}
+
+TEST(BoxTest, Contains) {
+  const Box box(CellIndex{1, 1}, CellIndex{3, 3});
+  EXPECT_TRUE(box.Contains(CellIndex{1, 1}));
+  EXPECT_TRUE(box.Contains(CellIndex{3, 3}));
+  EXPECT_TRUE(box.Contains(CellIndex{2, 3}));
+  EXPECT_FALSE(box.Contains(CellIndex{0, 2}));
+  EXPECT_FALSE(box.Contains(CellIndex{4, 2}));
+}
+
+TEST(BoxTest, IntersectOverlapping) {
+  const Box a(CellIndex{0, 0}, CellIndex{4, 4});
+  const Box b(CellIndex{2, 3}, CellIndex{7, 8});
+  const auto both = a.Intersect(b);
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->lo(), (CellIndex{2, 3}));
+  EXPECT_EQ(both->hi(), (CellIndex{4, 4}));
+  // Symmetric.
+  EXPECT_EQ(b.Intersect(a)->lo(), (CellIndex{2, 3}));
+}
+
+TEST(BoxTest, IntersectDisjoint) {
+  const Box a(CellIndex{0, 0}, CellIndex{1, 1});
+  const Box b(CellIndex{2, 0}, CellIndex{3, 1});
+  EXPECT_FALSE(a.Intersect(b).has_value());
+}
+
+TEST(BoxTest, IntersectTouchingEdge) {
+  const Box a(CellIndex{0}, CellIndex{3});
+  const Box b(CellIndex{3}, CellIndex{5});
+  const auto both = a.Intersect(b);
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->NumCells(), 1);
+}
+
+TEST(NextIndexInBoxTest, VisitsExactlyBoxCells) {
+  const Box box(CellIndex{1, 2}, CellIndex{2, 4});
+  CellIndex idx = box.lo();
+  int64_t visited = 0;
+  do {
+    EXPECT_TRUE(box.Contains(idx));
+    ++visited;
+  } while (NextIndexInBox(box, idx));
+  EXPECT_EQ(visited, box.NumCells());
+  EXPECT_EQ(idx, box.lo());  // wrapped back
+}
+
+TEST(BoxDeathTest, RejectsInvertedBounds) {
+  EXPECT_DEATH(Box(CellIndex{2}, CellIndex{1}), "lo <= hi");
+  EXPECT_DEATH(Box(CellIndex{0, 0}, CellIndex{1}), "dims");
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,112 @@
+#include "cube/index.h"
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(CellIndexTest, ConstructionAndAccess) {
+  CellIndex idx{3, 1, 4};
+  EXPECT_EQ(idx.dims(), 3);
+  EXPECT_EQ(idx[0], 3);
+  EXPECT_EQ(idx[1], 1);
+  EXPECT_EQ(idx[2], 4);
+  idx[1] = 9;
+  EXPECT_EQ(idx[1], 9);
+}
+
+TEST(CellIndexTest, Filled) {
+  const CellIndex idx = CellIndex::Filled(4, 7);
+  EXPECT_EQ(idx.dims(), 4);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(idx[j], 7);
+}
+
+TEST(CellIndexTest, Equality) {
+  EXPECT_EQ((CellIndex{1, 2}), (CellIndex{1, 2}));
+  EXPECT_FALSE((CellIndex{1, 2}) == (CellIndex{2, 1}));
+  EXPECT_FALSE((CellIndex{1, 2}) == (CellIndex{1, 2, 3}));
+}
+
+TEST(CellIndexTest, DominanceOrder) {
+  EXPECT_TRUE((CellIndex{1, 2}).AllLessEq(CellIndex{1, 3}));
+  EXPECT_TRUE((CellIndex{1, 3}).AllGreaterEq(CellIndex{1, 2}));
+  // Incomparable pair: both false.
+  EXPECT_FALSE((CellIndex{0, 5}).AllLessEq(CellIndex{3, 2}));
+  EXPECT_FALSE((CellIndex{0, 5}).AllGreaterEq(CellIndex{3, 2}));
+}
+
+TEST(CellIndexTest, ToString) {
+  EXPECT_EQ((CellIndex{7, 5}).ToString(), "(7, 5)");
+  EXPECT_EQ(CellIndex{}.ToString(), "()");
+}
+
+TEST(ShapeTest, ExtentsAndCells) {
+  const Shape shape{4, 5, 6};
+  EXPECT_EQ(shape.dims(), 3);
+  EXPECT_EQ(shape.extent(0), 4);
+  EXPECT_EQ(shape.extent(2), 6);
+  EXPECT_EQ(shape.num_cells(), 120);
+  EXPECT_EQ(shape.ToString(), "[4 x 5 x 6]");
+}
+
+TEST(ShapeTest, HypercubeAndFromExtents) {
+  EXPECT_EQ(Shape::Hypercube(2, 9), (Shape{9, 9}));
+  EXPECT_EQ(Shape::FromExtents({3, 7}), (Shape{3, 7}));
+}
+
+TEST(ShapeTest, Contains) {
+  const Shape shape{3, 3};
+  EXPECT_TRUE(shape.Contains(CellIndex{0, 0}));
+  EXPECT_TRUE(shape.Contains(CellIndex{2, 2}));
+  EXPECT_FALSE(shape.Contains(CellIndex{3, 0}));
+  EXPECT_FALSE(shape.Contains(CellIndex{0, -1}));
+  EXPECT_FALSE(shape.Contains(CellIndex{0}));  // wrong dimensionality
+}
+
+TEST(ShapeTest, LinearizeRoundTrips) {
+  const Shape shape{3, 4, 5};
+  std::set<int64_t> seen;
+  CellIndex idx = CellIndex::Filled(3, 0);
+  do {
+    const int64_t linear = shape.Linearize(idx);
+    ASSERT_GE(linear, 0);
+    ASSERT_LT(linear, shape.num_cells());
+    EXPECT_TRUE(seen.insert(linear).second);
+    EXPECT_EQ(shape.Delinearize(linear), idx);
+  } while (NextIndex(shape, idx));
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), shape.num_cells());
+}
+
+TEST(ShapeTest, RowMajorOrder) {
+  const Shape shape{2, 3};
+  EXPECT_EQ(shape.Linearize(CellIndex{0, 0}), 0);
+  EXPECT_EQ(shape.Linearize(CellIndex{0, 2}), 2);
+  EXPECT_EQ(shape.Linearize(CellIndex{1, 0}), 3);
+  EXPECT_EQ(shape.Stride(0), 3);
+  EXPECT_EQ(shape.Stride(1), 1);
+}
+
+TEST(NextIndexTest, VisitsAllCellsInOrder) {
+  const Shape shape{2, 2};
+  CellIndex idx = CellIndex::Filled(2, 0);
+  EXPECT_EQ(idx, (CellIndex{0, 0}));
+  EXPECT_TRUE(NextIndex(shape, idx));
+  EXPECT_EQ(idx, (CellIndex{0, 1}));
+  EXPECT_TRUE(NextIndex(shape, idx));
+  EXPECT_EQ(idx, (CellIndex{1, 0}));
+  EXPECT_TRUE(NextIndex(shape, idx));
+  EXPECT_EQ(idx, (CellIndex{1, 1}));
+  EXPECT_FALSE(NextIndex(shape, idx));
+  EXPECT_EQ(idx, (CellIndex{0, 0}));  // wrapped
+}
+
+TEST(ShapeDeathTest, RejectsInvalidExtents) {
+  EXPECT_DEATH((Shape{0}), "extents");
+  EXPECT_DEATH(Shape::Hypercube(0, 3), "dims");
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,58 @@
+#include "cube/nd_array.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+TEST(NdArrayTest, ConstructionAndFill) {
+  NdArray<int64_t> array(Shape{3, 4}, 7);
+  EXPECT_EQ(array.num_cells(), 12);
+  EXPECT_EQ(array.at(CellIndex{2, 3}), 7);
+  array.Fill(0);
+  EXPECT_EQ(array.at(CellIndex{0, 0}), 0);
+}
+
+TEST(NdArrayTest, IndexAndLinearAccessAgree) {
+  NdArray<int64_t> array(Shape{3, 4});
+  CellIndex idx = CellIndex::Filled(2, 0);
+  int64_t counter = 0;
+  do {
+    array.at(idx) = counter++;
+  } while (NextIndex(array.shape(), idx));
+  for (int64_t i = 0; i < array.num_cells(); ++i) {
+    EXPECT_EQ(array.at_linear(i), i);  // row-major fill order
+  }
+}
+
+TEST(NdArrayTest, SumBoxMatchesManualSum) {
+  NdArray<int64_t> array(Shape{4, 4});
+  for (int64_t i = 0; i < 16; ++i) array.at_linear(i) = i + 1;
+  // Full: 1+...+16 = 136. Column 0: 1+5+9+13 = 28. Row 0: 1+2+3+4=10.
+  EXPECT_EQ(array.SumBox(Box::All(array.shape())), 136);
+  EXPECT_EQ(array.SumBox(Box(CellIndex{0, 0}, CellIndex{3, 0})), 28);
+  EXPECT_EQ(array.SumBox(Box(CellIndex{0, 0}, CellIndex{0, 3})), 10);
+  EXPECT_EQ(array.SumBox(Box::Cell(CellIndex{1, 1})), 6);
+}
+
+TEST(NdArrayTest, EqualityIsDeep) {
+  NdArray<int64_t> a(Shape{2, 2}, 1);
+  NdArray<int64_t> b(Shape{2, 2}, 1);
+  EXPECT_EQ(a, b);
+  b.at(CellIndex{1, 1}) = 2;
+  EXPECT_FALSE(a == b);
+  NdArray<int64_t> c(Shape{4}, 1);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(NdArrayTest, DoubleSpecialization) {
+  NdArray<double> array(Shape{5}, 0.5);
+  EXPECT_DOUBLE_EQ(array.SumBox(Box::All(array.shape())), 2.5);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,92 @@
+#include "cube/prefix.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+NdArray<int64_t> RandomCube(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  NdArray<int64_t> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformInt(-9, 9);
+  }
+  return cube;
+}
+
+TEST(PrefixTest, OneDimensional) {
+  NdArray<int64_t> array(Shape{5});
+  for (int64_t i = 0; i < 5; ++i) array.at_linear(i) = i + 1;
+  PrefixSumInPlace(array);
+  const int64_t expected[] = {1, 3, 6, 10, 15};
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(array.at_linear(i), expected[i]);
+}
+
+TEST(PrefixTest, PrefixValuesEqualDominanceSums) {
+  const Shape shape{4, 3, 5};
+  const NdArray<int64_t> cube = RandomCube(shape, 1);
+  NdArray<int64_t> prefix = cube;
+  PrefixSumInPlace(prefix);
+  CellIndex idx = CellIndex::Filled(3, 0);
+  do {
+    ASSERT_EQ(prefix.at(idx),
+              cube.SumBox(Box(CellIndex{0, 0, 0}, idx)))
+        << idx.ToString();
+  } while (NextIndex(shape, idx));
+}
+
+TEST(PrefixTest, DifferenceInvertsPrefix) {
+  for (const Shape& shape :
+       {Shape{7}, Shape{3, 9}, Shape{4, 4, 4}, Shape{2, 3, 4, 5}}) {
+    const NdArray<int64_t> cube = RandomCube(shape, 42);
+    NdArray<int64_t> work = cube;
+    PrefixSumInPlace(work);
+    DifferenceInPlace(work);
+    EXPECT_EQ(work, cube) << shape.ToString();
+  }
+}
+
+TEST(PrefixTest, SingleDimPassesCommute) {
+  // Prefixing dim 0 then 1 equals prefixing dim 1 then 0.
+  const Shape shape{6, 7};
+  const NdArray<int64_t> cube = RandomCube(shape, 7);
+  NdArray<int64_t> a = cube;
+  NdArray<int64_t> b = cube;
+  PrefixSumAlongDim(a, 0);
+  PrefixSumAlongDim(a, 1);
+  PrefixSumAlongDim(b, 1);
+  PrefixSumAlongDim(b, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixTest, ExtentOneDimsAreNoOps) {
+  const Shape shape{1, 5, 1};
+  const NdArray<int64_t> cube = RandomCube(shape, 9);
+  NdArray<int64_t> work = cube;
+  PrefixSumAlongDim(work, 0);
+  EXPECT_EQ(work, cube);
+  PrefixSumAlongDim(work, 2);
+  EXPECT_EQ(work, cube);
+}
+
+TEST(PrefixTest, DoubleRoundTripIsStable) {
+  const Shape shape{8, 8};
+  Rng rng(5);
+  NdArray<double> cube(shape);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    cube.at_linear(i) = rng.UniformDouble();
+  }
+  NdArray<double> work = cube;
+  PrefixSumInPlace(work);
+  DifferenceInPlace(work);
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    ASSERT_NEAR(work.at_linear(i), cube.at_linear(i), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rps

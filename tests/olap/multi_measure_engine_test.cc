@@ -1,0 +1,107 @@
+#include "olap/multi_measure_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+MultiMeasureEngine MakeEngine(EngineMethod method) {
+  return MultiMeasureEngine(
+      {"sales", "cost"},
+      {Dimension::Integer("region", 0, 4), Dimension::Integer("day", 0, 30)},
+      method);
+}
+
+MultiMeasureRecord Rec(int64_t region, int64_t day, double sales,
+                       double cost) {
+  return MultiMeasureRecord{{region, day}, {sales, cost}};
+}
+
+class MultiMeasureTest : public testing::TestWithParam<EngineMethod> {};
+
+TEST_P(MultiMeasureTest, LoadAndPerMeasureSums) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  const IngestReport report = engine.Load({
+      Rec(0, 1, 100, 60),
+      Rec(0, 2, 50, 20),
+      Rec(1, 1, 30, 10),
+      Rec(9, 1, 1, 1),  // region out of domain
+  });
+  EXPECT_EQ(report.accepted, 3);
+  EXPECT_EQ(report.rejected, 1);
+
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", RangeQuery()).value(), 180);
+  EXPECT_DOUBLE_EQ(engine.Sum("cost", RangeQuery()).value(), 90);
+  EXPECT_EQ(engine.Count(RangeQuery()).value(), 3);
+
+  const RangeQuery region0 = RangeQuery().WhereIntBetween("region", 0, 0);
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", region0).value(), 150);
+  EXPECT_DOUBLE_EQ(engine.Sum("cost", region0).value(), 80);
+  EXPECT_DOUBLE_EQ(engine.Average("sales", region0).value(), 75);
+}
+
+TEST_P(MultiMeasureTest, RatioOfSums) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 1, 100, 60), Rec(0, 2, 50, 40)});
+  // Cost ratio = 100/150.
+  EXPECT_DOUBLE_EQ(
+      engine.RatioOfSums("cost", "sales", RangeQuery()).value(),
+      100.0 / 150.0);
+  // Zero denominator.
+  MultiMeasureEngine empty = MakeEngine(GetParam());
+  empty.Load({});
+  EXPECT_EQ(empty.RatioOfSums("cost", "sales", RangeQuery()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_P(MultiMeasureTest, InsertUpdatesEveryMeasure) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 0, 10, 5)});
+  ASSERT_TRUE(engine.Insert(Rec(1, 1, 20, 8)).ok());
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", RangeQuery()).value(), 30);
+  EXPECT_DOUBLE_EQ(engine.Sum("cost", RangeQuery()).value(), 13);
+  EXPECT_EQ(engine.Count(RangeQuery()).value(), 2);
+}
+
+TEST_P(MultiMeasureTest, ArityAndDomainErrors) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({});
+  // Wrong measure arity.
+  EXPECT_EQ(engine.Insert(MultiMeasureRecord{{int64_t{0}, int64_t{0}}, {1.0}})
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-domain dimension value.
+  EXPECT_EQ(engine.Insert(Rec(7, 0, 1, 1)).code(), StatusCode::kOutOfRange);
+  // Unknown measure.
+  EXPECT_EQ(engine.Sum("profit", RangeQuery()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(MultiMeasureTest, LoadRejectsWrongArity) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  const IngestReport report = engine.Load({
+      MultiMeasureRecord{{int64_t{0}, int64_t{0}}, {1.0}},  // 1 measure
+      Rec(0, 0, 2, 1),
+  });
+  EXPECT_EQ(report.accepted, 1);
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", RangeQuery()).value(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MultiMeasureTest,
+    testing::Values(EngineMethod::kNaive, EngineMethod::kRelativePrefixSum,
+                    EngineMethod::kFenwick),
+    [](const testing::TestParamInfo<EngineMethod>& info) {
+      return std::string(EngineMethodName(info.param));
+    });
+
+TEST(MultiMeasureDeathTest, DuplicateMeasuresRejected) {
+  EXPECT_DEATH(MultiMeasureEngine({"a", "a"},
+                                  {Dimension::Integer("x", 0, 2)},
+                                  EngineMethod::kNaive),
+               "unique");
+}
+
+}  // namespace
+}  // namespace rps

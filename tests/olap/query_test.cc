@@ -1,0 +1,132 @@
+#include "olap/query.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+Schema TestSchema() {
+  return Schema("SALES",
+                {Dimension::Integer("age", 18, 60),  // ages 18..77
+                 Dimension::Categorical(
+                     "quarter", {"Q1", "Q2", "Q3", "Q4"}),
+                 Dimension::Binned("amount", 0.0, 100.0, 10)});
+}
+
+TEST(RangeQueryTest, UnconstrainedCoversEverything) {
+  const auto box = RangeQuery().Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value(), Box(CellIndex{0, 0, 0}, CellIndex{59, 3, 9}));
+}
+
+TEST(RangeQueryTest, IntRange) {
+  // Paper Section 1: "customers with an age from 37 to 52".
+  const auto box =
+      RangeQuery().WhereIntBetween("age", 37, 52).Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[0], 19);  // 37 - origin 18
+  EXPECT_EQ(box.value().hi()[0], 34);
+  EXPECT_EQ(box.value().lo()[1], 0);   // others unconstrained
+  EXPECT_EQ(box.value().hi()[2], 9);
+}
+
+TEST(RangeQueryTest, LabelRange) {
+  const auto box = RangeQuery()
+                       .WhereLabelBetween("quarter", "Q2", "Q4")
+                       .Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[1], 1);
+  EXPECT_EQ(box.value().hi()[1], 3);
+}
+
+TEST(RangeQueryTest, SingleLabel) {
+  const auto box =
+      RangeQuery().WhereLabelIs("quarter", "Q3").Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[1], 2);
+  EXPECT_EQ(box.value().hi()[1], 2);
+}
+
+TEST(RangeQueryTest, DoubleRangeHalfOpen) {
+  // [20, 50) covers bins 2, 3, 4 (bin width 10).
+  const auto box = RangeQuery()
+                       .WhereDoubleBetween("amount", 20.0, 50.0)
+                       .Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[2], 2);
+  EXPECT_EQ(box.value().hi()[2], 4);
+}
+
+TEST(RangeQueryTest, DoubleRangeInsideOneBin) {
+  const auto box = RangeQuery()
+                       .WhereDoubleBetween("amount", 21.0, 29.0)
+                       .Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[2], 2);
+  EXPECT_EQ(box.value().hi()[2], 2);
+}
+
+TEST(RangeQueryTest, DoubleRangeToDomainTop) {
+  // hi = domain top (exclusive end): last bin included.
+  const auto box = RangeQuery()
+                       .WhereDoubleBetween("amount", 95.0, 100.0)
+                       .Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[2], 9);
+  EXPECT_EQ(box.value().hi()[2], 9);
+}
+
+TEST(RangeQueryTest, MultiplePredicatesIntersect) {
+  const auto box = RangeQuery()
+                       .WhereIntBetween("age", 20, 40)
+                       .WhereIntBetween("age", 30, 50)
+                       .Resolve(TestSchema());
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box.value().lo()[0], 12);  // 30 - 18
+  EXPECT_EQ(box.value().hi()[0], 22);  // 40 - 18
+}
+
+TEST(RangeQueryTest, EmptyIntersectionFails) {
+  const auto box = RangeQuery()
+                       .WhereIntBetween("age", 20, 25)
+                       .WhereIntBetween("age", 30, 35)
+                       .Resolve(TestSchema());
+  EXPECT_EQ(box.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RangeQueryTest, UnknownDimensionFails) {
+  EXPECT_EQ(RangeQuery()
+                .WhereIntBetween("height", 0, 1)
+                .Resolve(TestSchema())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RangeQueryTest, OutOfDomainBoundFails) {
+  EXPECT_EQ(RangeQuery()
+                .WhereIntBetween("age", 10, 20)  // 10 < origin 18
+                .Resolve(TestSchema())
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RangeQueryTest, InvertedIntRangeFails) {
+  EXPECT_EQ(RangeQuery()
+                .WhereIntBetween("age", 40, 30)
+                .Resolve(TestSchema())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RangeQueryTest, KindMismatchFails) {
+  EXPECT_FALSE(RangeQuery()
+                   .WhereDoubleBetween("age", 20.0, 30.0)
+                   .Resolve(TestSchema())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rps

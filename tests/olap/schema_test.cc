@@ -1,0 +1,68 @@
+#include "olap/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+Schema SalesSchema() {
+  // The paper's running example: SALES by CUSTOMER_AGE x DATE_OF_SALE.
+  return Schema("SALES", {Dimension::Integer("customer_age", 0, 100),
+                          Dimension::Integer("date_of_sale", 0, 365)});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  const Schema schema = SalesSchema();
+  EXPECT_EQ(schema.measure_name(), "SALES");
+  EXPECT_EQ(schema.num_dimensions(), 2);
+  EXPECT_EQ(schema.CubeShape(), (Shape{100, 365}));
+  EXPECT_EQ(schema.DimensionIndex("customer_age").value(), 0);
+  EXPECT_EQ(schema.DimensionIndex("date_of_sale").value(), 1);
+  EXPECT_EQ(schema.DimensionIndex("region").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, CellOfMapsRawValues) {
+  const Schema schema = SalesSchema();
+  // "the cell at A[37, 25] contains the total sales to 37-year-old
+  // customers on day 25".
+  const auto cell = schema.CellOf({int64_t{37}, int64_t{25}});
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell.value(), (CellIndex{37, 25}));
+}
+
+TEST(SchemaTest, CellOfRejectsWrongArity) {
+  const Schema schema = SalesSchema();
+  EXPECT_EQ(schema.CellOf({int64_t{37}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, CellOfRejectsOutOfDomain) {
+  const Schema schema = SalesSchema();
+  EXPECT_EQ(schema.CellOf({int64_t{137}, int64_t{25}}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, CellOfRejectsKindMismatch) {
+  const Schema schema = SalesSchema();
+  EXPECT_FALSE(schema.CellOf({std::string("x"), int64_t{25}}).ok());
+}
+
+TEST(SchemaTest, MixedDimensionKinds) {
+  const Schema schema(
+      "REVENUE",
+      {Dimension::Categorical("region", {"North", "South", "East", "West"}),
+       Dimension::Binned("amount", 0.0, 1000.0, 10),
+       Dimension::Integer("day", 1, 31)});
+  const auto cell =
+      schema.CellOf({std::string("East"), 250.0, int64_t{15}});
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell.value(), (CellIndex{2, 2, 14}));
+}
+
+TEST(SchemaDeathTest, EmptySchemaRejected) {
+  EXPECT_DEATH(Schema("M", {}), "at least one dimension");
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,100 @@
+// Randomized stress test: the buffer pool + pager stack must behave
+// exactly like a flat byte array under thousands of random pin /
+// write / flush / evict cycles, across pool sizes from pathological
+// (1 frame) to ample.
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+class BufferPoolStressTest : public testing::TestWithParam<int64_t> {};
+
+TEST_P(BufferPoolStressTest, MatchesFlatArrayOracle) {
+  const int64_t frames = GetParam();
+  const int64_t kPages = 24;
+  const int64_t kPageSize = 128;
+  MemPager pager(kPageSize);
+  ASSERT_TRUE(pager.Grow(kPages).ok());
+  BufferPool pool(&pager, frames);
+
+  // Oracle: what every page should contain.
+  std::vector<std::vector<uint8_t>> oracle(
+      static_cast<size_t>(kPages),
+      std::vector<uint8_t>(static_cast<size_t>(kPageSize), 0));
+
+  Rng rng(0x57e55 + static_cast<uint64_t>(frames));
+  for (int step = 0; step < 4000; ++step) {
+    const PageId id = rng.UniformInt(0, kPages - 1);
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op < 5) {  // read & verify
+      auto pin = pool.Pin(id);
+      ASSERT_TRUE(pin.ok());
+      ASSERT_EQ(std::memcmp(pin.value().data(),
+                            oracle[static_cast<size_t>(id)].data(),
+                            static_cast<size_t>(kPageSize)),
+                0)
+          << "page " << id << " step " << step;
+    } else if (op < 9) {  // write a random byte
+      auto pin = pool.Pin(id);
+      ASSERT_TRUE(pin.ok());
+      const int64_t offset = rng.UniformInt(0, kPageSize - 1);
+      const uint8_t value = static_cast<uint8_t>(rng.UniformInt(0, 255));
+      pin.value().data()[offset] = static_cast<std::byte>(value);
+      pin.value().MarkDirty();
+      oracle[static_cast<size_t>(id)][static_cast<size_t>(offset)] = value;
+    } else {  // flush
+      ASSERT_TRUE(pool.FlushAll().ok());
+    }
+  }
+  // Final flush, then verify physical pages directly.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<std::byte> buffer(static_cast<size_t>(kPageSize));
+  for (PageId id = 0; id < kPages; ++id) {
+    ASSERT_TRUE(pager.ReadPage(id, buffer.data()).ok());
+    ASSERT_EQ(std::memcmp(buffer.data(),
+                          oracle[static_cast<size_t>(id)].data(),
+                          static_cast<size_t>(kPageSize)),
+              0)
+        << "physical page " << id;
+  }
+  // With fewer frames than pages, evictions must have occurred.
+  if (frames < kPages) {
+    EXPECT_GT(pool.stats().evictions, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, BufferPoolStressTest,
+                         testing::Values<int64_t>(1, 2, 5, 24, 64),
+                         [](const testing::TestParamInfo<int64_t>& info) {
+                           return "frames" + std::to_string(info.param);
+                         });
+
+TEST(BufferPoolStressTest2, ManyPinsOnSamePage) {
+  MemPager pager(128);
+  ASSERT_TRUE(pager.Grow(2).ok());
+  BufferPool pool(&pager, 2);
+  // Multiple concurrent pins on one page share the frame.
+  std::vector<PinnedPage> pins;
+  for (int i = 0; i < 10; ++i) {
+    auto pin = pool.Pin(0);
+    ASSERT_TRUE(pin.ok());
+    pins.push_back(std::move(pin).value());
+  }
+  EXPECT_EQ(pool.stats().misses, 1);
+  EXPECT_EQ(pool.stats().hits, 9);
+  // The heavily pinned frame is not evictable; page 1 still fits.
+  EXPECT_TRUE(pool.Pin(1).ok());
+  pins.clear();
+  EXPECT_TRUE(pool.Pin(1).ok());
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,132 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+class BufferPoolTest : public testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(pager_.Grow(8).ok()); }
+
+  void WriteThrough(BufferPool& pool, PageId id, uint8_t value) {
+    auto pin = pool.Pin(id);
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+    std::memset(pin.value().data(), value,
+                static_cast<size_t>(pager_.page_size()));
+    pin.value().MarkDirty();
+  }
+
+  uint8_t ReadThrough(BufferPool& pool, PageId id) {
+    auto pin = pool.Pin(id);
+    EXPECT_TRUE(pin.ok());
+    return static_cast<uint8_t>(pin.value().data()[0]);
+  }
+
+  MemPager pager_{256};
+};
+
+TEST_F(BufferPoolTest, HitOnSecondAccess) {
+  BufferPool pool(&pager_, 4);
+  ReadThrough(pool, 0);
+  EXPECT_EQ(pool.stats().misses, 1);
+  EXPECT_EQ(pool.stats().hits, 0);
+  ReadThrough(pool, 0);
+  EXPECT_EQ(pool.stats().hits, 1);
+  EXPECT_EQ(pager_.stats().page_reads, 1);  // only one physical read
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(&pager_, 2);
+  ReadThrough(pool, 0);
+  ReadThrough(pool, 1);
+  ReadThrough(pool, 0);  // page 1 is now LRU
+  ReadThrough(pool, 2);  // evicts page 1
+  EXPECT_EQ(pool.stats().evictions, 1);
+  ReadThrough(pool, 0);  // still resident: hit
+  EXPECT_EQ(pool.stats().hits, 2);
+  ReadThrough(pool, 1);  // miss again
+  EXPECT_EQ(pool.stats().misses, 4);
+}
+
+TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  BufferPool pool(&pager_, 1);
+  WriteThrough(pool, 0, 0xAB);
+  EXPECT_EQ(pager_.stats().page_writes, 0);  // still cached
+  ReadThrough(pool, 1);                      // evicts page 0 -> write back
+  EXPECT_EQ(pager_.stats().page_writes, 1);
+  EXPECT_EQ(pool.stats().write_backs, 1);
+  // The bytes actually reached the pager.
+  std::vector<std::byte> buf(256);
+  ASSERT_TRUE(pager_.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0xAB);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesEveryDirtyFrame) {
+  BufferPool pool(&pager_, 4);
+  WriteThrough(pool, 0, 1);
+  WriteThrough(pool, 1, 2);
+  ReadThrough(pool, 2);  // clean
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pager_.stats().page_writes, 2);
+  // Second flush is a no-op: frames are clean now.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pager_.stats().page_writes, 2);
+}
+
+TEST_F(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
+  BufferPool pool(&pager_, 2);
+  auto pin0 = pool.Pin(0);
+  auto pin1 = pool.Pin(1);
+  ASSERT_TRUE(pin0.ok());
+  ASSERT_TRUE(pin1.ok());
+  auto pin2 = pool.Pin(2);
+  EXPECT_EQ(pin2.status().code(), StatusCode::kResourceExhausted);
+  // Releasing one frame unblocks.
+  pin0.value().Release();
+  EXPECT_TRUE(pool.Pin(2).ok());
+}
+
+TEST_F(BufferPoolTest, PinningMissingPageFails) {
+  BufferPool pool(&pager_, 2);
+  EXPECT_EQ(pool.Pin(99).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BufferPoolTest, MovedHandleKeepsPin) {
+  BufferPool pool(&pager_, 1);
+  auto pin = pool.Pin(0);
+  ASSERT_TRUE(pin.ok());
+  PinnedPage moved = std::move(pin).value();
+  EXPECT_TRUE(moved.valid());
+  // Frame still pinned: another page cannot enter the 1-frame pool.
+  EXPECT_EQ(pool.Pin(1).status().code(), StatusCode::kResourceExhausted);
+  moved.Release();
+  EXPECT_TRUE(pool.Pin(1).ok());
+}
+
+TEST_F(BufferPoolTest, ReadFaultSurfacesAsError) {
+  FaultInjectionPager faulty(&pager_);
+  BufferPool pool(&faulty, 2);
+  faulty.FailReadAfter(1);
+  EXPECT_EQ(pool.Pin(0).status().code(), StatusCode::kIoError);
+  // Pool remains usable afterwards.
+  EXPECT_TRUE(pool.Pin(0).ok());
+}
+
+TEST_F(BufferPoolTest, WriteBackFaultSurfacesThroughFlush) {
+  FaultInjectionPager faulty(&pager_);
+  BufferPool pool(&faulty, 2);
+  WriteThrough(pool, 0, 0x11);
+  faulty.FailWriteAfter(1);
+  EXPECT_EQ(pool.FlushAll().code(), StatusCode::kIoError);
+  // Retry succeeds (fault was one-shot) and frame is still dirty.
+  EXPECT_TRUE(pool.FlushAll().ok());
+  std::vector<std::byte> buf(256);
+  ASSERT_TRUE(pager_.ReadPage(0, buf.data()).ok());
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x11);
+}
+
+}  // namespace
+}  // namespace rps

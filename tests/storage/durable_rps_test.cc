@@ -1,0 +1,166 @@
+// Crash-recovery tests for the snapshot + WAL configuration: durable
+// updates survive "crashes" (reopening without checkpoint), torn log
+// tails lose at most the torn record, and checkpoints truncate the
+// log.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/durable_rps.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+class DurableRpsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("rps_durable_" + std::to_string(counter_++)))
+               .string();
+    std::filesystem::create_directory(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static int counter_;
+  std::string dir_;
+};
+
+int DurableRpsTest::counter_ = 0;
+
+TEST_F(DurableRpsTest, CreateQueryUpdate) {
+  const Shape shape{12, 12};
+  const NdArray<int64_t> cube = UniformCube(shape, 0, 9, 1);
+  auto created = DurableRps<int64_t>::Create(cube, CellIndex{4, 4}, dir_);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto durable = std::move(created).value();
+
+  EXPECT_EQ(durable.RangeSum(Box::All(shape)), cube.SumBox(Box::All(shape)));
+  ASSERT_TRUE(durable.Add(CellIndex{3, 3}, 10).ok());
+  EXPECT_EQ(durable.ValueAt(CellIndex{3, 3}), cube.at(CellIndex{3, 3}) + 10);
+  EXPECT_EQ(durable.wal_records(), 1);
+}
+
+TEST_F(DurableRpsTest, ReopenReplaysUncheckpointedUpdates) {
+  const Shape shape{10, 10};
+  NdArray<int64_t> oracle = UniformCube(shape, 0, 9, 2);
+  {
+    auto durable = std::move(
+        DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_)).value();
+    Rng rng(7);
+    for (int i = 0; i < 30; ++i) {
+      const CellIndex cell{rng.UniformInt(0, 9), rng.UniformInt(0, 9)};
+      const int64_t delta = rng.UniformInt(-5, 5);
+      oracle.at(cell) += delta;
+      ASSERT_TRUE(durable.Add(cell, delta).ok());
+    }
+    // "Crash": no checkpoint, handle dropped.
+  }
+  WalReplay replay;
+  auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replay.records.size(), 30u);
+  EXPECT_FALSE(replay.tail_truncated);
+  // Full agreement with the oracle.
+  UniformQueryGen gen(shape, 9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Box range = gen.Next();
+    ASSERT_EQ(reopened.value().RangeSum(range), oracle.SumBox(range));
+  }
+}
+
+TEST_F(DurableRpsTest, CheckpointTruncatesLog) {
+  const Shape shape{8, 8};
+  NdArray<int64_t> oracle = UniformCube(shape, 0, 9, 3);
+  {
+    auto durable = std::move(
+        DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_)).value();
+    ASSERT_TRUE(durable.Add(CellIndex{1, 1}, 4).ok());
+    oracle.at(CellIndex{1, 1}) += 4;
+    ASSERT_TRUE(durable.Checkpoint().ok());
+    EXPECT_EQ(durable.wal_records(), 0);
+    // Post-checkpoint update lands in the fresh log.
+    ASSERT_TRUE(durable.Add(CellIndex{2, 2}, 6).ok());
+    oracle.at(CellIndex{2, 2}) += 6;
+  }
+  WalReplay replay;
+  auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(replay.records.size(), 1u);  // only the post-checkpoint one
+  EXPECT_EQ(reopened.value().RangeSum(Box::All(shape)),
+            oracle.SumBox(Box::All(shape)));
+}
+
+TEST_F(DurableRpsTest, TornWalTailLosesOnlyTornRecord) {
+  const Shape shape{8, 8};
+  NdArray<int64_t> oracle = UniformCube(shape, 0, 9, 4);
+  {
+    auto durable = std::move(
+        DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_)).value();
+    ASSERT_TRUE(durable.Add(CellIndex{1, 1}, 7).ok());
+    ASSERT_TRUE(durable.Add(CellIndex{5, 5}, 9).ok());
+  }
+  oracle.at(CellIndex{1, 1}) += 7;  // first survives; second is torn off
+  const std::string wal = dir_ + "/wal.log";
+  std::filesystem::resize_file(wal, std::filesystem::file_size(wal) - 3);
+
+  WalReplay replay;
+  auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(replay.tail_truncated);
+  EXPECT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(reopened.value().RangeSum(Box::All(shape)),
+            oracle.SumBox(Box::All(shape)));
+}
+
+TEST_F(DurableRpsTest, CorruptSnapshotFailsOpen) {
+  const NdArray<int64_t> cube = UniformCube(Shape{6, 6}, 0, 9, 5);
+  {
+    auto durable = std::move(
+        DurableRps<int64_t>::Create(cube, CellIndex{2, 2}, dir_)).value();
+  }
+  std::FILE* f = std::fopen((dir_ + "/snapshot.bin").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 64, SEEK_SET);
+  std::fputc(0xFF, f);
+  std::fclose(f);
+  EXPECT_FALSE(DurableRps<int64_t>::Open(dir_).ok());
+}
+
+TEST_F(DurableRpsTest, OpenWithoutCreateFails) {
+  EXPECT_FALSE(DurableRps<int64_t>::Open(dir_).ok());
+}
+
+TEST_F(DurableRpsTest, ManyCheckpointCyclesStayConsistent) {
+  const Shape shape{9, 9};
+  NdArray<int64_t> oracle = UniformCube(shape, 0, 9, 6);
+  auto durable = std::move(
+      DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_)).value();
+  Rng rng(11);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      const CellIndex cell{rng.UniformInt(0, 8), rng.UniformInt(0, 8)};
+      const int64_t delta = rng.UniformInt(-4, 4);
+      oracle.at(cell) += delta;
+      ASSERT_TRUE(durable.Add(cell, delta).ok());
+    }
+    ASSERT_TRUE(durable.Checkpoint().ok());
+  }
+  // Reopen from the last checkpoint (empty log).
+  WalReplay replay;
+  auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(replay.records.empty());
+  UniformQueryGen gen(shape, 12);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Box range = gen.Next();
+    ASSERT_EQ(reopened.value().RangeSum(range), oracle.SumBox(range));
+  }
+}
+
+}  // namespace
+}  // namespace rps

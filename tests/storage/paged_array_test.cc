@@ -1,0 +1,149 @@
+#include "storage/paged_array.h"
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+class PagedArrayTest : public testing::Test {
+ protected:
+  // 256-byte pages of int64 -> 32 cells per page.
+  MemPager pager_{256};
+};
+
+TEST_F(PagedArrayTest, LinearRoundTrip) {
+  BufferPool pool(&pager_, 4);
+  auto created = PagedArray<int64_t>::Create(&pool, Shape{10, 10},
+                                             PageLayout::kLinear);
+  ASSERT_TRUE(created.ok());
+  auto& array = *created.value();
+  EXPECT_EQ(array.cells_per_page(), 32);
+  EXPECT_EQ(array.num_pages(), 4);  // ceil(100/32)
+
+  ASSERT_TRUE(array.Set(CellIndex{3, 7}, 1234).ok());
+  auto got = array.Get(CellIndex{3, 7});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 1234);
+  ASSERT_TRUE(array.Add(CellIndex{3, 7}, -234).ok());
+  EXPECT_EQ(array.Get(CellIndex{3, 7}).value(), 1000);
+  EXPECT_EQ(array.Get(CellIndex{0, 0}).value(), 0);  // untouched = zero
+}
+
+TEST_F(PagedArrayTest, LoadFromMatchesSource) {
+  BufferPool pool(&pager_, 4);
+  Rng rng(0x11);
+  NdArray<int64_t> source(Shape{9, 9});
+  for (int64_t i = 0; i < source.num_cells(); ++i) {
+    source.at_linear(i) = rng.UniformInt(-100, 100);
+  }
+  auto array = std::move(PagedArray<int64_t>::Create(&pool, Shape{9, 9},
+                                                     PageLayout::kLinear))
+                   .value();
+  ASSERT_TRUE(array->LoadFrom(source).ok());
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    ASSERT_EQ(array->Get(cell).value(), source.at(cell)) << cell.ToString();
+  } while (NextIndex(Shape{9, 9}, cell));
+}
+
+TEST_F(PagedArrayTest, BoxClusteredKeepsBoxOnContiguousPages) {
+  BufferPool pool(&pager_, 8);
+  // 8x8 boxes = 64 cells = exactly 2 pages of 32 cells.
+  auto array = std::move(PagedArray<int64_t>::Create(
+                             &pool, Shape{16, 16}, PageLayout::kBoxClustered,
+                             CellIndex{8, 8}))
+                   .value();
+  EXPECT_EQ(array->pages_per_box(), 2);
+  EXPECT_EQ(array->num_pages(), 4 * 2);  // 4 boxes
+
+  // All cells of box (0,0) land on pages {0,1}; box (1,1) on {6,7}.
+  std::set<PageId> box00;
+  std::set<PageId> box11;
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      box00.insert(array->PageOf(CellIndex{i, j}));
+      box11.insert(array->PageOf(CellIndex{8 + i, 8 + j}));
+    }
+  }
+  EXPECT_EQ(box00, (std::set<PageId>{0, 1}));
+  EXPECT_EQ(box11, (std::set<PageId>{6, 7}));
+}
+
+TEST_F(PagedArrayTest, BoxClusteredRoundTripWithClippedBoxes) {
+  BufferPool pool(&pager_, 8);
+  Rng rng(0x22);
+  const Shape shape{10, 7};
+  NdArray<int64_t> source(shape);
+  for (int64_t i = 0; i < source.num_cells(); ++i) {
+    source.at_linear(i) = rng.UniformInt(0, 999);
+  }
+  auto array = std::move(PagedArray<int64_t>::Create(
+                             &pool, shape, PageLayout::kBoxClustered,
+                             CellIndex{4, 3}))
+                   .value();
+  ASSERT_TRUE(array->LoadFrom(source).ok());
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    ASSERT_EQ(array->Get(cell).value(), source.at(cell)) << cell.ToString();
+  } while (NextIndex(shape, cell));
+}
+
+TEST_F(PagedArrayTest, BasePageOffsetsSeparateArrays) {
+  BufferPool pool(&pager_, 8);
+  auto first = std::move(PagedArray<int64_t>::Create(&pool, Shape{8, 8},
+                                                     PageLayout::kLinear))
+                   .value();
+  auto second = std::move(PagedArray<int64_t>::Create(
+                              &pool, Shape{8, 8}, PageLayout::kLinear,
+                              CellIndex{}, first->end_page()))
+                    .value();
+  ASSERT_TRUE(first->Set(CellIndex{0, 0}, 111).ok());
+  ASSERT_TRUE(second->Set(CellIndex{0, 0}, 222).ok());
+  EXPECT_EQ(first->Get(CellIndex{0, 0}).value(), 111);
+  EXPECT_EQ(second->Get(CellIndex{0, 0}).value(), 222);
+  EXPECT_GE(second->PageOf(CellIndex{0, 0}), first->num_pages());
+}
+
+TEST_F(PagedArrayTest, DataSurvivesEvictionUnderTinyPool) {
+  BufferPool pool(&pager_, 1);  // pathological: one frame
+  Rng rng(0x33);
+  const Shape shape{12, 12};
+  NdArray<int64_t> source(shape);
+  for (int64_t i = 0; i < source.num_cells(); ++i) {
+    source.at_linear(i) = rng.UniformInt(-5, 5);
+  }
+  auto array = std::move(PagedArray<int64_t>::Create(&pool, shape,
+                                                     PageLayout::kLinear))
+                   .value();
+  ASSERT_TRUE(array->LoadFrom(source).ok());
+  // Scatter updates forcing constant eviction.
+  for (int step = 0; step < 100; ++step) {
+    const CellIndex cell{rng.UniformInt(0, 11), rng.UniformInt(0, 11)};
+    const int64_t delta = rng.UniformInt(-3, 3);
+    source.at(cell) += delta;
+    ASSERT_TRUE(array->Add(cell, delta).ok());
+  }
+  CellIndex cell = CellIndex::Filled(2, 0);
+  do {
+    ASSERT_EQ(array->Get(cell).value(), source.at(cell)) << cell.ToString();
+  } while (NextIndex(shape, cell));
+  EXPECT_GT(pool.stats().evictions, 0);
+}
+
+TEST_F(PagedArrayTest, DoubleCells) {
+  BufferPool pool(&pager_, 2);
+  auto array = std::move(PagedArray<double>::Create(&pool, Shape{5, 5},
+                                                    PageLayout::kLinear))
+                   .value();
+  ASSERT_TRUE(array->Set(CellIndex{1, 1}, 2.5).ok());
+  ASSERT_TRUE(array->Add(CellIndex{1, 1}, 0.25).ok());
+  EXPECT_DOUBLE_EQ(array->Get(CellIndex{1, 1}).value(), 2.75);
+}
+
+}  // namespace
+}  // namespace rps

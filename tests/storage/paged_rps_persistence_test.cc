@@ -1,0 +1,117 @@
+// Persistence of PagedRps across process "restarts": Build + Persist
+// on a real file, then OpenExisting on a fresh pager must restore an
+// identical structure, for both overlay placements.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/paged_rps.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+class PagedRpsPersistenceTest : public testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rps_paged_persist_" + std::to_string(counter_++) + ".db"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  static int counter_;
+  std::string path_;
+};
+
+int PagedRpsPersistenceTest::counter_ = 0;
+
+TEST_P(PagedRpsPersistenceTest, SurvivesReopen) {
+  const bool overlay_on_disk = GetParam();
+  const Shape shape{24, 18};
+  NdArray<int64_t> oracle = UniformCube(shape, 0, 40, 1);
+
+  PagedRps<int64_t>::Options options;
+  options.box_size = CellIndex{5, 4};
+  options.page_size = 512;
+  options.pool_frames = 8;
+  options.overlay_on_disk = overlay_on_disk;
+
+  // Session 1: build, mutate, persist.
+  {
+    auto pager = std::move(FilePager::Create(path_, 512)).value();
+    auto paged = std::move(PagedRps<int64_t>::Build(oracle, std::move(pager),
+                                                    options))
+                     .value();
+    Rng rng(2);
+    for (int i = 0; i < 25; ++i) {
+      const CellIndex cell{rng.UniformInt(0, 23), rng.UniformInt(0, 17)};
+      const int64_t delta = rng.UniformInt(-9, 9);
+      oracle.at(cell) += delta;
+      ASSERT_TRUE(paged->Add(cell, delta).ok());
+    }
+    ASSERT_TRUE(paged->Persist().ok());
+  }
+
+  // Session 2: reopen from the file alone.
+  {
+    auto pager = FilePager::OpenExisting(path_, 512);
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    auto reopened =
+        PagedRps<int64_t>::OpenExisting(std::move(pager).value(), 8);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto& paged = *reopened.value();
+    EXPECT_EQ(paged.shape(), shape);
+    EXPECT_EQ(paged.geometry().box_size(), (CellIndex{5, 4}));
+    EXPECT_EQ(paged.overlay_on_disk(), overlay_on_disk);
+
+    UniformQueryGen queries(shape, 3);
+    for (int trial = 0; trial < 40; ++trial) {
+      const Box range = queries.Next();
+      auto sum = paged.RangeSum(range);
+      ASSERT_TRUE(sum.ok());
+      ASSERT_EQ(sum.value(), oracle.SumBox(range)) << range.ToString();
+    }
+    // And it remains updatable.
+    ASSERT_TRUE(paged.Add(CellIndex{0, 0}, 5).ok());
+    oracle.at(CellIndex{0, 0}) += 5;
+    EXPECT_EQ(paged.RangeSum(Box::All(shape)).value(),
+              oracle.SumBox(Box::All(shape)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlayPlacement, PagedRpsPersistenceTest,
+                         testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "overlay_disk" : "overlay_ram";
+                         });
+
+TEST(PagedRpsPersistenceErrorsTest, GarbageMetadataRejected) {
+  auto mem = std::make_unique<MemPager>(512);
+  ASSERT_TRUE(mem->Grow(3).ok());
+  std::vector<std::byte> junk(512, std::byte{0x5A});
+  ASSERT_TRUE(mem->WritePage(0, junk.data()).ok());
+  EXPECT_FALSE(PagedRps<int64_t>::OpenExisting(std::move(mem)).ok());
+}
+
+TEST(PagedRpsPersistenceErrorsTest, EmptyPagerRejected) {
+  EXPECT_FALSE(
+      PagedRps<int64_t>::OpenExisting(std::make_unique<MemPager>(512)).ok());
+}
+
+TEST(PagedRpsPersistenceErrorsTest, TinyPagesRejected) {
+  const NdArray<int64_t> cube = UniformCube(Shape{8, 8}, 0, 9, 4);
+  PagedRps<int64_t>::Options options;
+  options.page_size = 64;
+  auto built = PagedRps<int64_t>::Build(
+      cube, std::make_unique<MemPager>(64), options);
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rps

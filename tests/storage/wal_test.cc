@@ -1,0 +1,139 @@
+#include "storage/wal.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class WalTest : public testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_ = TempPath("rps_wal_test.log");
+};
+
+int64_t PayloadInt(const WalRecord& record) {
+  int64_t value;
+  std::memcpy(&value, record.payload.data(), sizeof(value));
+  return value;
+}
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    auto wal = std::move(
+        WriteAheadLog::OpenForAppend(path_, 2, sizeof(int64_t))).value();
+    const int64_t d1 = 42;
+    const int64_t d2 = -7;
+    ASSERT_TRUE(wal.Append(CellIndex{1, 2}, &d1).ok());
+    ASSERT_TRUE(wal.Append(CellIndex{3, 4}, &d2).ok());
+    EXPECT_EQ(wal.appended(), 2);
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  const auto replay = WriteAheadLog::Replay(path_, 2, sizeof(int64_t));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay.value().tail_truncated);
+  ASSERT_EQ(replay.value().records.size(), 2u);
+  EXPECT_EQ(replay.value().records[0].cell, (CellIndex{1, 2}));
+  EXPECT_EQ(PayloadInt(replay.value().records[0]), 42);
+  EXPECT_EQ(replay.value().records[1].cell, (CellIndex{3, 4}));
+  EXPECT_EQ(PayloadInt(replay.value().records[1]), -7);
+}
+
+TEST_F(WalTest, MissingFileReplaysEmpty) {
+  const auto replay =
+      WriteAheadLog::Replay(TempPath("rps_wal_missing.log"), 2, 8);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().records.empty());
+  EXPECT_FALSE(replay.value().tail_truncated);
+}
+
+TEST_F(WalTest, AppendsAccumulateAcrossReopen) {
+  const int64_t delta = 1;
+  {
+    auto wal = std::move(
+        WriteAheadLog::OpenForAppend(path_, 1, sizeof(int64_t))).value();
+    ASSERT_TRUE(wal.Append(CellIndex{0}, &delta).ok());
+  }
+  {
+    auto wal = std::move(
+        WriteAheadLog::OpenForAppend(path_, 1, sizeof(int64_t))).value();
+    ASSERT_TRUE(wal.Append(CellIndex{1}, &delta).ok());
+  }
+  const auto replay = WriteAheadLog::Replay(path_, 1, sizeof(int64_t));
+  ASSERT_EQ(replay.value().records.size(), 2u);
+}
+
+TEST_F(WalTest, TornTailIsDiscarded) {
+  const int64_t delta = 5;
+  {
+    auto wal = std::move(
+        WriteAheadLog::OpenForAppend(path_, 2, sizeof(int64_t))).value();
+    ASSERT_TRUE(wal.Append(CellIndex{1, 1}, &delta).ok());
+    ASSERT_TRUE(wal.Append(CellIndex{2, 2}, &delta).ok());
+  }
+  // Simulate a crash mid-append: drop the last 5 bytes.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 5);
+  const auto replay = WriteAheadLog::Replay(path_, 2, sizeof(int64_t));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().tail_truncated);
+  ASSERT_EQ(replay.value().records.size(), 1u);
+  EXPECT_EQ(replay.value().records[0].cell, (CellIndex{1, 1}));
+}
+
+TEST_F(WalTest, CorruptRecordStopsReplay) {
+  const int64_t delta = 5;
+  {
+    auto wal = std::move(
+        WriteAheadLog::OpenForAppend(path_, 1, sizeof(int64_t))).value();
+    ASSERT_TRUE(wal.Append(CellIndex{1}, &delta).ok());
+    ASSERT_TRUE(wal.Append(CellIndex{2}, &delta).ok());
+  }
+  // Flip a byte inside the FIRST record's body.
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 6, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, 6, SEEK_SET), 0);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+
+  const auto replay = WriteAheadLog::Replay(path_, 1, sizeof(int64_t));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().tail_truncated);
+  EXPECT_TRUE(replay.value().records.empty());
+}
+
+TEST_F(WalTest, ResetTruncates) {
+  const int64_t delta = 9;
+  auto wal = std::move(
+      WriteAheadLog::OpenForAppend(path_, 1, sizeof(int64_t))).value();
+  ASSERT_TRUE(wal.Append(CellIndex{0}, &delta).ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_EQ(wal.appended(), 0);
+  ASSERT_TRUE(wal.Append(CellIndex{3}, &delta).ok());
+  ASSERT_TRUE(wal.Close().ok());
+  const auto replay = WriteAheadLog::Replay(path_, 1, sizeof(int64_t));
+  ASSERT_EQ(replay.value().records.size(), 1u);
+  EXPECT_EQ(replay.value().records[0].cell, (CellIndex{3}));
+}
+
+TEST_F(WalTest, DimensionMismatchRejected) {
+  auto wal = std::move(
+      WriteAheadLog::OpenForAppend(path_, 2, sizeof(int64_t))).value();
+  const int64_t delta = 1;
+  EXPECT_EQ(wal.Append(CellIndex{1}, &delta).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteAheadLog::OpenForAppend(path_, 0, 8).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rps

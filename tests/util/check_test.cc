@@ -1,0 +1,50 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(CheckTest, PassingConditionsAreSilent) {
+  RPS_CHECK(1 + 1 == 2);
+  RPS_CHECK_MSG(true, "never shown");
+  RPS_DCHECK(42 > 0);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailureNamesConditionAndLocation) {
+  EXPECT_DEATH(RPS_CHECK(1 == 2), "1 == 2");
+  EXPECT_DEATH(RPS_CHECK(false), "check_test");  // file name in message
+}
+
+TEST(CheckDeathTest, MessageIsIncluded) {
+  EXPECT_DEATH(RPS_CHECK_MSG(false, "the cube melted"), "the cube melted");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  RPS_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckCompiledOutInRelease) {
+  // In release builds RPS_DCHECK must not evaluate its condition.
+  int evaluations = 0;
+  RPS_DCHECK([&] {
+    ++evaluations;
+    return false;  // would abort if evaluated in a debug build
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH(RPS_DCHECK(false), "false");
+}
+#endif
+
+}  // namespace
+}  // namespace rps

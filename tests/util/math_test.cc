@@ -1,0 +1,76 @@
+#include "util/math.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(IntPowTest, SmallValues) {
+  EXPECT_EQ(IntPow(2, 0), 1);
+  EXPECT_EQ(IntPow(2, 10), 1024);
+  EXPECT_EQ(IntPow(3, 4), 81);
+  EXPECT_EQ(IntPow(0, 3), 0);
+  EXPECT_EQ(IntPow(1, 62), 1);
+  EXPECT_EQ(IntPow(-2, 3), -8);
+}
+
+TEST(IntPowTest, LargeButValid) {
+  EXPECT_EQ(IntPow(2, 62), int64_t{1} << 62);
+  EXPECT_EQ(IntPow(10, 18), 1000000000000000000LL);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(0, 3), 0);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(1, 100), 1);
+}
+
+TEST(ISqrtTest, ExactSquaresAndNeighbors) {
+  EXPECT_EQ(ISqrt(0), 0);
+  EXPECT_EQ(ISqrt(1), 1);
+  EXPECT_EQ(ISqrt(2), 1);
+  EXPECT_EQ(ISqrt(3), 1);
+  EXPECT_EQ(ISqrt(4), 2);
+  EXPECT_EQ(ISqrt(99), 9);
+  EXPECT_EQ(ISqrt(100), 10);
+  EXPECT_EQ(ISqrt(101), 10);
+}
+
+TEST(ISqrtTest, ExhaustiveSmallRange) {
+  for (int64_t x = 0; x <= 10000; ++x) {
+    const int64_t r = ISqrt(x);
+    ASSERT_LE(r * r, x) << x;
+    ASSERT_GT((r + 1) * (r + 1), x) << x;
+  }
+}
+
+TEST(ISqrtTest, LargeValues) {
+  EXPECT_EQ(ISqrt(int64_t{3037000499} * 3037000499), 3037000499);
+  EXPECT_EQ(ISqrt((int64_t{1} << 62) - 1), 2147483647);
+}
+
+TEST(NearestSqrtTest, RoundsToClosest) {
+  EXPECT_EQ(NearestSqrt(1), 1);
+  EXPECT_EQ(NearestSqrt(2), 1);   // 1^2=1 off 1; 2^2=4 off 2
+  EXPECT_EQ(NearestSqrt(3), 2);   // tie 1 vs 1 -> smaller... |3-1|=2,|4-3|=1 -> 2
+  EXPECT_EQ(NearestSqrt(9), 3);
+  EXPECT_EQ(NearestSqrt(10), 3);
+  EXPECT_EQ(NearestSqrt(12), 3);  // |12-9|=3, |16-12|=4
+  EXPECT_EQ(NearestSqrt(13), 4);  // |13-9|=4, |16-13|=3
+  EXPECT_EQ(NearestSqrt(100), 10);
+}
+
+TEST(MulWouldOverflowTest, Boundaries) {
+  EXPECT_FALSE(MulWouldOverflow(0, INT64_MAX));
+  EXPECT_FALSE(MulWouldOverflow(1, INT64_MAX));
+  EXPECT_TRUE(MulWouldOverflow(2, INT64_MAX));
+  EXPECT_TRUE(MulWouldOverflow(INT64_MAX, INT64_MAX));
+  EXPECT_FALSE(MulWouldOverflow(int64_t{1} << 31, int64_t{1} << 31));
+  EXPECT_TRUE(MulWouldOverflow(int64_t{1} << 32, int64_t{1} << 31));
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,113 @@
+#include "util/random.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 11);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 11);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[rng.UniformInt(0, 7)];
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 800) << value;  // expectation 1000
+    EXPECT_LT(count, 1200) << value;
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.25, 0.03);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  Rng rng(19);
+  ZipfDistribution zipf(10, 0.0);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count), 2000.0, 350.0) << value;
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnLowRanks) {
+  Rng rng(23);
+  ZipfDistribution zipf(1000, 1.2);
+  int64_t low = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (zipf(rng) < 10) ++low;
+  }
+  // With s=1.2 the first 10 ranks carry well over a third of the mass.
+  EXPECT_GT(low, kTrials / 3);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(29);
+  ZipfDistribution zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = zipf(rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace rps

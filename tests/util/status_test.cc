@@ -1,0 +1,116 @@
+#include "util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  const Status status = Status::IoError("disk gone");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "disk gone");
+  EXPECT_EQ(status.ToString(), "IO_ERROR: disk gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusCodeNameTest, AllCodesNamed) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::OutOfRange("bad index"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailingOperation() { return Status::IoError("boom"); }
+Status SucceedingOperation() { return Status::Ok(); }
+
+Status UsesReturnIfError(bool fail) {
+  RPS_RETURN_IF_ERROR(SucceedingOperation());
+  if (fail) {
+    RPS_RETURN_IF_ERROR(FailingOperation());
+  }
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  const Status status = UsesReturnIfError(true);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "boom");
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::InvalidArgument("nope");
+  return 7;
+}
+
+Status UsesAssignOrReturn(bool fail, int* out) {
+  RPS_ASSIGN_OR_RETURN(const int value, ProduceValue(fail));
+  *out = value;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnExtractsValue) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  out = 0;
+  const Status status = UsesAssignOrReturn(true, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(CheckDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH(RPS_CHECK_MSG(1 == 2, "impossible"), "impossible");
+  EXPECT_DEATH(
+      [] {
+        Result<int> r(Status::Internal("x"));
+        return r.value();
+      }(),
+      "errored Result");
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,162 @@
+// Tests for the synthetic data/query generators and the workload
+// driver.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/naive_method.h"
+#include "core/relative_prefix_sum.h"
+#include "workload/data_gen.h"
+#include "workload/driver.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+TEST(DataGenTest, UniformCubeRangeAndDeterminism) {
+  const Shape shape{16, 16};
+  const NdArray<int64_t> a = UniformCube(shape, 5, 9, 42);
+  const NdArray<int64_t> b = UniformCube(shape, 5, 9, 42);
+  EXPECT_EQ(a, b);
+  for (int64_t i = 0; i < a.num_cells(); ++i) {
+    ASSERT_GE(a.at_linear(i), 5);
+    ASSERT_LE(a.at_linear(i), 9);
+  }
+  const NdArray<int64_t> c = UniformCube(shape, 5, 9, 43);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DataGenTest, ZipfCubeConservesMass) {
+  const Shape shape{20, 20};
+  const NdArray<int64_t> cube = ZipfCube(shape, 1.1, 5000, 7);
+  EXPECT_EQ(cube.SumBox(Box::All(shape)), 5000);
+  // Skew: the largest cell should hold far more than the mean.
+  int64_t max_cell = 0;
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    max_cell = std::max(max_cell, cube.at_linear(i));
+  }
+  EXPECT_GT(max_cell, 5000 / 400 * 10);
+}
+
+TEST(DataGenTest, ClusteredCubeHasBoundedSupport) {
+  const Shape shape{30, 30};
+  const NdArray<int64_t> cube = ClusteredCube(shape, 3, 5, 1, 9, 11);
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    if (cube.at_linear(i) != 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 0);
+  EXPECT_LE(nonzero, 3 * 5 * 5);  // at most clusters * side^2 cells
+}
+
+TEST(DataGenTest, SparseCubeDensity) {
+  const Shape shape{50, 50};
+  const NdArray<int64_t> cube = SparseCube(shape, 0.1, 5, 13);
+  int64_t nonzero = 0;
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    if (cube.at_linear(i) != 0) ++nonzero;
+  }
+  EXPECT_NEAR(static_cast<double>(nonzero) / 2500.0, 0.1, 0.03);
+}
+
+TEST(QueryGenTest, UniformBoxesAreValid) {
+  const Shape shape{12, 9, 7};
+  UniformQueryGen gen(shape, 3);
+  for (int i = 0; i < 200; ++i) {
+    const Box box = gen.Next();
+    ASSERT_TRUE(box.Within(shape));
+  }
+}
+
+TEST(QueryGenTest, SelectivityBoxesHaveTargetVolume) {
+  const Shape shape{100, 100};
+  SelectivityQueryGen gen(shape, 0.01, 5);  // 1% -> 10x10 boxes
+  for (int i = 0; i < 50; ++i) {
+    const Box box = gen.Next();
+    ASSERT_TRUE(box.Within(shape));
+    EXPECT_EQ(box.NumCells(), 100);
+  }
+}
+
+TEST(QueryGenTest, UpdateGensProduceValidOps) {
+  const Shape shape{10, 10};
+  UniformUpdateGen uniform(shape, 5, 1);
+  HotspotUpdateGen hotspot(shape, 1.0, 5, 2);
+  for (int i = 0; i < 200; ++i) {
+    const UpdateOp a = uniform.Next();
+    const UpdateOp b = hotspot.Next();
+    ASSERT_TRUE(shape.Contains(a.cell));
+    ASSERT_TRUE(shape.Contains(b.cell));
+    ASSERT_NE(a.delta, 0);
+    ASSERT_NE(b.delta, 0);
+    ASSERT_LE(std::abs(a.delta), 5);
+    ASSERT_LE(std::abs(b.delta), 5);
+  }
+}
+
+TEST(QueryGenTest, HotspotConcentratesUpdates) {
+  const Shape shape{32, 32};
+  HotspotUpdateGen gen(shape, 1.2, 1, 3);
+  std::map<int64_t, int> hits;
+  for (int i = 0; i < 5000; ++i) {
+    ++hits[shape.Linearize(gen.Next().cell)];
+  }
+  int max_hits = 0;
+  for (const auto& [cell, count] : hits) max_hits = std::max(max_hits, count);
+  // Uniform expectation would be ~5; skew should put hundreds on the
+  // hottest cell.
+  EXPECT_GT(max_hits, 100);
+}
+
+TEST(DriverTest, ReportCountsAndChecksums) {
+  const Shape shape{16, 16};
+  NdArray<int64_t> cube = UniformCube(shape, 0, 9, 1);
+  NaiveMethod<int64_t> naive(cube);
+  UniformQueryGen queries(shape, 2);
+  UniformUpdateGen updates(shape, 3, 3);
+  const WorkloadSpec spec{.num_queries = 50, .num_updates = 30,
+                          .interleave = true};
+  const WorkloadReport report = RunWorkload(naive, queries, updates, spec);
+  EXPECT_EQ(report.method, "naive");
+  EXPECT_EQ(report.queries, 50);
+  EXPECT_EQ(report.updates, 30);
+  EXPECT_EQ(report.update_cells, 30);  // naive: 1 cell per update
+  EXPECT_GE(report.query_seconds, 0);
+  EXPECT_GT(report.avg_update_cells(), 0);
+}
+
+TEST(DriverTest, IdenticalStreamsGiveIdenticalChecksumsAcrossMethods) {
+  const Shape shape{18, 18};
+  NdArray<int64_t> cube = UniformCube(shape, 0, 9, 5);
+  NaiveMethod<int64_t> naive(cube);
+  RelativePrefixSum<int64_t> rps(cube);
+  const WorkloadSpec spec{.num_queries = 40, .num_updates = 40,
+                          .interleave = true};
+  UniformQueryGen q1(shape, 7);
+  UniformUpdateGen u1(shape, 4, 8);
+  const WorkloadReport naive_report = RunWorkload(naive, q1, u1, spec);
+  UniformQueryGen q2(shape, 7);
+  UniformUpdateGen u2(shape, 4, 8);
+  const WorkloadReport rps_report = RunWorkload(rps, q2, u2, spec);
+  EXPECT_EQ(naive_report.query_checksum, rps_report.query_checksum)
+      << "methods diverged on an identical op stream";
+  EXPECT_GT(rps_report.update_cells, naive_report.update_cells);
+}
+
+TEST(DriverTest, SelectivityHotspotVariant) {
+  const Shape shape{32, 32};
+  NdArray<int64_t> cube = UniformCube(shape, 0, 9, 6);
+  RelativePrefixSum<int64_t> rps(cube);
+  SelectivityQueryGen queries(shape, 0.05, 9);
+  HotspotUpdateGen updates(shape, 1.0, 3, 10);
+  const WorkloadSpec spec{.num_queries = 25, .num_updates = 25,
+                          .interleave = false};
+  const WorkloadReport report = RunWorkload(rps, queries, updates, spec);
+  EXPECT_EQ(report.queries, 25);
+  EXPECT_EQ(report.updates, 25);
+  EXPECT_GT(report.update_cells, 25);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,444 @@
+#include "tools/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+
+#include "core/cost_model.h"
+#include "core/fenwick_method.h"
+#include "core/hierarchical_rps.h"
+#include "core/naive_method.h"
+#include "core/prefix_sum_method.h"
+#include "core/snapshot.h"
+#include "cube/cube_io.h"
+#include "workload/data_gen.h"
+#include "workload/driver.h"
+#include "workload/trace.h"
+
+namespace rps::cli {
+namespace {
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  int64_t value;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("not an integer: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<std::vector<int64_t>> SplitInts(const std::string& text,
+                                       char separator) {
+  std::vector<int64_t> values;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find(separator, start);
+    const std::string_view piece =
+        std::string_view(text).substr(start, end == std::string::npos
+                                                 ? std::string::npos
+                                                 : end - start);
+    RPS_ASSIGN_OR_RETURN(const int64_t value, ParseInt64(piece));
+    values.push_back(value);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return values;
+}
+
+// Looks up a required option.
+Result<std::string> Require(const ParsedArgs& args, const std::string& key) {
+  auto it = args.options.find(key);
+  if (it == args.options.end()) {
+    return Status::InvalidArgument("missing required option --" + key);
+  }
+  return it->second;
+}
+
+std::string OptionOr(const ParsedArgs& args, const std::string& key,
+                     const std::string& fallback) {
+  auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+Result<int64_t> IntOptionOr(const ParsedArgs& args, const std::string& key,
+                            int64_t fallback) {
+  auto it = args.options.find(key);
+  if (it == args.options.end()) return fallback;
+  return ParseInt64(it->second);
+}
+
+Status CmdGen(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string shape_text, Require(args, "shape"));
+  RPS_ASSIGN_OR_RETURN(const Shape shape, ParseShape(shape_text));
+  RPS_ASSIGN_OR_RETURN(const std::string out, Require(args, "out"));
+  const std::string dist = OptionOr(args, "dist", "uniform");
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  RPS_ASSIGN_OR_RETURN(const int64_t lo, IntOptionOr(args, "lo", 0));
+  RPS_ASSIGN_OR_RETURN(const int64_t hi, IntOptionOr(args, "hi", 99));
+
+  NdArray<int64_t> cube(shape);
+  if (dist == "uniform") {
+    cube = UniformCube(shape, lo, hi, static_cast<uint64_t>(seed));
+  } else if (dist == "zipf") {
+    cube = ZipfCube(shape, 1.1, shape.num_cells() * 4,
+                    static_cast<uint64_t>(seed));
+  } else if (dist == "clustered") {
+    cube = ClusteredCube(shape, 5, shape.extent(0) / 4 + 1, lo, hi,
+                         static_cast<uint64_t>(seed));
+  } else if (dist == "sparse") {
+    cube = SparseCube(shape, 0.05, hi > 0 ? hi : 1,
+                      static_cast<uint64_t>(seed));
+  } else {
+    return Status::InvalidArgument("unknown --dist '" + dist + "'");
+  }
+  RPS_RETURN_IF_ERROR(SaveCube(cube, out));
+  std::printf("wrote %s cube %s (%lld cells) to %s\n", dist.c_str(),
+              shape.ToString().c_str(),
+              static_cast<long long>(shape.num_cells()), out.c_str());
+  return Status::Ok();
+}
+
+Status CmdBuild(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string cube_path, Require(args, "cube"));
+  RPS_ASSIGN_OR_RETURN(const std::string out, Require(args, "out"));
+  RPS_ASSIGN_OR_RETURN(NdArray<int64_t> cube, LoadCube<int64_t>(cube_path));
+
+  CellIndex box_size = RecommendedBoxSize(cube.shape());
+  if (auto it = args.options.find("box"); it != args.options.end()) {
+    RPS_ASSIGN_OR_RETURN(const Shape box_shape, ParseShape(it->second));
+    if (box_shape.dims() != cube.dims()) {
+      return Status::InvalidArgument("--box dimensionality mismatch");
+    }
+    for (int j = 0; j < cube.dims(); ++j) box_size[j] = box_shape.extent(j);
+  }
+  const RelativePrefixSum<int64_t> rps(cube, box_size);
+  RPS_RETURN_IF_ERROR(SaveSnapshot(rps, out));
+  const MemoryStats memory = rps.Memory();
+  std::printf("built %s with boxes %s: %lld RP + %lld overlay cells -> %s\n",
+              cube.shape().ToString().c_str(), box_size.ToString().c_str(),
+              static_cast<long long>(memory.primary_cells),
+              static_cast<long long>(memory.aux_cells), out.c_str());
+  return Status::Ok();
+}
+
+Status CmdInfo(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string snap, Require(args, "snap"));
+  RPS_ASSIGN_OR_RETURN(RelativePrefixSum<int64_t> rps,
+                       LoadSnapshot<int64_t>(snap));
+  const MemoryStats memory = rps.Memory();
+  const OverlayGeometry& geo = rps.geometry();
+  std::printf("shape:          %s\n", rps.shape().ToString().c_str());
+  std::printf("box size:       %s\n", geo.box_size().ToString().c_str());
+  std::printf("box grid:       %s (%lld boxes)\n",
+              geo.grid_shape().ToString().c_str(),
+              static_cast<long long>(geo.num_boxes()));
+  std::printf("RP cells:       %lld\n",
+              static_cast<long long>(memory.primary_cells));
+  std::printf("overlay cells:  %lld (%.2f%% of RP)\n",
+              static_cast<long long>(memory.aux_cells),
+              100.0 * static_cast<double>(memory.aux_cells) /
+                  static_cast<double>(memory.primary_cells));
+  std::printf("worst update:   %lld cells\n",
+              static_cast<long long>(RpsWorstCaseUpdateCells(geo).total()));
+  std::printf("total sum:      %lld\n",
+              static_cast<long long>(
+                  rps.RangeSum(Box::All(rps.shape()))));
+  return Status::Ok();
+}
+
+Status CmdQuery(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string snap, Require(args, "snap"));
+  RPS_ASSIGN_OR_RETURN(const std::string range_text, Require(args, "range"));
+  RPS_ASSIGN_OR_RETURN(const Box range, ParseRange(range_text));
+  RPS_ASSIGN_OR_RETURN(RelativePrefixSum<int64_t> rps,
+                       LoadSnapshot<int64_t>(snap));
+  if (!range.Within(rps.shape())) {
+    return Status::OutOfRange("range outside cube " +
+                              rps.shape().ToString());
+  }
+  std::printf("SUM(%s) = %lld\n", range.ToString().c_str(),
+              static_cast<long long>(rps.RangeSum(range)));
+  return Status::Ok();
+}
+
+Status CmdUpdate(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string snap, Require(args, "snap"));
+  RPS_ASSIGN_OR_RETURN(const std::string cell_text, Require(args, "cell"));
+  RPS_ASSIGN_OR_RETURN(const CellIndex cell, ParseCell(cell_text));
+  RPS_ASSIGN_OR_RETURN(const std::string delta_text, Require(args, "delta"));
+  RPS_ASSIGN_OR_RETURN(const int64_t delta, ParseInt64(delta_text));
+  RPS_ASSIGN_OR_RETURN(RelativePrefixSum<int64_t> rps,
+                       LoadSnapshot<int64_t>(snap));
+  if (!rps.shape().Contains(cell)) {
+    return Status::OutOfRange("cell outside cube");
+  }
+  const UpdateStats stats = rps.Add(cell, delta);
+  std::printf("added %lld at %s: touched %lld cells (%lld RP + %lld overlay)\n",
+              static_cast<long long>(delta), cell.ToString().c_str(),
+              static_cast<long long>(stats.total()),
+              static_cast<long long>(stats.primary_cells),
+              static_cast<long long>(stats.aux_cells));
+  const std::string out = OptionOr(args, "out", snap);
+  RPS_RETURN_IF_ERROR(SaveSnapshot(rps, out));
+  std::printf("saved to %s\n", out.c_str());
+  return Status::Ok();
+}
+
+Status CmdVerify(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string cube_path, Require(args, "cube"));
+  RPS_ASSIGN_OR_RETURN(const std::string snap, Require(args, "snap"));
+  RPS_ASSIGN_OR_RETURN(NdArray<int64_t> cube, LoadCube<int64_t>(cube_path));
+  RPS_ASSIGN_OR_RETURN(RelativePrefixSum<int64_t> rps,
+                       LoadSnapshot<int64_t>(snap));
+  if (!(cube.shape() == rps.shape())) {
+    return Status::FailedPrecondition("shape mismatch: cube " +
+                                      cube.shape().ToString() +
+                                      " vs snapshot " +
+                                      rps.shape().ToString());
+  }
+  const RelativePrefixSum<int64_t> fresh(cube, rps.geometry().box_size());
+  if (!(fresh.rp_array() == rps.rp_array())) {
+    return Status::FailedPrecondition("RP arrays differ");
+  }
+  for (int64_t slot = 0; slot < fresh.overlay().num_values(); ++slot) {
+    if (fresh.overlay().at_slot(slot) != rps.overlay().at_slot(slot)) {
+      return Status::FailedPrecondition("overlay slot " +
+                                        std::to_string(slot) + " differs");
+    }
+  }
+  std::printf("OK: snapshot matches a fresh build of the cube\n");
+  return Status::Ok();
+}
+
+Status CmdBench(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string cube_path, Require(args, "cube"));
+  RPS_ASSIGN_OR_RETURN(NdArray<int64_t> cube, LoadCube<int64_t>(cube_path));
+  RPS_ASSIGN_OR_RETURN(const int64_t queries,
+                       IntOptionOr(args, "queries", 200));
+  RPS_ASSIGN_OR_RETURN(const int64_t updates,
+                       IntOptionOr(args, "updates", 200));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+
+  const std::string method_name = OptionOr(args, "method", "all");
+  std::vector<std::unique_ptr<QueryMethod<int64_t>>> methods;
+  auto want = [&](const char* name) {
+    return method_name == "all" || method_name == name;
+  };
+  if (want("naive")) {
+    methods.push_back(std::make_unique<NaiveMethod<int64_t>>(cube));
+  }
+  if (want("prefix_sum")) {
+    methods.push_back(std::make_unique<PrefixSumMethod<int64_t>>(cube));
+  }
+  if (want("relative_prefix_sum") || method_name == "rps") {
+    methods.push_back(std::make_unique<RelativePrefixSum<int64_t>>(cube));
+  }
+  if (want("hierarchical_rps") || method_name == "hier") {
+    methods.push_back(std::make_unique<HierarchicalRps<int64_t>>(cube));
+  }
+  if (want("fenwick")) {
+    methods.push_back(std::make_unique<FenwickMethod<int64_t>>(cube));
+  }
+  if (methods.empty()) {
+    return Status::InvalidArgument("unknown --method '" + method_name + "'");
+  }
+
+  std::printf("%-22s %14s %14s %18s\n", "method", "avg query us",
+              "avg update us", "avg cells/update");
+  for (auto& method : methods) {
+    UniformQueryGen query_gen(cube.shape(), static_cast<uint64_t>(seed));
+    UniformUpdateGen update_gen(cube.shape(), 9,
+                                static_cast<uint64_t>(seed) + 1);
+    const WorkloadSpec spec{.num_queries = queries, .num_updates = updates,
+                            .interleave = true};
+    const WorkloadReport report =
+        RunWorkload(*method, query_gen, update_gen, spec);
+    std::printf("%-22s %14.3f %14.3f %18.1f\n", report.method.c_str(),
+                report.avg_query_micros(), report.avg_update_micros(),
+                report.avg_update_cells());
+  }
+  return Status::Ok();
+}
+
+Status CmdTraceRecord(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string shape_text, Require(args, "shape"));
+  RPS_ASSIGN_OR_RETURN(const Shape shape, ParseShape(shape_text));
+  RPS_ASSIGN_OR_RETURN(const std::string out, Require(args, "out"));
+  RPS_ASSIGN_OR_RETURN(const int64_t queries,
+                       IntOptionOr(args, "queries", 100));
+  RPS_ASSIGN_OR_RETURN(const int64_t updates,
+                       IntOptionOr(args, "updates", 100));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  const Trace trace = RecordMixedTrace(shape, queries, updates,
+                                       static_cast<uint64_t>(seed));
+  RPS_RETURN_IF_ERROR(SaveTrace(trace, out));
+  std::printf("recorded %zu ops (%lld queries + %lld updates) over %s -> %s\n",
+              trace.ops.size(), static_cast<long long>(queries),
+              static_cast<long long>(updates), shape.ToString().c_str(),
+              out.c_str());
+  return Status::Ok();
+}
+
+Status CmdTraceReplay(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string cube_path, Require(args, "cube"));
+  RPS_ASSIGN_OR_RETURN(const std::string trace_path, Require(args, "trace"));
+  RPS_ASSIGN_OR_RETURN(NdArray<int64_t> cube, LoadCube<int64_t>(cube_path));
+  RPS_ASSIGN_OR_RETURN(Trace trace, LoadTrace(trace_path));
+  const std::string method_name =
+      OptionOr(args, "method", "relative_prefix_sum");
+
+  std::unique_ptr<QueryMethod<int64_t>> method;
+  if (method_name == "naive") {
+    method = std::make_unique<NaiveMethod<int64_t>>(cube);
+  } else if (method_name == "prefix_sum") {
+    method = std::make_unique<PrefixSumMethod<int64_t>>(cube);
+  } else if (method_name == "relative_prefix_sum" || method_name == "rps") {
+    method = std::make_unique<RelativePrefixSum<int64_t>>(cube);
+  } else if (method_name == "hierarchical_rps" || method_name == "hier") {
+    method = std::make_unique<HierarchicalRps<int64_t>>(cube);
+  } else if (method_name == "fenwick") {
+    method = std::make_unique<FenwickMethod<int64_t>>(cube);
+  } else {
+    return Status::InvalidArgument("unknown --method '" + method_name + "'");
+  }
+
+  RPS_ASSIGN_OR_RETURN(const TraceReplayReport report,
+                       ReplayTrace(*method, trace));
+  std::printf("%s replayed %lld queries + %lld updates:\n"
+              "  query checksum: %lld\n"
+              "  update cells:   %lld\n",
+              method->name().c_str(),
+              static_cast<long long>(report.queries),
+              static_cast<long long>(report.updates),
+              static_cast<long long>(report.query_checksum),
+              static_cast<long long>(report.update_cells));
+  return Status::Ok();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: rps_tool <command> [options]\n"
+      "  gen     --shape AxB [--dist uniform|zipf|clustered|sparse]\n"
+      "          [--seed N --lo N --hi N] --out cube.bin\n"
+      "  build   --cube cube.bin [--box AxB] --out structure.snap\n"
+      "  info    --snap structure.snap\n"
+      "  query   --snap structure.snap --range a,b:c,d\n"
+      "  update  --snap structure.snap --cell a,b --delta N [--out f]\n"
+      "  verify  --cube cube.bin --snap structure.snap\n"
+      "  bench   --cube cube.bin [--method all|naive|prefix_sum|\n"
+      "          relative_prefix_sum|hierarchical_rps|fenwick]\n"
+      "          [--queries N --updates N --seed N]\n"
+      "  trace-record --shape AxB [--queries N --updates N --seed N]\n"
+      "          --out t.trace\n"
+      "  trace-replay --cube cube.bin --trace t.trace [--method M]\n");
+}
+
+}  // namespace
+
+Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("missing command");
+  }
+  ParsedArgs parsed;
+  parsed.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("option " + arg + " needs a value");
+      }
+      parsed.options[arg.substr(2)] = args[i + 1];
+      ++i;
+    } else {
+      parsed.positional.push_back(arg);
+    }
+  }
+  return parsed;
+}
+
+Result<Shape> ParseShape(const std::string& text) {
+  RPS_ASSIGN_OR_RETURN(const std::vector<int64_t> extents,
+                       SplitInts(text, 'x'));
+  if (extents.empty() || static_cast<int>(extents.size()) > kMaxDims) {
+    return Status::InvalidArgument("bad shape '" + text + "'");
+  }
+  for (int64_t e : extents) {
+    if (e < 1) return Status::InvalidArgument("bad extent in '" + text + "'");
+  }
+  return Shape::FromExtents(extents);
+}
+
+Result<CellIndex> ParseCell(const std::string& text) {
+  RPS_ASSIGN_OR_RETURN(const std::vector<int64_t> coords,
+                       SplitInts(text, ','));
+  if (coords.empty() || static_cast<int>(coords.size()) > kMaxDims) {
+    return Status::InvalidArgument("bad cell '" + text + "'");
+  }
+  CellIndex cell = CellIndex::Filled(static_cast<int>(coords.size()), 0);
+  for (size_t j = 0; j < coords.size(); ++j) {
+    cell[static_cast<int>(j)] = coords[j];
+  }
+  return cell;
+}
+
+Result<Box> ParseRange(const std::string& text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("range needs 'lo:hi': '" + text + "'");
+  }
+  RPS_ASSIGN_OR_RETURN(const CellIndex lo, ParseCell(text.substr(0, colon)));
+  RPS_ASSIGN_OR_RETURN(const CellIndex hi, ParseCell(text.substr(colon + 1)));
+  if (lo.dims() != hi.dims()) {
+    return Status::InvalidArgument("range corner dimensionality mismatch");
+  }
+  for (int j = 0; j < lo.dims(); ++j) {
+    if (lo[j] > hi[j]) {
+      return Status::InvalidArgument("inverted range in '" + text + "'");
+    }
+  }
+  return Box(lo, hi);
+}
+
+int RunCli(const std::vector<std::string>& args) {
+  const auto parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  Status status;
+  const std::string& command = parsed.value().command;
+  if (command == "gen") {
+    status = CmdGen(parsed.value());
+  } else if (command == "build") {
+    status = CmdBuild(parsed.value());
+  } else if (command == "info") {
+    status = CmdInfo(parsed.value());
+  } else if (command == "query") {
+    status = CmdQuery(parsed.value());
+  } else if (command == "update") {
+    status = CmdUpdate(parsed.value());
+  } else if (command == "verify") {
+    status = CmdVerify(parsed.value());
+  } else if (command == "bench") {
+    status = CmdBench(parsed.value());
+  } else if (command == "trace-record") {
+    status = CmdTraceRecord(parsed.value());
+  } else if (command == "trace-replay") {
+    status = CmdTraceReplay(parsed.value());
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace rps::cli

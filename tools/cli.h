@@ -1,0 +1,55 @@
+// rps_tool command-line interface (library part, so tests can drive
+// it without spawning processes).
+//
+// Subcommands:
+//   gen     --shape 256x256 [--dist uniform|zipf|clustered|sparse]
+//           [--seed N] [--lo N --hi N] --out cube.bin
+//   build   --cube cube.bin [--box 16x16] --out structure.snap
+//   info    --snap structure.snap
+//   query   --snap structure.snap --range 0,0:63,63
+//   update  --snap structure.snap --cell 3,4 --delta 5 [--out new.snap]
+//   verify  --cube cube.bin --snap structure.snap
+//
+// Cell values are int64. Shapes/boxes parse as "AxBxC", cells as
+// "a,b,c", ranges as "a,b:c,d" (inclusive).
+
+#ifndef RPS_TOOLS_CLI_H_
+#define RPS_TOOLS_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cube/box.h"
+#include "cube/index.h"
+#include "util/status.h"
+
+namespace rps::cli {
+
+/// Parsed `--key value` options plus positional arguments.
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+/// Splits argv (after the program name) into command + options.
+/// Fails on a dangling `--key` with no value.
+Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args);
+
+/// "4x5x6" -> Shape{4,5,6}.
+Result<Shape> ParseShape(const std::string& text);
+
+/// "3,4,5" -> CellIndex{3,4,5}.
+Result<CellIndex> ParseCell(const std::string& text);
+
+/// "1,2:5,6" -> Box{(1,2),(5,6)}.
+Result<Box> ParseRange(const std::string& text);
+
+/// Runs a CLI invocation; output goes to stdout/stderr. Returns the
+/// process exit code (0 on success).
+int RunCli(const std::vector<std::string>& args);
+
+}  // namespace rps::cli
+
+#endif  // RPS_TOOLS_CLI_H_

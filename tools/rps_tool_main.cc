@@ -1,0 +1,14 @@
+// rps_tool: command-line front end for generating cubes, building
+// relative prefix sum structures, and querying/updating them. See
+// tools/cli.h for the command reference.
+
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return rps::cli::RunCli(args);
+}
