@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_updates.dir/bench_batch_updates.cc.o"
+  "CMakeFiles/bench_batch_updates.dir/bench_batch_updates.cc.o.d"
+  "bench_batch_updates"
+  "bench_batch_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complexity_table.dir/bench_complexity_table.cc.o"
+  "CMakeFiles/bench_complexity_table.dir/bench_complexity_table.cc.o.d"
+  "bench_complexity_table"
+  "bench_complexity_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_scaling.dir/bench_query_scaling.cc.o"
+  "CMakeFiles/bench_query_scaling.dir/bench_query_scaling.cc.o.d"
+  "bench_query_scaling"
+  "bench_query_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_example.dir/bench_update_example.cc.o"
+  "CMakeFiles/bench_update_example.dir/bench_update_example.cc.o.d"
+  "bench_update_example"
+  "bench_update_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_scaling.dir/bench_update_scaling.cc.o"
+  "CMakeFiles/bench_update_scaling.dir/bench_update_scaling.cc.o.d"
+  "bench_update_scaling"
+  "bench_update_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

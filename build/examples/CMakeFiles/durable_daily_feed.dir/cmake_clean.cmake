@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_daily_feed.dir/durable_daily_feed.cpp.o"
+  "CMakeFiles/durable_daily_feed.dir/durable_daily_feed.cpp.o.d"
+  "durable_daily_feed"
+  "durable_daily_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_daily_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

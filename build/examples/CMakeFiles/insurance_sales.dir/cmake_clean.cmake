@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insurance_sales.dir/insurance_sales.cpp.o"
+  "CMakeFiles/insurance_sales.dir/insurance_sales.cpp.o.d"
+  "insurance_sales"
+  "insurance_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insurance_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

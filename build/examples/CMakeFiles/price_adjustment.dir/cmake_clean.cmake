@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_adjustment.dir/price_adjustment.cpp.o"
+  "CMakeFiles/price_adjustment.dir/price_adjustment.cpp.o.d"
+  "price_adjustment"
+  "price_adjustment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_box_size.dir/tuning_box_size.cpp.o"
+  "CMakeFiles/tuning_box_size.dir/tuning_box_size.cpp.o.d"
+  "tuning_box_size"
+  "tuning_box_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_box_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_dashboard.dir/warehouse_dashboard.cpp.o"
+  "CMakeFiles/warehouse_dashboard.dir/warehouse_dashboard.cpp.o.d"
+  "warehouse_dashboard"
+  "warehouse_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

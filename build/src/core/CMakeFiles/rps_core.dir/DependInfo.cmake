@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/rps_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/rps_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/hierarchical_rps.cc" "src/core/CMakeFiles/rps_core.dir/hierarchical_rps.cc.o" "gcc" "src/core/CMakeFiles/rps_core.dir/hierarchical_rps.cc.o.d"
+  "/root/repo/src/core/overlay.cc" "src/core/CMakeFiles/rps_core.dir/overlay.cc.o" "gcc" "src/core/CMakeFiles/rps_core.dir/overlay.cc.o.d"
+  "/root/repo/src/core/relative_prefix_sum.cc" "src/core/CMakeFiles/rps_core.dir/relative_prefix_sum.cc.o" "gcc" "src/core/CMakeFiles/rps_core.dir/relative_prefix_sum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/rps_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

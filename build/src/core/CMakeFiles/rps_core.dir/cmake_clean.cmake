@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_core.dir/cost_model.cc.o"
+  "CMakeFiles/rps_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/rps_core.dir/hierarchical_rps.cc.o"
+  "CMakeFiles/rps_core.dir/hierarchical_rps.cc.o.d"
+  "CMakeFiles/rps_core.dir/overlay.cc.o"
+  "CMakeFiles/rps_core.dir/overlay.cc.o.d"
+  "CMakeFiles/rps_core.dir/relative_prefix_sum.cc.o"
+  "CMakeFiles/rps_core.dir/relative_prefix_sum.cc.o.d"
+  "librps_core.a"
+  "librps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

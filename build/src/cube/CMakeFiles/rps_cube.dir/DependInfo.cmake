@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/box.cc" "src/cube/CMakeFiles/rps_cube.dir/box.cc.o" "gcc" "src/cube/CMakeFiles/rps_cube.dir/box.cc.o.d"
+  "/root/repo/src/cube/dimension.cc" "src/cube/CMakeFiles/rps_cube.dir/dimension.cc.o" "gcc" "src/cube/CMakeFiles/rps_cube.dir/dimension.cc.o.d"
+  "/root/repo/src/cube/index.cc" "src/cube/CMakeFiles/rps_cube.dir/index.cc.o" "gcc" "src/cube/CMakeFiles/rps_cube.dir/index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_cube.dir/box.cc.o"
+  "CMakeFiles/rps_cube.dir/box.cc.o.d"
+  "CMakeFiles/rps_cube.dir/dimension.cc.o"
+  "CMakeFiles/rps_cube.dir/dimension.cc.o.d"
+  "CMakeFiles/rps_cube.dir/index.cc.o"
+  "CMakeFiles/rps_cube.dir/index.cc.o.d"
+  "librps_cube.a"
+  "librps_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/csv_loader.cc" "src/olap/CMakeFiles/rps_olap.dir/csv_loader.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/csv_loader.cc.o.d"
+  "/root/repo/src/olap/engine.cc" "src/olap/CMakeFiles/rps_olap.dir/engine.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/engine.cc.o.d"
+  "/root/repo/src/olap/group_by.cc" "src/olap/CMakeFiles/rps_olap.dir/group_by.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/group_by.cc.o.d"
+  "/root/repo/src/olap/multi_measure_engine.cc" "src/olap/CMakeFiles/rps_olap.dir/multi_measure_engine.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/multi_measure_engine.cc.o.d"
+  "/root/repo/src/olap/query.cc" "src/olap/CMakeFiles/rps_olap.dir/query.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/query.cc.o.d"
+  "/root/repo/src/olap/schema.cc" "src/olap/CMakeFiles/rps_olap.dir/schema.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/schema.cc.o.d"
+  "/root/repo/src/olap/window.cc" "src/olap/CMakeFiles/rps_olap.dir/window.cc.o" "gcc" "src/olap/CMakeFiles/rps_olap.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/rps_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_olap.dir/csv_loader.cc.o"
+  "CMakeFiles/rps_olap.dir/csv_loader.cc.o.d"
+  "CMakeFiles/rps_olap.dir/engine.cc.o"
+  "CMakeFiles/rps_olap.dir/engine.cc.o.d"
+  "CMakeFiles/rps_olap.dir/group_by.cc.o"
+  "CMakeFiles/rps_olap.dir/group_by.cc.o.d"
+  "CMakeFiles/rps_olap.dir/multi_measure_engine.cc.o"
+  "CMakeFiles/rps_olap.dir/multi_measure_engine.cc.o.d"
+  "CMakeFiles/rps_olap.dir/query.cc.o"
+  "CMakeFiles/rps_olap.dir/query.cc.o.d"
+  "CMakeFiles/rps_olap.dir/schema.cc.o"
+  "CMakeFiles/rps_olap.dir/schema.cc.o.d"
+  "CMakeFiles/rps_olap.dir/window.cc.o"
+  "CMakeFiles/rps_olap.dir/window.cc.o.d"
+  "librps_olap.a"
+  "librps_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/rps_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/rps_storage.dir/pager.cc.o"
+  "CMakeFiles/rps_storage.dir/pager.cc.o.d"
+  "CMakeFiles/rps_storage.dir/wal.cc.o"
+  "CMakeFiles/rps_storage.dir/wal.cc.o.d"
+  "librps_storage.a"
+  "librps_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

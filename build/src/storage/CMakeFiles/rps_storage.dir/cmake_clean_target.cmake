@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librps_storage.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_util.dir/binary_io.cc.o"
+  "CMakeFiles/rps_util.dir/binary_io.cc.o.d"
+  "CMakeFiles/rps_util.dir/crc32.cc.o"
+  "CMakeFiles/rps_util.dir/crc32.cc.o.d"
+  "CMakeFiles/rps_util.dir/math.cc.o"
+  "CMakeFiles/rps_util.dir/math.cc.o.d"
+  "CMakeFiles/rps_util.dir/random.cc.o"
+  "CMakeFiles/rps_util.dir/random.cc.o.d"
+  "CMakeFiles/rps_util.dir/status.cc.o"
+  "CMakeFiles/rps_util.dir/status.cc.o.d"
+  "librps_util.a"
+  "librps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/data_gen.cc" "src/workload/CMakeFiles/rps_workload.dir/data_gen.cc.o" "gcc" "src/workload/CMakeFiles/rps_workload.dir/data_gen.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/workload/CMakeFiles/rps_workload.dir/driver.cc.o" "gcc" "src/workload/CMakeFiles/rps_workload.dir/driver.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/rps_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/rps_workload.dir/query_gen.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/rps_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/rps_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/rps_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_workload.dir/data_gen.cc.o"
+  "CMakeFiles/rps_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/rps_workload.dir/driver.cc.o"
+  "CMakeFiles/rps_workload.dir/driver.cc.o.d"
+  "CMakeFiles/rps_workload.dir/query_gen.cc.o"
+  "CMakeFiles/rps_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/rps_workload.dir/trace.cc.o"
+  "CMakeFiles/rps_workload.dir/trace.cc.o.d"
+  "librps_workload.a"
+  "librps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

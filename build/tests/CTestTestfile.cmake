@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("cube")
+subdirs("core")
+subdirs("storage")
+subdirs("olap")
+subdirs("workload")
+subdirs("property")
+subdirs("tools")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hierarchical_rps_test.dir/hierarchical_rps_test.cc.o"
+  "CMakeFiles/core_hierarchical_rps_test.dir/hierarchical_rps_test.cc.o.d"
+  "core_hierarchical_rps_test"
+  "core_hierarchical_rps_test.pdb"
+  "core_hierarchical_rps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hierarchical_rps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_method_conformance_test.dir/method_conformance_test.cc.o"
+  "CMakeFiles/core_method_conformance_test.dir/method_conformance_test.cc.o.d"
+  "core_method_conformance_test"
+  "core_method_conformance_test.pdb"
+  "core_method_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_method_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

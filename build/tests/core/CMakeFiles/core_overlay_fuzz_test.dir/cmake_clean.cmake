@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_overlay_fuzz_test.dir/overlay_fuzz_test.cc.o"
+  "CMakeFiles/core_overlay_fuzz_test.dir/overlay_fuzz_test.cc.o.d"
+  "core_overlay_fuzz_test"
+  "core_overlay_fuzz_test.pdb"
+  "core_overlay_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_overlay_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_overlay_test.dir/overlay_test.cc.o"
+  "CMakeFiles/core_overlay_test.dir/overlay_test.cc.o.d"
+  "core_overlay_test"
+  "core_overlay_test.pdb"
+  "core_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

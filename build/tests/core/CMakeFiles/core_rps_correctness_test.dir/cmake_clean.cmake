@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rps_correctness_test.dir/rps_correctness_test.cc.o"
+  "CMakeFiles/core_rps_correctness_test.dir/rps_correctness_test.cc.o.d"
+  "core_rps_correctness_test"
+  "core_rps_correctness_test.pdb"
+  "core_rps_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rps_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_rps_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_overlay_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_method_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_baseline_methods_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_batch_update_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_lookup_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_hierarchical_rps_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_value_type_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_overlay_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_hierarchical_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_dual_rps_test[1]_include.cmake")

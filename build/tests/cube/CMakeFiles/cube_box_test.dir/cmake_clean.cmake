@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_box_test.dir/box_test.cc.o"
+  "CMakeFiles/cube_box_test.dir/box_test.cc.o.d"
+  "cube_box_test"
+  "cube_box_test.pdb"
+  "cube_box_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_dimension_test.dir/dimension_test.cc.o"
+  "CMakeFiles/cube_dimension_test.dir/dimension_test.cc.o.d"
+  "cube_dimension_test"
+  "cube_dimension_test.pdb"
+  "cube_dimension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_dimension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_index_test.dir/index_test.cc.o"
+  "CMakeFiles/cube_index_test.dir/index_test.cc.o.d"
+  "cube_index_test"
+  "cube_index_test.pdb"
+  "cube_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

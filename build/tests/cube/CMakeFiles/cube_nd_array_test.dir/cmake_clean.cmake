@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_nd_array_test.dir/nd_array_test.cc.o"
+  "CMakeFiles/cube_nd_array_test.dir/nd_array_test.cc.o.d"
+  "cube_nd_array_test"
+  "cube_nd_array_test.pdb"
+  "cube_nd_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_nd_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_prefix_test.dir/prefix_test.cc.o"
+  "CMakeFiles/cube_prefix_test.dir/prefix_test.cc.o.d"
+  "cube_prefix_test"
+  "cube_prefix_test.pdb"
+  "cube_prefix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_prefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

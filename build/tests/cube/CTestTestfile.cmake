@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cube
+# Build directory: /root/repo/build/tests/cube
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cube/cube_index_test[1]_include.cmake")
+include("/root/repo/build/tests/cube/cube_box_test[1]_include.cmake")
+include("/root/repo/build/tests/cube/cube_nd_array_test[1]_include.cmake")
+include("/root/repo/build/tests/cube/cube_prefix_test[1]_include.cmake")
+include("/root/repo/build/tests/cube/cube_dimension_test[1]_include.cmake")
+include("/root/repo/build/tests/cube/cube_io_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_csv_loader_test.dir/csv_loader_test.cc.o"
+  "CMakeFiles/olap_csv_loader_test.dir/csv_loader_test.cc.o.d"
+  "olap_csv_loader_test"
+  "olap_csv_loader_test.pdb"
+  "olap_csv_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_csv_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

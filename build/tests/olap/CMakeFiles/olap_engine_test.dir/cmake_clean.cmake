@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_engine_test.dir/engine_test.cc.o"
+  "CMakeFiles/olap_engine_test.dir/engine_test.cc.o.d"
+  "olap_engine_test"
+  "olap_engine_test.pdb"
+  "olap_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_group_by_test.dir/group_by_test.cc.o"
+  "CMakeFiles/olap_group_by_test.dir/group_by_test.cc.o.d"
+  "olap_group_by_test"
+  "olap_group_by_test.pdb"
+  "olap_group_by_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_group_by_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for olap_multi_measure_engine_test.
+# This may be replaced when dependencies are built.

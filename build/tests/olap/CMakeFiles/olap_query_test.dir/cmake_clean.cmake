@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_query_test.dir/query_test.cc.o"
+  "CMakeFiles/olap_query_test.dir/query_test.cc.o.d"
+  "olap_query_test"
+  "olap_query_test.pdb"
+  "olap_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/olap_schema_test.dir/schema_test.cc.o.d"
+  "olap_schema_test"
+  "olap_schema_test.pdb"
+  "olap_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

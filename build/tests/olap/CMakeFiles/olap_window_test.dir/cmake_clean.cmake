@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_window_test.dir/window_test.cc.o"
+  "CMakeFiles/olap_window_test.dir/window_test.cc.o.d"
+  "olap_window_test"
+  "olap_window_test.pdb"
+  "olap_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

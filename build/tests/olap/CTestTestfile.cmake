@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/olap
+# Build directory: /root/repo/build/tests/olap
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/olap/olap_schema_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_query_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_group_by_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_csv_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_concurrent_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_multi_measure_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/olap/olap_window_test[1]_include.cmake")

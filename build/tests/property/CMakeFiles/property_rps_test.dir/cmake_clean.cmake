@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_rps_test.dir/rps_property_test.cc.o"
+  "CMakeFiles/property_rps_test.dir/rps_property_test.cc.o.d"
+  "property_rps_test"
+  "property_rps_test.pdb"
+  "property_rps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_rps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

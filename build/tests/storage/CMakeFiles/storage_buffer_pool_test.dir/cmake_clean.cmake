@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_buffer_pool_test.dir/buffer_pool_test.cc.o"
+  "CMakeFiles/storage_buffer_pool_test.dir/buffer_pool_test.cc.o.d"
+  "storage_buffer_pool_test"
+  "storage_buffer_pool_test.pdb"
+  "storage_buffer_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_buffer_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

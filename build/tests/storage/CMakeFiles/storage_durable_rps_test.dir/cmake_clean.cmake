@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_durable_rps_test.dir/durable_rps_test.cc.o"
+  "CMakeFiles/storage_durable_rps_test.dir/durable_rps_test.cc.o.d"
+  "storage_durable_rps_test"
+  "storage_durable_rps_test.pdb"
+  "storage_durable_rps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_durable_rps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for storage_paged_rps_persistence_test.
+# This may be replaced when dependencies are built.

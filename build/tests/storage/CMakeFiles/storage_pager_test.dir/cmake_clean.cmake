@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_pager_test.dir/pager_test.cc.o"
+  "CMakeFiles/storage_pager_test.dir/pager_test.cc.o.d"
+  "storage_pager_test"
+  "storage_pager_test.pdb"
+  "storage_pager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

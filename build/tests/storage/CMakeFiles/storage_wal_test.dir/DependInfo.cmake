@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/wal_test.cc" "tests/storage/CMakeFiles/storage_wal_test.dir/wal_test.cc.o" "gcc" "tests/storage/CMakeFiles/storage_wal_test.dir/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/rps_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/rps_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storage/storage_pager_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_paged_array_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_paged_rps_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_wal_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_durable_rps_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_paged_rps_persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_buffer_pool_stress_test[1]_include.cmake")

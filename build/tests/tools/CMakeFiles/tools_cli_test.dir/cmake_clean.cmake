@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_cli_test.dir/cli_test.cc.o"
+  "CMakeFiles/tools_cli_test.dir/cli_test.cc.o.d"
+  "tools_cli_test"
+  "tools_cli_test.pdb"
+  "tools_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

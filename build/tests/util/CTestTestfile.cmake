@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util/util_math_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_random_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_status_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_binary_io_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_check_test[1]_include.cmake")

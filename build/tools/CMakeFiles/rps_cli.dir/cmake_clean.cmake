@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_cli.dir/cli.cc.o"
+  "CMakeFiles/rps_cli.dir/cli.cc.o.d"
+  "librps_cli.a"
+  "librps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_tool.dir/rps_tool_main.cc.o"
+  "CMakeFiles/rps_tool.dir/rps_tool_main.cc.o.d"
+  "rps_tool"
+  "rps_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
