@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Static-analysis runner for the RPS engine.
+#
+# Preferred backend: clang-tidy with the repo .clang-tidy policy, run
+# over every translation unit under the target directory using the
+# compile database of the `release` preset (configured on demand).
+#
+# Fallback backend (toolchains without clang-tidy, e.g. gcc-only
+# containers): a strict-warning pass with g++. Every .cc is compiled
+# with -fsyntax-only -Werror under a wider warning set than the normal
+# build, and every header is additionally compiled standalone, which
+# both syntax-checks it and proves it self-contained.
+#
+# Usage: scripts/lint.sh [dir ...]   (default: src)
+# Exits nonzero on the first diagnostic.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+targets=("$@")
+if [ "${#targets[@]}" -eq 0 ]; then
+  targets=(src)
+fi
+
+sources=()
+headers=()
+for dir in "${targets[@]}"; do
+  while IFS= read -r f; do sources+=("$f"); done \
+    < <(find "$dir" -name '*.cc' | sort)
+  while IFS= read -r f; do headers+=("$f"); done \
+    < <(find "$dir" -name '*.h' | sort)
+done
+
+if [ "${#sources[@]}" -eq 0 ] && [ "${#headers[@]}" -eq 0 ]; then
+  echo "lint.sh: no C++ files under: ${targets[*]}" >&2
+  exit 2
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  build_dir=build/release
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint.sh: configuring '$build_dir' for the compile database" >&2
+    cmake --preset release >/dev/null
+  fi
+  echo "lint.sh: clang-tidy over ${#sources[@]} translation units" >&2
+  status=0
+  for f in "${sources[@]}"; do
+    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+  done
+  exit "$status"
+fi
+
+echo "lint.sh: clang-tidy not found; using GCC strict-warning fallback" >&2
+GCC_FLAGS=(
+  -std=c++20 -Isrc -fsyntax-only -Werror
+  -Wall -Wextra -Wpedantic
+  -Wshadow -Wnon-virtual-dtor -Woverloaded-virtual -Wvla
+  -Wwrite-strings -Wpointer-arith -Wformat=2 -Wundef
+  -Wconversion -Wold-style-cast -Wdouble-promotion
+)
+
+status=0
+for f in "${sources[@]}"; do
+  if ! g++ "${GCC_FLAGS[@]}" "$f"; then
+    echo "lint.sh: FAILED $f" >&2
+    status=1
+  fi
+done
+for f in "${headers[@]}"; do
+  if ! g++ "${GCC_FLAGS[@]}" -x c++ "$f"; then
+    echo "lint.sh: FAILED (standalone header) $f" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "lint.sh: OK (${#sources[@]} sources, ${#headers[@]} headers)" >&2
+fi
+exit "$status"

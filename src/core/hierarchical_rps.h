@@ -289,6 +289,117 @@ class HierarchicalRps final : public QueryMethod<T> {
     return memory;
   }
 
+  /// Self-audit from first principles, mirroring
+  /// RelativePrefixSum::CheckInvariants: recovers the implied source
+  /// A from the RP array, re-aggregates the coarse cube of box totals
+  /// and every face cube from A, compares sampled cells of each inner
+  /// structure against that re-aggregation, runs each inner
+  /// structure's own audit, and checks sampled end-to-end prefix
+  /// assemblies against A's prefix array. O(2^d * N) time.
+  Status CheckInvariants(const AuditOptions& options = AuditOptions{}) const {
+    const int d = shape_.dims();
+    const uint32_t full = (1u << d) - 1;
+
+    // Structural checks.
+    if (coarse_ == nullptr) {
+      return Status::Internal("hierarchical coarse structure is missing");
+    }
+    if (!(coarse_->shape() == grid_shape_)) {
+      return Status::Internal("coarse structure shape disagrees with grid");
+    }
+    if (faces_.size() != static_cast<size_t>(full)) {
+      return Status::Internal("face structure count disagrees with 2^d - 1");
+    }
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      const auto& face = faces_[static_cast<size_t>(mask)];
+      if (face == nullptr) {
+        return Status::Internal("face structure " + std::to_string(mask) +
+                                " is missing");
+      }
+      if (!(face->shape() == FaceShape(mask))) {
+        return Status::Internal("face structure " + std::to_string(mask) +
+                                " has the wrong shape");
+      }
+    }
+
+    // Recover A and re-aggregate the coarse and face cubes from it.
+    NdArray<T> source(shape_);
+    NdArray<T> coarse_cells(grid_shape_, T{});
+    std::vector<NdArray<T>> face_cells(static_cast<size_t>(full));
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      face_cells[static_cast<size_t>(mask)] = NdArray<T>(FaceShape(mask), T{});
+    }
+    {
+      CellIndex cell = CellIndex::Filled(d, 0);
+      CellIndex coarse_index = CellIndex::Filled(d, 0);
+      CellIndex face_index = CellIndex::Filled(d, 0);
+      do {
+        const T value = ValueAt(cell);
+        source.at(cell) = value;
+        for (int j = 0; j < d; ++j) coarse_index[j] = cell[j] / box_size_[j];
+        coarse_cells.at(coarse_index) += value;
+        for (uint32_t mask = 1; mask < full; ++mask) {
+          for (int j = 0; j < d; ++j) {
+            face_index[j] = (mask & (1u << j)) ? cell[j] : coarse_index[j];
+          }
+          face_cells[static_cast<size_t>(mask)].at(face_index) += value;
+        }
+      } while (NextIndex(shape_, cell));
+    }
+
+    Rng rng(options.seed);
+
+    // Coarse cube: sampled cells must hold their box totals.
+    {
+      const int64_t cells = grid_shape_.num_cells();
+      const int64_t samples = std::min(options.rp_samples, cells);
+      for (int64_t s = 0; s < samples; ++s) {
+        const CellIndex g =
+            grid_shape_.Delinearize(rng.UniformInt(0, cells - 1));
+        if (!internal_audit::CellsEqual(coarse_->ValueAt(g),
+                                        coarse_cells.at(g))) {
+          return Status::Internal("coarse cell " + g.ToString() +
+                                  " disagrees with its box total");
+        }
+      }
+      RPS_RETURN_IF_ERROR(coarse_->CheckInvariants(options));
+    }
+
+    // Face cubes: sampled cells must hold their partial aggregates.
+    for (uint32_t mask = 1; mask < full; ++mask) {
+      const RelativePrefixSum<T>& face = *faces_[static_cast<size_t>(mask)];
+      const NdArray<T>& expected = face_cells[static_cast<size_t>(mask)];
+      const int64_t cells = expected.shape().num_cells();
+      const int64_t samples = std::min(options.rp_samples, cells);
+      for (int64_t s = 0; s < samples; ++s) {
+        const CellIndex f =
+            expected.shape().Delinearize(rng.UniformInt(0, cells - 1));
+        if (!internal_audit::CellsEqual(face.ValueAt(f), expected.at(f))) {
+          return Status::Internal("face " + std::to_string(mask) + " cell " +
+                                  f.ToString() +
+                                  " disagrees with its re-aggregation");
+        }
+      }
+      RPS_RETURN_IF_ERROR(face.CheckInvariants(options));
+    }
+
+    // End-to-end: sampled prefix assemblies against A's prefix array.
+    NdArray<T> prefix = source;
+    PrefixSumInPlace(prefix);
+    const int64_t num_cells = shape_.num_cells();
+    const int64_t samples = std::min(options.prefix_samples, num_cells);
+    for (int64_t s = 0; s < samples; ++s) {
+      const CellIndex t =
+          shape_.Delinearize(rng.UniformInt(0, num_cells - 1));
+      if (!internal_audit::CellsEqual(PrefixSum(t), prefix.at(t))) {
+        return Status::Internal(
+            "hierarchical prefix assembly at " + t.ToString() +
+            " disagrees with the recovered prefix array");
+      }
+    }
+    return Status::Ok();
+  }
+
  private:
   struct PartsTag {};
   HierarchicalRps(const Shape& shape, const CellIndex& box_size, PartsTag)

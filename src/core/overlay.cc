@@ -132,4 +132,93 @@ int64_t OverlayGeometry::AnchorSlotOf(const CellIndex& box_index) const {
   return slot_base_[static_cast<size_t>(box_linear)];
 }
 
+Status OverlayGeometry::CheckInvariants(int64_t max_boxes) const {
+  // Grid extents must match ceil(n_j / k_j).
+  for (int j = 0; j < dims(); ++j) {
+    if (box_size_[j] < 1 || box_size_[j] > cube_shape_.extent(j)) {
+      return Status::Internal("overlay box side " + std::to_string(j) +
+                              " outside [1, extent]");
+    }
+    if (grid_shape_.extent(j) != CeilDiv(cube_shape_.extent(j),
+                                         box_size_[j])) {
+      return Status::Internal("overlay grid extent " + std::to_string(j) +
+                              " inconsistent with cube/box sizes");
+    }
+  }
+
+  // slot_base_ must be a monotone prefix of per-box stored-cell
+  // counts ending at total_stored_cells_.
+  const int64_t num = num_boxes();
+  if (static_cast<int64_t>(slot_base_.size()) != num + 1) {
+    return Status::Internal("overlay slot table has wrong size");
+  }
+  CellIndex box_index = CellIndex::Filled(dims(), 0);
+  for (int64_t b = 0; b < num; ++b) {
+    const int64_t width = slot_base_[static_cast<size_t>(b) + 1] -
+                          slot_base_[static_cast<size_t>(b)];
+    if (width != StoredCellsInBox(box_index)) {
+      return Status::Internal("overlay slot range of box " +
+                              box_index.ToString() +
+                              " disagrees with its stored-cell count");
+    }
+    NextIndex(grid_shape_, box_index);
+  }
+  if (slot_base_[static_cast<size_t>(num)] != total_stored_cells_) {
+    return Status::Internal("overlay slot table does not end at "
+                            "total_stored_cells");
+  }
+
+  // For a sample of boxes, SlotOf must map the box's stored cells
+  // bijectively onto [slot_base[b], slot_base[b+1]).
+  const int64_t stride = std::max<int64_t>(1, num / std::max<int64_t>(
+                                                      1, max_boxes));
+  box_index = CellIndex::Filled(dims(), 0);
+  for (int64_t b = 0; b < num; ++b, NextIndex(grid_shape_, box_index)) {
+    if (b % stride != 0) continue;
+    const int64_t lo = slot_base_[static_cast<size_t>(b)];
+    const int64_t hi = slot_base_[static_cast<size_t>(b) + 1];
+    if (AnchorSlotOf(box_index) != lo) {
+      return Status::Internal("anchor slot of box " + box_index.ToString() +
+                              " is not the first slot of its range");
+    }
+    std::vector<bool> seen(static_cast<size_t>(hi - lo), false);
+    const CellIndex extents = ExtentsOf(box_index);
+    std::vector<int64_t> e(static_cast<size_t>(dims()));
+    for (int j = 0; j < dims(); ++j) e[static_cast<size_t>(j)] = extents[j];
+    const Shape box_shape = Shape::FromExtents(e);
+    CellIndex offsets = CellIndex::Filled(dims(), 0);
+    do {
+      bool stored = false;
+      for (int j = 0; j < dims(); ++j) {
+        if (offsets[j] == 0) {
+          stored = true;
+          break;
+        }
+      }
+      if (!stored) continue;
+      const int64_t slot = SlotOf(box_index, offsets);
+      if (slot < lo || slot >= hi) {
+        return Status::Internal("slot of offsets " + offsets.ToString() +
+                                " in box " + box_index.ToString() +
+                                " escapes the box's slot range");
+      }
+      if (seen[static_cast<size_t>(slot - lo)]) {
+        return Status::Internal("two stored cells of box " +
+                                box_index.ToString() + " share slot " +
+                                std::to_string(slot));
+      }
+      seen[static_cast<size_t>(slot - lo)] = true;
+    } while (NextIndex(box_shape, offsets));
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (!seen[i]) {
+        return Status::Internal("slot " + std::to_string(lo +
+                                static_cast<int64_t>(i)) + " of box " +
+                                box_index.ToString() +
+                                " is not reachable from any stored cell");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace rps

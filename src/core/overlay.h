@@ -27,6 +27,7 @@
 #include "cube/box.h"
 #include "cube/index.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace rps {
 
@@ -72,6 +73,12 @@ class OverlayGeometry {
 
   /// Slot of the anchor cell of `box_index` (all-zero offsets).
   int64_t AnchorSlotOf(const CellIndex& box_index) const;
+
+  /// Self-audit of the geometry bookkeeping: grid extents, slot-base
+  /// monotonicity, and (for up to `max_boxes` boxes) that SlotOf is a
+  /// bijection from a box's stored cells onto its slot range. Returns
+  /// the first violation found. O(stored cells of audited boxes).
+  Status CheckInvariants(int64_t max_boxes = 256) const;
 
  private:
   // Rank of `offsets` among the stored cells of a box with extents

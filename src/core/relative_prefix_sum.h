@@ -19,7 +19,10 @@
 #define RPS_CORE_RELATIVE_PREFIX_SUM_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -31,9 +34,43 @@
 #include "cube/prefix.h"
 #include "util/check.h"
 #include "util/math.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace rps {
+
+/// Sampling knobs for the CheckInvariants self-audits (flat and
+/// hierarchical). Every audit always reconstructs the implied source
+/// array in full; the knobs bound how many cells of each structure
+/// are re-derived from first principles and compared. A budget that
+/// covers its whole population turns that sweep exhaustive (and
+/// deterministic) instead of randomly sampled.
+struct AuditOptions {
+  int64_t rp_samples = 256;       // RP cells re-derived as box-local sums
+  int64_t overlay_samples = 256;  // overlay stored cells re-derived
+  int64_t prefix_samples = 64;    // full prefix-sum assemblies checked
+  uint64_t seed = 1;              // sampling seed (audits are deterministic)
+};
+
+namespace internal_audit {
+
+/// Equality for audited cell values: exact for integral (and any
+/// non-floating) T, relative-tolerance for floating T, where the
+/// reconstruct-then-rebuild round trip legitimately reassociates
+/// additions.
+template <typename T>
+bool CellsEqual(const T& actual, const T& expected) {
+  if constexpr (std::is_floating_point_v<T>) {
+    const T diff = std::fabs(actual - expected);
+    const T scale = std::max(
+        T{1}, std::max(std::fabs(actual), std::fabs(expected)));
+    return diff <= scale * static_cast<T>(1e-9);
+  } else {
+    return actual == expected;
+  }
+}
+
+}  // namespace internal_audit
 
 /// Returns the overlay box sizes recommended by the paper's cost
 /// analysis: k_j = nearest integer to sqrt(n_j), clamped to
@@ -164,17 +201,37 @@ class RelativePrefixSum final : public QueryMethod<T> {
   const NdArray<T>& rp_array() const { return rp_; }
   const Overlay<T>& overlay() const { return overlay_; }
 
+  /// Self-audit from first principles (tests and `rps_tool audit`).
+  /// Recovers the source array A implied by the RP array, builds A's
+  /// prefix array P, and re-derives samples of every component
+  /// against their definitions:
+  ///   * geometry bookkeeping (OverlayGeometry::CheckInvariants),
+  ///   * RP[t] == SUM(A[anchor(t)..t])  (Section 3.2),
+  ///   * overlay stored values == their defining region sums,
+  ///     via val(c) = P[c] - RP[c] - SUM(proper projections)
+  ///     (DESIGN.md Section 1),
+  ///   * PrefixSum(t) == P[t]  (the Figure 12 assembly).
+  /// Returns the first violation. O(N * 2^d) time, O(N) extra memory.
+  Status CheckInvariants(const AuditOptions& options = AuditOptions{}) const;
+
   /// Cell-lookup accounting in the paper's cost unit (Section 4.1:
   /// a prefix lookup needs one anchor value, the border values of the
   /// target's projections, and one RP cell). Counters accumulate
-  /// across queries; single-threaded use only.
+  /// across queries. Increments are relaxed atomics so concurrent
+  /// readers (ConcurrentOlapEngine) stay race-free; lookup_stats()
+  /// returns a snapshot, exact only when no query runs concurrently.
   struct LookupStats {
     int64_t overlay_reads = 0;
     int64_t rp_reads = 0;
     int64_t total() const { return overlay_reads + rp_reads; }
   };
-  const LookupStats& lookup_stats() const { return lookups_; }
-  void ResetLookupStats() const { lookups_ = LookupStats{}; }
+  LookupStats lookup_stats() const {
+    return {lookups_.overlay_reads.Load(), lookups_.rp_reads.Load()};
+  }
+  void ResetLookupStats() const {
+    lookups_.overlay_reads.Reset();
+    lookups_.rp_reads.Reset();
+  }
 
  private:
   struct PartsTag {};
@@ -183,9 +240,31 @@ class RelativePrefixSum final : public QueryMethod<T> {
 
   void BuildFrom(const NdArray<T>& source);
 
+  // Relaxed atomic counter whose value carries across structure
+  // copies (std::atomic alone would delete the copy constructor).
+  class RelaxedCounter {
+   public:
+    RelaxedCounter() = default;
+    RelaxedCounter(const RelaxedCounter& other) : value_(other.Load()) {}
+    RelaxedCounter& operator=(const RelaxedCounter& other) {
+      value_.store(other.Load(), std::memory_order_relaxed);
+      return *this;
+    }
+    void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+    int64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<int64_t> value_{0};
+  };
+  struct AtomicLookupStats {
+    RelaxedCounter overlay_reads;
+    RelaxedCounter rp_reads;
+  };
+
   NdArray<T> rp_;
   Overlay<T> overlay_;
-  mutable LookupStats lookups_;
+  mutable AtomicLookupStats lookups_;
 };
 
 // ---------------------------------------------------------------------------
@@ -288,8 +367,8 @@ T RelativePrefixSum<T>::PrefixSum(const CellIndex& target) const {
 
   // Anchor value + RP cell.
   T total = overlay_.at_slot(geo.AnchorSlotOf(box_index)) + rp_.at(target);
-  ++lookups_.overlay_reads;
-  ++lookups_.rp_reads;
+  lookups_.overlay_reads.Increment();
+  lookups_.rp_reads.Increment();
 
   // Border values of the projections of `target` onto the anchor
   // faces: one per nonempty proper subset of the dimensions where the
@@ -313,7 +392,7 @@ T RelativePrefixSum<T>::PrefixSum(const CellIndex& target) const {
       }
     }
     total += overlay_.at(box_index, offsets);
-    ++lookups_.overlay_reads;
+    lookups_.overlay_reads.Increment();
   }
   return total;
 }
@@ -433,6 +512,163 @@ UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
   } while (NextIndexInBox(grid_range, box_index));
 
   return stats;
+}
+
+template <typename T>
+Status RelativePrefixSum<T>::CheckInvariants(
+    const AuditOptions& options) const {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& shape = rp_.shape();
+  const int d = shape.dims();
+
+  // Structural checks first: everything below indexes through these.
+  if (!(geo.cube_shape() == shape)) {
+    return Status::Internal("overlay cube shape disagrees with RP shape");
+  }
+  if (overlay_.num_values() != geo.total_stored_cells()) {
+    return Status::Internal("overlay value count disagrees with geometry");
+  }
+  RPS_RETURN_IF_ERROR(geo.CheckInvariants());
+
+  // Recover the implied source array A (box-local differencing of RP)
+  // and its full prefix array P. Both are exact inverses of the build
+  // transforms, so any corruption of RP or the overlay shows up as a
+  // disagreement between a stored cell and its re-derivation below.
+  const int64_t num_cells = shape.num_cells();
+  NdArray<T> source(shape);
+  {
+    CellIndex cell = CellIndex::Filled(d, 0);
+    do {
+      source.at(cell) = ValueAt(cell);
+    } while (NextIndex(shape, cell));
+  }
+  NdArray<T> prefix = source;
+  PrefixSumInPlace(prefix);
+
+  Rng rng(options.seed);
+
+  // RP cells: RP[t] must be the box-local prefix sum SUM(A[a..t]).
+  // A sample budget covering the population degrades to an exhaustive
+  // (and deterministic) sweep; the same rule applies below.
+  auto audit_rp_cell = [&](const CellIndex& t) -> Status {
+    const CellIndex anchor = geo.AnchorOf(geo.BoxIndexOf(t));
+    const T expected = SumFromPrefixArray(prefix, Box(anchor, t));
+    if (!internal_audit::CellsEqual(rp_.at(t), expected)) {
+      return Status::Internal(
+          "RP cell " + t.ToString() +
+          " disagrees with the box-local sum of the recovered source");
+    }
+    return Status::Ok();
+  };
+  if (options.rp_samples >= num_cells) {
+    CellIndex t = CellIndex::Filled(d, 0);
+    do {
+      RPS_RETURN_IF_ERROR(audit_rp_cell(t));
+    } while (NextIndex(shape, t));
+  } else {
+    for (int64_t s = 0; s < options.rp_samples; ++s) {
+      RPS_RETURN_IF_ERROR(audit_rp_cell(
+          shape.Delinearize(rng.UniformInt(0, num_cells - 1))));
+    }
+  }
+
+  // Overlay stored cells: re-derive val(c) purely from P and RP using
+  // the triangular recursion
+  //   val(c) = P[c] - RP[c] - SUM over proper projections of val,
+  // computing every projection's value locally instead of trusting
+  // stored neighbors.
+  auto audit_overlay_cell = [&](const CellIndex& box_index,
+                                const CellIndex& offsets) -> Status {
+    const CellIndex anchor = geo.AnchorOf(box_index);
+    int positive[kMaxDims];
+    int num_positive = 0;
+    for (int j = 0; j < d; ++j) {
+      if (offsets[j] > 0) positive[num_positive++] = j;
+    }
+    // expected[mask] = val of the projection keeping the offsets of
+    // the dimensions selected by `mask`, zeroing the rest.
+    std::vector<T> expected(size_t{1} << num_positive);
+    CellIndex proj = anchor;
+    for (uint32_t mask = 0; mask < (1u << num_positive); ++mask) {
+      for (int j = 0; j < d; ++j) proj[j] = anchor[j];
+      for (int i = 0; i < num_positive; ++i) {
+        if (mask & (1u << i)) {
+          proj[positive[i]] = anchor[positive[i]] + offsets[positive[i]];
+        }
+      }
+      T value = prefix.at(proj) - rp_.at(proj);
+      for (uint32_t sub = 0; sub < mask; ++sub) {
+        if ((sub & mask) == sub) value -= expected[sub];
+      }
+      expected[mask] = value;
+    }
+    const uint32_t full_mask = (1u << num_positive) - 1;
+    if (!internal_audit::CellsEqual(overlay_.at(box_index, offsets),
+                                    expected[full_mask])) {
+      return Status::Internal(
+          "overlay value at offsets " + offsets.ToString() + " of box " +
+          box_index.ToString() + " disagrees with its defining region sum");
+    }
+    return Status::Ok();
+  };
+  if (options.overlay_samples >= overlay_.num_values()) {
+    // Exhaustive: every stored cell of every box.
+    CellIndex box_index = CellIndex::Filled(d, 0);
+    const int64_t num_boxes = geo.num_boxes();
+    for (int64_t b = 0; b < num_boxes; ++b) {
+      const CellIndex extents = geo.ExtentsOf(box_index);
+      std::vector<int64_t> e(static_cast<size_t>(d));
+      for (int j = 0; j < d; ++j) e[static_cast<size_t>(j)] = extents[j];
+      const Shape box_shape = Shape::FromExtents(e);
+      CellIndex offsets = CellIndex::Filled(d, 0);
+      do {
+        bool stored = false;
+        for (int j = 0; j < d; ++j) {
+          if (offsets[j] == 0) {
+            stored = true;
+            break;
+          }
+        }
+        if (!stored) continue;
+        RPS_RETURN_IF_ERROR(audit_overlay_cell(box_index, offsets));
+      } while (NextIndex(box_shape, offsets));
+      NextIndex(geo.grid_shape(), box_index);
+    }
+  } else {
+    for (int64_t s = 0; s < options.overlay_samples; ++s) {
+      const CellIndex probe =
+          shape.Delinearize(rng.UniformInt(0, num_cells - 1));
+      const CellIndex box_index = geo.BoxIndexOf(probe);
+      const CellIndex anchor = geo.AnchorOf(box_index);
+      // Force at least one zero offset so the probe is a stored cell.
+      CellIndex offsets = CellIndex::Filled(d, 0);
+      for (int j = 0; j < d; ++j) offsets[j] = probe[j] - anchor[j];
+      offsets[static_cast<int>(rng.UniformInt(0, d - 1))] = 0;
+      RPS_RETURN_IF_ERROR(audit_overlay_cell(box_index, offsets));
+    }
+  }
+
+  // End-to-end prefix assembly: anchor + borders + RP jointly.
+  auto audit_prefix_cell = [&](const CellIndex& t) -> Status {
+    if (!internal_audit::CellsEqual(PrefixSum(t), prefix.at(t))) {
+      return Status::Internal(
+          "assembled prefix sum at " + t.ToString() +
+          " disagrees with the recovered prefix array");
+    }
+    return Status::Ok();
+  };
+  if (options.prefix_samples >= num_cells) {
+    CellIndex t = CellIndex::Filled(d, 0);
+    do {
+      RPS_RETURN_IF_ERROR(audit_prefix_cell(t));
+    } while (NextIndex(shape, t));
+  } else {
+    for (int64_t s = 0; s < options.prefix_samples; ++s) {
+      RPS_RETURN_IF_ERROR(audit_prefix_cell(
+          shape.Delinearize(rng.UniformInt(0, num_cells - 1))));
+    }
+  }
+  return Status::Ok();
 }
 
 template <typename T>

@@ -31,18 +31,22 @@ class NdArray {
   int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
 
   const T& at(const CellIndex& index) const {
+    RPS_DCHECK_MSG(shape_.Contains(index), "NdArray::at out of bounds");
     return cells_[static_cast<size_t>(shape_.Linearize(index))];
   }
   T& at(const CellIndex& index) {
+    RPS_DCHECK_MSG(shape_.Contains(index), "NdArray::at out of bounds");
     return cells_[static_cast<size_t>(shape_.Linearize(index))];
   }
 
   const T& at_linear(int64_t linear) const {
-    RPS_DCHECK(linear >= 0 && linear < num_cells());
+    RPS_DCHECK_MSG(linear >= 0 && linear < num_cells(),
+                   "NdArray::at_linear out of bounds");
     return cells_[static_cast<size_t>(linear)];
   }
   T& at_linear(int64_t linear) {
-    RPS_DCHECK(linear >= 0 && linear < num_cells());
+    RPS_DCHECK_MSG(linear >= 0 && linear < num_cells(),
+                   "NdArray::at_linear out of bounds");
     return cells_[static_cast<size_t>(linear)];
   }
 

@@ -130,7 +130,7 @@ class PagedArray {
 
   // (page id, cell slot within page) of `cell`.
   std::pair<PageId, int64_t> Locate(const CellIndex& cell) const {
-    RPS_DCHECK(shape_.Contains(cell));
+    RPS_DCHECK_MSG(shape_.Contains(cell), "PagedArray cell out of bounds");
     if (layout_ == PageLayout::kLinear) {
       const int64_t linear = shape_.Linearize(cell);
       return {base_page_ + linear / cells_per_page_,
@@ -148,6 +148,8 @@ class PagedArray {
     }
     const PageId page = base_page_ + box_linear * pages_per_box_ +
                         within / cells_per_page_;
+    RPS_DCHECK_MSG(page >= base_page_ && page < base_page_ + num_pages_,
+                   "PagedArray page out of bounds");
     return {page, within % cells_per_page_};
   }
 

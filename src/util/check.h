@@ -40,11 +40,22 @@ namespace rps::internal_check {
     }                                                                     \
   } while (false)
 
+// In NDEBUG builds the condition must stay syntax-checked (and its
+// variables odr-used) without being evaluated; sizeof of an
+// unevaluated operand does exactly that, so release builds emit no
+// code and no unused-variable warnings.
 #ifndef NDEBUG
 #define RPS_DCHECK(condition) RPS_CHECK(condition)
+#define RPS_DCHECK_MSG(condition, message) RPS_CHECK_MSG(condition, message)
 #else
-#define RPS_DCHECK(condition) \
-  do {                        \
+#define RPS_DCHECK(condition)                          \
+  do {                                                 \
+    (void)sizeof(static_cast<bool>(condition));        \
+  } while (false)
+#define RPS_DCHECK_MSG(condition, message)             \
+  do {                                                 \
+    (void)sizeof(static_cast<bool>(condition));        \
+    (void)sizeof(message);                             \
   } while (false)
 #endif
 

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -103,6 +104,45 @@ TEST_F(CliEndToEndTest, GenBuildInfoQueryUpdateVerify) {
   ASSERT_TRUE(rps.ok());
   EXPECT_EQ(rps.value().RangeSum(Box::All(cube.value().shape())),
             cube.value().SumBox(Box::All(cube.value().shape())) + 100);
+}
+
+TEST_F(CliEndToEndTest, AuditAcceptsHealthySnapshotsAndFlagsCorruption) {
+  ASSERT_EQ(RunCli({"gen", "--shape", "16x16", "--seed", "9", "--out",
+                    cube_}),
+            0);
+  ASSERT_EQ(RunCli({"build", "--cube", cube_, "--box", "4x4", "--out",
+                    snap_}),
+            0);
+  EXPECT_EQ(RunCli({"audit", "--snap", snap_}), 0);
+  // Audits survive legitimate updates...
+  ASSERT_EQ(RunCli({"update", "--snap", snap_, "--cell", "5,6", "--delta",
+                    "42"}),
+            0);
+  EXPECT_EQ(RunCli({"audit", "--snap", snap_, "--samples", "100000"}), 0);
+
+  // ...but fail on a snapshot rebuilt with a corrupted overlay value.
+  auto rps = LoadSnapshot<int64_t>(snap_);
+  ASSERT_TRUE(rps.ok());
+  std::vector<int64_t> rp_cells;
+  for (int64_t i = 0; i < rps.value().rp_array().num_cells(); ++i) {
+    rp_cells.push_back(rps.value().rp_array().at_linear(i));
+  }
+  std::vector<int64_t> overlay_values;
+  for (int64_t s = 0; s < rps.value().overlay().num_values(); ++s) {
+    overlay_values.push_back(rps.value().overlay().at_slot(s));
+  }
+  overlay_values[overlay_values.size() / 3] += 11;
+  auto corrupted = RelativePrefixSum<int64_t>::FromParts(
+      rps.value().shape(), rps.value().geometry().box_size(), rp_cells,
+      overlay_values);
+  ASSERT_TRUE(corrupted.ok());
+  const std::string bad_snap = dir_ + "/corrupt.snap";
+  ASSERT_TRUE(SaveSnapshot(corrupted.value(), bad_snap).ok());
+  EXPECT_EQ(RunCli({"audit", "--snap", bad_snap, "--samples", "100000"}), 1);
+
+  // Bad arguments.
+  EXPECT_EQ(RunCli({"audit", "--snap", snap_, "--samples", "0"}), 1);
+  EXPECT_EQ(RunCli({"audit", "--snap", dir_ + "/missing.snap"}), 1);
 }
 
 TEST_F(CliEndToEndTest, AllDistributionsGenerate) {

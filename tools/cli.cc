@@ -212,6 +212,33 @@ Status CmdVerify(const ParsedArgs& args) {
   return Status::Ok();
 }
 
+Status CmdAudit(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::string snap, Require(args, "snap"));
+  RPS_ASSIGN_OR_RETURN(const int64_t samples,
+                       IntOptionOr(args, "samples", 256));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  if (samples < 1) {
+    return Status::InvalidArgument("--samples must be >= 1");
+  }
+  RPS_ASSIGN_OR_RETURN(RelativePrefixSum<int64_t> rps,
+                       LoadSnapshot<int64_t>(snap));
+  AuditOptions options;
+  options.rp_samples = samples;
+  options.overlay_samples = samples;
+  options.prefix_samples = samples / 4 + 1;
+  options.seed = static_cast<uint64_t>(seed);
+  RPS_RETURN_IF_ERROR(rps.CheckInvariants(options));
+  const MemoryStats memory = rps.Memory();
+  std::printf(
+      "audit OK: %s structure (%lld RP + %lld overlay cells) is "
+      "self-consistent (%lld samples per component, seed %lld)\n",
+      rps.shape().ToString().c_str(),
+      static_cast<long long>(memory.primary_cells),
+      static_cast<long long>(memory.aux_cells),
+      static_cast<long long>(samples), static_cast<long long>(seed));
+  return Status::Ok();
+}
+
 Status CmdBench(const ParsedArgs& args) {
   RPS_ASSIGN_OR_RETURN(const std::string cube_path, Require(args, "cube"));
   RPS_ASSIGN_OR_RETURN(NdArray<int64_t> cube, LoadCube<int64_t>(cube_path));
@@ -328,6 +355,7 @@ void PrintUsage() {
       "  query   --snap structure.snap --range a,b:c,d\n"
       "  update  --snap structure.snap --cell a,b --delta N [--out f]\n"
       "  verify  --cube cube.bin --snap structure.snap\n"
+      "  audit   --snap structure.snap [--samples N --seed N]\n"
       "  bench   --cube cube.bin [--method all|naive|prefix_sum|\n"
       "          relative_prefix_sum|hierarchical_rps|fenwick]\n"
       "          [--queries N --updates N --seed N]\n"
@@ -423,6 +451,8 @@ int RunCli(const std::vector<std::string>& args) {
     status = CmdUpdate(parsed.value());
   } else if (command == "verify") {
     status = CmdVerify(parsed.value());
+  } else if (command == "audit") {
+    status = CmdAudit(parsed.value());
   } else if (command == "bench") {
     status = CmdBench(parsed.value());
   } else if (command == "trace-record") {

@@ -9,6 +9,12 @@
 //   query   --snap structure.snap --range 0,0:63,63
 //   update  --snap structure.snap --cell 3,4 --delta 5 [--out new.snap]
 //   verify  --cube cube.bin --snap structure.snap
+//   audit   --snap structure.snap [--samples N] [--seed N]
+//
+// `verify` needs the original cube; `audit` is the self-contained
+// invariant audit (RelativePrefixSum::CheckInvariants): it re-derives
+// sampled RP/overlay cells of the snapshot from first principles and
+// fails on the first inconsistency.
 //
 // Cell values are int64. Shapes/boxes parse as "AxBxC", cells as
 // "a,b,c", ranges as "a,b:c,d" (inclusive).
