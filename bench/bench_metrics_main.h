@@ -1,0 +1,81 @@
+// Shared main() for the google-benchmark binaries.
+//
+// Adds a `--metrics-json <path>` flag (stripped before benchmark's
+// own flag parsing): after the run, the process-wide metric registry
+// -- core-structure counters incremented inside the benchmark loops
+// plus one `rps_bench_real_seconds{benchmark=...}` gauge per
+// benchmark run -- is written to the path as JSON, next to the usual
+// console table. scripts/run_experiments.sh collects these files as
+// BENCH_*.json trajectories.
+
+#ifndef RPS_BENCH_BENCH_METRICS_MAIN_H_
+#define RPS_BENCH_BENCH_METRICS_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rps::bench {
+
+// Console output as usual, while mirroring each run's per-iteration
+// real time into the registry so it lands in the JSON dump.
+class MetricsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.iterations <= 0) continue;
+      obs::MetricRegistry::Global()
+          .GetGauge("rps_bench_real_seconds",
+                    {{"benchmark", run.benchmark_name()}})
+          .Set(run.real_accumulated_time /
+               static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+inline int RunBenchmarksWithMetrics(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  MetricsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!metrics_path.empty()) {
+    const std::string json =
+        obs::MetricRegistry::Global().RenderJson() + "\n";
+    std::FILE* file = std::fopen(metrics_path.c_str(), "wb");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size() ||
+        std::fclose(file) != 0) {
+      std::fprintf(stderr, "error: cannot write metrics JSON to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics JSON to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace rps::bench
+
+#endif  // RPS_BENCH_BENCH_METRICS_MAIN_H_

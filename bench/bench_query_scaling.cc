@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_metrics_main.h"
+
 #include <memory>
 #include <vector>
 
@@ -115,4 +117,6 @@ BENCHMARK(BM_RpsQueryByDims<4>);
 }  // namespace
 }  // namespace rps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rps::bench::RunBenchmarksWithMetrics(argc, argv);
+}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_metrics_main.h"
+
 #include "core/fenwick_method.h"
 #include "core/hierarchical_rps.h"
 #include "core/naive_method.h"
@@ -83,4 +85,6 @@ BENCHMARK(BM_Build<FenwickMethod<int64_t>>)
 }  // namespace
 }  // namespace rps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rps::bench::RunBenchmarksWithMetrics(argc, argv);
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI smoke check for the observability layer: runs `rps_tool metrics`
+# on its small built-in workload and validates the JSON exposition
+# with scripts/check_metrics_schema.py. Fails on malformed, empty, or
+# schema-violating output.
+#
+# Usage: scripts/check_metrics.sh [build-dir]   (default: build/release)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build/release}
+tool="$build_dir/tools/rps_tool"
+if [ ! -x "$tool" ]; then
+  echo "check_metrics.sh: $tool not built" >&2
+  exit 2
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+"$tool" metrics --shape 16x16 --queries 32 --updates 32 \
+  --format json --json "$out" > /dev/null
+
+python3 scripts/check_metrics_schema.py "$out"

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validates the metrics JSON exposition written by `rps_tool metrics`
+(and `--metrics-json` elsewhere) against its documented shape; see
+docs/TOOLING.md. Exits nonzero with a message on the first violation,
+including structurally valid but empty output.
+
+Usage: check_metrics_schema.py [--structure-only] <metrics.json>
+
+By default the required-metrics lists below are enforced -- they match
+what `rps_tool metrics` must produce. Pass --structure-only for JSON
+from other producers (e.g. `--metrics-json` on a filtered benchmark
+run), which is schema-checked without the coverage requirement.
+"""
+
+import json
+import sys
+
+# Metrics the built-in `rps_tool metrics` workload must produce; their
+# absence means an instrumentation path broke.
+REQUIRED_COUNTERS = [
+    "rps_bufferpool_hits",
+    "rps_bufferpool_misses",
+    "rps_core_rps_queries_total",
+    "rps_core_rps_updates_total",
+    "rps_pager_page_reads_total",
+    "rps_wal_appends_total",
+]
+REQUIRED_HISTOGRAMS = [
+    "rps_wal_fsync_seconds",
+    "rps_workload_query_seconds",
+    "rps_workload_update_seconds",
+]
+
+
+def fail(message):
+    print(f"check_metrics_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_common(entry, section):
+    if not isinstance(entry, dict):
+        fail(f"{section} entry is not an object: {entry!r}")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name.startswith("rps_"):
+        fail(f"{section} entry has bad name: {name!r}")
+    labels = entry.get("labels")
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        fail(f"{name}: labels must be a string-to-string object")
+    return name
+
+
+def main():
+    args = sys.argv[1:]
+    structure_only = "--structure-only" in args
+    args = [a for a in args if a != "--structure-only"]
+    if len(args) != 1:
+        fail("usage: check_metrics_schema.py [--structure-only] <metrics.json>")
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {args[0]}: {error}")
+
+    if not isinstance(doc, dict) or set(doc) != {
+        "counters",
+        "gauges",
+        "histograms",
+    }:
+        fail("top level must be {counters, gauges, histograms}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc[section], list):
+            fail(f"'{section}' must be a list")
+    if not doc["counters"] and not doc["gauges"] and not doc["histograms"]:
+        fail("registry is empty: no metrics were recorded")
+
+    counter_names = set()
+    for entry in doc["counters"]:
+        name = check_common(entry, "counter")
+        counter_names.add(name)
+        if not isinstance(entry.get("value"), int) or entry["value"] < 0:
+            fail(f"{name}: counter value must be a non-negative integer")
+
+    for entry in doc["gauges"]:
+        name = check_common(entry, "gauge")
+        if not isinstance(entry.get("value"), (int, float)):
+            fail(f"{name}: gauge value must be a number")
+
+    histogram_names = set()
+    for entry in doc["histograms"]:
+        name = check_common(entry, "histogram")
+        histogram_names.add(name)
+        count = entry.get("count")
+        if not isinstance(count, int) or count < 0:
+            fail(f"{name}: count must be a non-negative integer")
+        for field in ("sum_seconds", "p50", "p95", "p99"):
+            if not isinstance(entry.get(field), (int, float)):
+                fail(f"{name}: {field} must be a number")
+        buckets = entry.get("buckets")
+        overflow = entry.get("overflow")
+        if not isinstance(buckets, list):
+            fail(f"{name}: buckets must be a list")
+        if not isinstance(overflow, int) or overflow < 0:
+            fail(f"{name}: overflow must be a non-negative integer")
+        in_buckets = 0
+        last_bound = 0.0
+        for bucket in buckets:
+            if not isinstance(bucket, dict):
+                fail(f"{name}: bucket is not an object")
+            bound = bucket.get("le_seconds")
+            bucket_count = bucket.get("count")
+            if not isinstance(bound, (int, float)) or bound <= last_bound:
+                fail(f"{name}: bucket bounds must increase ({bound!r})")
+            if not isinstance(bucket_count, int) or bucket_count < 1:
+                fail(f"{name}: emitted buckets must hold >= 1 observation")
+            last_bound = bound
+            in_buckets += bucket_count
+        if in_buckets + overflow != count:
+            fail(
+                f"{name}: bucket counts {in_buckets} + overflow {overflow}"
+                f" != count {count}"
+            )
+
+    if not structure_only:
+        for name in REQUIRED_COUNTERS:
+            if name not in counter_names:
+                fail(f"required counter missing: {name}")
+        for name in REQUIRED_HISTOGRAMS:
+            if name not in histogram_names:
+                fail(f"required histogram missing: {name}")
+
+    print(
+        "check_metrics_schema: OK "
+        f"({len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+        f"{len(doc['histograms'])} histograms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@
 # build, and every header is additionally compiled standalone, which
 # both syntax-checks it and proves it self-contained.
 #
-# Usage: scripts/lint.sh [dir ...]   (default: src)
+# Usage: scripts/lint.sh [dir ...]   (default: src tools)
 # Exits nonzero on the first diagnostic.
 
 set -u -o pipefail
@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 targets=("$@")
 if [ "${#targets[@]}" -eq 0 ]; then
-  targets=(src)
+  targets=(src tools)
 fi
 
 sources=()
@@ -53,7 +53,7 @@ fi
 
 echo "lint.sh: clang-tidy not found; using GCC strict-warning fallback" >&2
 GCC_FLAGS=(
-  -std=c++20 -Isrc -fsyntax-only -Werror
+  -std=c++20 -Isrc -I. -fsyntax-only -Werror
   -Wall -Wextra -Wpedantic
   -Wshadow -Wnon-virtual-dtor -Woverloaded-virtual -Wvla
   -Wwrite-strings -Wpointer-arith -Wformat=2 -Wundef

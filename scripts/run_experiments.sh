@@ -9,4 +9,15 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+# The google-benchmark binaries also dump the metric registry as
+# JSON (BENCH_<name>.json at the repo root); the other table
+# binaries only print text.
+for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  case "$name" in
+    bench_query_scaling|bench_update_scaling)
+      "$b" --metrics-json "BENCH_${name#bench_}.json" ;;
+    *)
+      "$b" ;;
+  esac
+done 2>&1 | tee bench_output.txt

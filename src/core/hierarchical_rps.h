@@ -181,6 +181,11 @@ class HierarchicalRps final : public QueryMethod<T> {
   }
 
   T RangeSum(const Box& range) const override {
+    // Top-level hierarchical queries; the face/coarse range sums this
+    // fans out to count separately under rps_core_rps_queries_total.
+    static obs::Counter& queries = obs::MetricRegistry::Global().GetCounter(
+        "rps_core_hier_queries_total");
+    queries.Increment();
     const int d = shape_.dims();
     RPS_CHECK(range.Within(shape_));
     T total{};
@@ -247,6 +252,12 @@ class HierarchicalRps final : public QueryMethod<T> {
           faces_[static_cast<size_t>(mask)]->Add(face_cell, delta);
       stats.aux_cells += inner.total();
     }
+    static obs::Counter& updates = obs::MetricRegistry::Global().GetCounter(
+        "rps_core_hier_updates_total");
+    static obs::Counter& cells = obs::MetricRegistry::Global().GetCounter(
+        "rps_core_hier_update_cells_total");
+    updates.Increment();
+    cells.Increment(stats.total());
     return stats;
   }
 

@@ -19,7 +19,6 @@
 #define RPS_CORE_RELATIVE_PREFIX_SUM_H_
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <string>
 #include <type_traits>
@@ -29,6 +28,7 @@
 #include "core/method.h"
 #include "core/overlay.h"
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "cube/box.h"
 #include "cube/nd_array.h"
 #include "cube/prefix.h"
@@ -217,9 +217,11 @@ class RelativePrefixSum final : public QueryMethod<T> {
   /// Cell-lookup accounting in the paper's cost unit (Section 4.1:
   /// a prefix lookup needs one anchor value, the border values of the
   /// target's projections, and one RP cell). Counters accumulate
-  /// across queries. Increments are relaxed atomics so concurrent
-  /// readers (ConcurrentOlapEngine) stay race-free; lookup_stats()
-  /// returns a snapshot, exact only when no query runs concurrently.
+  /// across queries, per instance, backed by obs::RelaxedCounter so
+  /// concurrent readers (ConcurrentOlapEngine) stay race-free;
+  /// lookup_stats() returns a snapshot, exact only when no query runs
+  /// concurrently. Process-wide operation totals go to the
+  /// MetricRegistry (rps_core_rps_*) instead.
   struct LookupStats {
     int64_t overlay_reads = 0;
     int64_t rp_reads = 0;
@@ -240,26 +242,11 @@ class RelativePrefixSum final : public QueryMethod<T> {
 
   void BuildFrom(const NdArray<T>& source);
 
-  // Relaxed atomic counter whose value carries across structure
-  // copies (std::atomic alone would delete the copy constructor).
-  class RelaxedCounter {
-   public:
-    RelaxedCounter() = default;
-    RelaxedCounter(const RelaxedCounter& other) : value_(other.Load()) {}
-    RelaxedCounter& operator=(const RelaxedCounter& other) {
-      value_.store(other.Load(), std::memory_order_relaxed);
-      return *this;
-    }
-    void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
-    void Reset() { value_.store(0, std::memory_order_relaxed); }
-    int64_t Load() const { return value_.load(std::memory_order_relaxed); }
-
-   private:
-    std::atomic<int64_t> value_{0};
-  };
+  // Per-instance lookup counters; obs::RelaxedCounter carries its
+  // value across structure copies.
   struct AtomicLookupStats {
-    RelaxedCounter overlay_reads;
-    RelaxedCounter rp_reads;
+    obs::RelaxedCounter overlay_reads;
+    obs::RelaxedCounter rp_reads;
   };
 
   NdArray<T> rp_;
@@ -399,6 +386,12 @@ T RelativePrefixSum<T>::PrefixSum(const CellIndex& target) const {
 
 template <typename T>
 T RelativePrefixSum<T>::RangeSum(const Box& range) const {
+  // Structure-level operation count; composite structures
+  // (HierarchicalRps faces) show up here too. One relaxed add amid
+  // the ~2^d per-cell lookup increments, so the hot path stays flat.
+  static obs::Counter& queries =
+      obs::MetricRegistry::Global().GetCounter("rps_core_rps_queries_total");
+  queries.Increment();
   const Shape& shape = rp_.shape();
   RPS_CHECK(range.Within(shape));
   const int d = shape.dims();
@@ -511,6 +504,12 @@ UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
     } while (NextIndexInBox(offsets_box, offsets));
   } while (NextIndexInBox(grid_range, box_index));
 
+  static obs::Counter& updates =
+      obs::MetricRegistry::Global().GetCounter("rps_core_rps_updates_total");
+  static obs::Counter& cells = obs::MetricRegistry::Global().GetCounter(
+      "rps_core_rps_update_cells_total");
+  updates.Increment();
+  cells.Increment(stats.total());
   return stats;
 }
 
@@ -763,6 +762,13 @@ UpdateStats RelativePrefixSum<T>::AddBatch(
     }
     start = end;
   }
+
+  static obs::Counter& updates =
+      obs::MetricRegistry::Global().GetCounter("rps_core_rps_updates_total");
+  static obs::Counter& cells = obs::MetricRegistry::Global().GetCounter(
+      "rps_core_rps_update_cells_total");
+  updates.Increment(static_cast<int64_t>(deltas.size()));
+  cells.Increment(stats.total());
   return stats;
 }
 

@@ -1,0 +1,196 @@
+// Process-wide metrics: lock-free counters, gauges and log-bucketed
+// latency histograms behind a MetricRegistry with Prometheus-style
+// text and JSON exposition.
+//
+// The paper's claims are cost trade-offs (O(1) queries vs O(n^(d/2))
+// updates), so the repo needs one uniform way to observe them. Every
+// subsystem registers metrics by name (convention:
+// `rps_<subsystem>_<name>`) and increments them with relaxed atomics;
+// reads are snapshots, exact only when nothing runs concurrently --
+// the usual trade of exactness for a zero-coordination hot path.
+//
+// Usage:
+//   static obs::Counter& hits =
+//       obs::MetricRegistry::Global().GetCounter("rps_bufferpool_hits");
+//   hits.Increment();
+//
+// Registration takes a mutex once; the returned reference is stable
+// for the registry's lifetime, so instrumented code caches it in a
+// function-local static (or a member) and pays one relaxed atomic add
+// per event thereafter.
+
+#ifndef RPS_OBS_METRICS_H_
+#define RPS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rps::obs {
+
+/// Relaxed atomic counter whose value carries across copies
+/// (std::atomic alone would delete the copy constructor). The shared
+/// primitive under Counter and Histogram, also embedded directly by
+/// structures that keep per-instance accounting (for example the
+/// RelativePrefixSum lookup-cost counters).
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.Load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.Load(), std::memory_order_relaxed);
+    return *this;
+  }
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  int64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Monotonic counter. Registry-owned; obtain via
+/// MetricRegistry::GetCounter.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.Increment(n); }
+  int64_t Value() const { return value_.Load(); }
+  void Reset() { value_.Reset(); }
+
+ private:
+  RelaxedCounter value_;
+};
+
+/// Last-write-wins double gauge (Add via CAS for concurrent
+/// adjusters).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram over power-of-two nanosecond buckets: bucket i
+/// holds observations in (2^(i-1), 2^i] ns for i in
+/// [0, kNumFiniteBuckets), plus one overflow bucket. 2^34 ns is
+/// ~17 s, beyond any per-operation latency this repo measures.
+/// Observations and the running sum are relaxed atomic adds, so
+/// concurrent Observe calls never coordinate; snapshots are
+/// consistent only in quiescence.
+class Histogram {
+ public:
+  static constexpr int kNumFiniteBuckets = 35;
+  static constexpr int kNumBuckets = kNumFiniteBuckets + 1;
+
+  /// Upper bound of finite bucket `i`, in nanoseconds (2^i).
+  static int64_t BucketBoundNanos(int i) { return int64_t{1} << i; }
+
+  /// Index of the bucket recording `nanos` (negative values clamp to
+  /// the first bucket).
+  static int BucketIndex(int64_t nanos);
+
+  void ObserveNanos(int64_t nanos);
+  void Observe(double seconds) {
+    ObserveNanos(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  int64_t Count() const { return count_.Load(); }
+  double SumSeconds() const {
+    return static_cast<double>(sum_nanos_.Load()) * 1e-9;
+  }
+  int64_t BucketCount(int i) const {
+    return buckets_[static_cast<size_t>(i)].Load();
+  }
+
+  /// Quantile estimate for `q` in [0, 1], in seconds: finds the
+  /// bucket holding the rank-ceil(q*count) observation and
+  /// interpolates linearly inside it. 0 when empty; observations in
+  /// the overflow bucket report its lower bound.
+  double Percentile(double q) const;
+
+  void Reset();
+
+ private:
+  RelaxedCounter buckets_[kNumBuckets];
+  RelaxedCounter count_;
+  RelaxedCounter sum_nanos_;  // saturating enough: ~292 years
+};
+
+/// Metric labels in Prometheus's key/value form. Order is preserved
+/// verbatim in keys and output, so callers must pass a consistent
+/// order for the same metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Owns every metric. Get* registers on first use (under a mutex) and
+/// returns a reference that stays valid for the registry's lifetime;
+/// repeated calls with the same name+labels return the same object.
+/// A name must keep one kind: requesting an existing metric as a
+/// different kind aborts.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation uses.
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram& GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus text exposition: `# TYPE` per family, one line per
+  /// sample, families and label sets in lexicographic key order
+  /// (deterministic for golden tests).
+  std::string RenderText() const;
+
+  /// JSON exposition: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]}, each entry carrying name, labels and
+  /// values; histograms include count, sum_seconds, p50/p95/p99 and
+  /// the non-empty buckets. Same deterministic ordering as
+  /// RenderText.
+  std::string RenderJson() const;
+
+  /// Zeroes every metric's value (registrations stay). For tests and
+  /// tools that scope a measurement to one run.
+  void ResetAll();
+
+  int64_t num_metrics() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(Kind kind, const std::string& name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  // Keyed by `name{labels}` so families sort together for rendering.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rps::obs
+
+#endif  // RPS_OBS_METRICS_H_

@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace rps::obs {
+
+int64_t TraceNowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+TraceBuffer::TraceBuffer(int64_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  events_.reserve(static_cast<size_t>(capacity_));
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* const buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int64_t>(events_.size()) < capacity_) {
+    events_.push_back(event);
+  } else {
+    events_[static_cast<size_t>(next_)] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int64_t>(events_.size()) < capacity_) {
+    return events_;  // not yet wrapped: already oldest-first
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (int64_t i = 0; i < capacity_; ++i) {
+    out.push_back(events_[static_cast<size_t>((next_ + i) % capacity_)]);
+  }
+  return out;
+}
+
+int64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceBuffer::RenderJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > 0) out += ',';
+    out += "{\"op\":\"";
+    out += event.op;
+    out += "\",\"start_nanos\":";
+    out += std::to_string(event.start_nanos);
+    out += ",\"duration_nanos\":";
+    out += std::to_string(event.duration_nanos);
+    out += ",\"primary_cells\":";
+    out += std::to_string(event.primary_cells);
+    out += ",\"aux_cells\":";
+    out += std::to_string(event.aux_cells);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace rps::obs

@@ -1,0 +1,113 @@
+// Per-operation query/update tracing into a bounded ring buffer.
+//
+// A TraceSpan brackets one logical operation (an engine query, an
+// insert, a CLI command phase): it captures wall time on
+// construction, optionally collects a touched-cell breakdown, and on
+// destruction appends one TraceEvent to a TraceBuffer. The buffer is
+// a fixed-capacity ring -- the newest events overwrite the oldest, so
+// tracing is always on without unbounded memory, and a snapshot after
+// an incident shows the most recent operations.
+//
+// Spans record at operation granularity (microseconds and up), not
+// per cell lookup, so the buffer's mutex is uncontended-cheap
+// relative to the work being traced; the hot cell paths stick to the
+// relaxed counters in obs/metrics.h.
+
+#ifndef RPS_OBS_TRACE_H_
+#define RPS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace rps::obs {
+
+/// One completed operation. `op` must point at a string with static
+/// storage duration (a literal); events store the pointer only.
+struct TraceEvent {
+  const char* op = "";
+  int64_t start_nanos = 0;     // since the process trace epoch
+  int64_t duration_nanos = 0;
+  int64_t primary_cells = 0;   // touched main-array cells (RP), if known
+  int64_t aux_cells = 0;       // touched auxiliary cells (overlay), if known
+};
+
+/// Bounded MPMC ring of TraceEvents. Thread-safe; Record overwrites
+/// the oldest event once `capacity` is reached.
+class TraceBuffer {
+ public:
+  static constexpr int64_t kDefaultCapacity = 4096;
+
+  explicit TraceBuffer(int64_t capacity = kDefaultCapacity);
+
+  /// The process-wide buffer TraceSpan records into by default.
+  static TraceBuffer& Global();
+
+  void Record(const TraceEvent& event);
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events ever recorded (>= retained when the ring has wrapped).
+  int64_t total_recorded() const;
+  int64_t capacity() const { return capacity_; }
+
+  void Clear();
+
+  /// JSON array of the retained events, oldest first.
+  std::string RenderJson() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;  // ring storage, size <= capacity_
+  int64_t next_ = 0;                // ring write position
+  int64_t total_ = 0;
+};
+
+/// Nanoseconds since the process trace epoch (first use).
+int64_t TraceNowNanos();
+
+/// RAII span: times construction-to-destruction and records one
+/// event. Move-free and copy-free by design; create one per
+/// operation on the stack.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* op, TraceBuffer* buffer = nullptr)
+      : op_(op),
+        buffer_(buffer != nullptr ? buffer : &TraceBuffer::Global()),
+        start_nanos_(TraceNowNanos()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a touched-cell breakdown (e.g. from UpdateStats).
+  void SetCells(int64_t primary, int64_t aux) {
+    primary_cells_ = primary;
+    aux_cells_ = aux;
+  }
+
+  ~TraceSpan() {
+    TraceEvent event;
+    event.op = op_;
+    event.start_nanos = start_nanos_;
+    event.duration_nanos = watch_.ElapsedNanos();
+    event.primary_cells = primary_cells_;
+    event.aux_cells = aux_cells_;
+    buffer_->Record(event);
+  }
+
+ private:
+  const char* op_;
+  TraceBuffer* buffer_;
+  int64_t start_nanos_;
+  Stopwatch watch_;
+  int64_t primary_cells_ = 0;
+  int64_t aux_cells_ = 0;
+};
+
+}  // namespace rps::obs
+
+#endif  // RPS_OBS_TRACE_H_

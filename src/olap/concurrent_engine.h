@@ -14,15 +14,24 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "olap/engine.h"
 #include "olap/group_by.h"
+#include "util/stopwatch.h"
 
 namespace rps {
 
 class ConcurrentOlapEngine {
  public:
   ConcurrentOlapEngine(Schema schema, EngineMethod method)
-      : engine_(std::move(schema), method) {}
+      : engine_(std::move(schema), method) {
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    const obs::Labels labels = {{"method", EngineMethodName(method)}};
+    query_seconds_ =
+        &registry.GetHistogram("rps_concurrent_engine_query_seconds", labels);
+    insert_seconds_ =
+        &registry.GetHistogram("rps_concurrent_engine_insert_seconds", labels);
+  }
 
   const Schema& schema() const { return engine_.schema(); }
 
@@ -32,41 +41,65 @@ class ConcurrentOlapEngine {
   }
 
   Status Insert(const OlapRecord& record) {
+    const Stopwatch watch;  // includes writer-lock wait
     std::unique_lock lock(mutex_);
-    return engine_.Insert(record);
+    const Status status = engine_.Insert(record);
+    insert_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return status;
   }
 
   Result<double> Sum(const RangeQuery& query) const {
+    const Stopwatch watch;  // includes reader-lock wait
     std::shared_lock lock(mutex_);
-    return engine_.Sum(query);
+    Result<double> result = engine_.Sum(query);
+    query_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return result;
   }
 
   Result<int64_t> Count(const RangeQuery& query) const {
+    const Stopwatch watch;
     std::shared_lock lock(mutex_);
-    return engine_.Count(query);
+    Result<int64_t> result = engine_.Count(query);
+    query_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return result;
   }
 
   Result<double> Average(const RangeQuery& query) const {
+    const Stopwatch watch;
     std::shared_lock lock(mutex_);
-    return engine_.Average(query);
+    Result<double> result = engine_.Average(query);
+    query_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return result;
   }
 
   Result<std::vector<double>> RollingSum(const RangeQuery& query,
                                          const std::string& dimension,
                                          int64_t window) const {
+    const Stopwatch watch;
     std::shared_lock lock(mutex_);
-    return engine_.RollingSum(query, dimension, window);
+    Result<std::vector<double>> result =
+        engine_.RollingSum(query, dimension, window);
+    query_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return result;
   }
 
   Result<std::vector<GroupRow>> GroupBySlots(
       const RangeQuery& query, const std::string& dimension) const {
+    const Stopwatch watch;
     std::shared_lock lock(mutex_);
-    return GroupBy(engine_, query, dimension);
+    Result<std::vector<GroupRow>> result = GroupBy(engine_, query, dimension);
+    query_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return result;
   }
 
  private:
   mutable std::shared_mutex mutex_;
   OlapEngine engine_;
+  // Facade-level latency, lock wait included (labels:
+  // method="<EngineMethodName>"). The wrapped OlapEngine separately
+  // reports lock-free rps_engine_* timings.
+  obs::Histogram* query_seconds_;
+  obs::Histogram* insert_seconds_;
 };
 
 }  // namespace rps

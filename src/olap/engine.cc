@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/hierarchical_rps.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace rps {
 
@@ -62,7 +64,16 @@ OlapEngine::OlapEngine(Schema schema, EngineMethod method)
     : schema_(std::move(schema)),
       method_(method),
       sums_(MakeDoubleMethod(method, schema_.CubeShape())),
-      counts_(MakeCountMethod(method, schema_.CubeShape())) {}
+      counts_(MakeCountMethod(method, schema_.CubeShape())) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const obs::Labels labels = {{"method", EngineMethodName(method)}};
+  queries_total_ = &registry.GetCounter("rps_engine_queries_total", labels);
+  inserts_total_ = &registry.GetCounter("rps_engine_inserts_total", labels);
+  query_seconds_ =
+      &registry.GetHistogram("rps_engine_query_seconds", labels);
+  insert_seconds_ =
+      &registry.GetHistogram("rps_engine_insert_seconds", labels);
+}
 
 IngestReport OlapEngine::Load(const std::vector<OlapRecord>& records) {
   IngestReport report;
@@ -86,28 +97,50 @@ IngestReport OlapEngine::Load(const std::vector<OlapRecord>& records) {
 
 Status OlapEngine::Insert(const OlapRecord& record) {
   RPS_ASSIGN_OR_RETURN(const CellIndex cell, schema_.CellOf(record.values));
-  update_cells_ += sums_->Add(cell, record.measure).total();
-  update_cells_ += counts_->Add(cell, 1).total();
+  obs::TraceSpan span("engine.insert");
+  const Stopwatch watch;
+  const UpdateStats sum_stats = sums_->Add(cell, record.measure);
+  const UpdateStats count_stats = counts_->Add(cell, 1);
+  update_cells_ += sum_stats.total() + count_stats.total();
+  insert_seconds_->ObserveNanos(watch.ElapsedNanos());
+  inserts_total_->Increment();
+  span.SetCells(sum_stats.primary_cells + count_stats.primary_cells,
+                sum_stats.aux_cells + count_stats.aux_cells);
   return Status::Ok();
 }
 
 Result<double> OlapEngine::Sum(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
-  return sums_->RangeSum(range);
+  obs::TraceSpan span("engine.sum");
+  const Stopwatch watch;
+  const double sum = sums_->RangeSum(range);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  queries_total_->Increment();
+  return sum;
 }
 
 Result<int64_t> OlapEngine::Count(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
-  return counts_->RangeSum(range);
+  obs::TraceSpan span("engine.count");
+  const Stopwatch watch;
+  const int64_t count = counts_->RangeSum(range);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  queries_total_->Increment();
+  return count;
 }
 
 Result<double> OlapEngine::Average(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  obs::TraceSpan span("engine.average");
+  const Stopwatch watch;
   const int64_t count = counts_->RangeSum(range);
   if (count == 0) {
     return Status::FailedPrecondition("AVERAGE over a range with no records");
   }
-  return sums_->RangeSum(range) / static_cast<double>(count);
+  const double average = sums_->RangeSum(range) / static_cast<double>(count);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  queries_total_->Increment();
+  return average;
 }
 
 Result<std::vector<double>> OlapEngine::RollingSum(
@@ -117,6 +150,8 @@ Result<std::vector<double>> OlapEngine::RollingSum(
   RPS_ASSIGN_OR_RETURN(const int j, schema_.DimensionIndex(dimension));
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
 
+  obs::TraceSpan span("engine.rolling_sum");
+  const Stopwatch watch;
   std::vector<double> out;
   out.reserve(static_cast<size_t>(range.Extent(j)));
   for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
@@ -126,6 +161,8 @@ Result<std::vector<double>> OlapEngine::RollingSum(
     hi[j] = p;
     out.push_back(sums_->RangeSum(Box(lo, hi)));
   }
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  queries_total_->Increment();
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "core/naive_method.h"
 #include "core/prefix_sum_method.h"
 #include "core/relative_prefix_sum.h"
+#include "obs/metrics.h"
 #include "olap/query.h"
 #include "olap/schema.h"
 #include "util/status.h"
@@ -113,6 +114,15 @@ class OlapEngine {
   std::unique_ptr<QueryMethod<double>> sums_;
   std::unique_ptr<QueryMethod<int64_t>> counts_;
   int64_t update_cells_ = 0;
+  // Registry-owned per-method observability (labels:
+  // method="<EngineMethodName>"); pointers are stable for the process
+  // lifetime. Every read query observes query_seconds_ and each
+  // Insert observes insert_seconds_ plus a TraceSpan with the
+  // touched-cell breakdown.
+  obs::Counter* queries_total_;
+  obs::Counter* inserts_total_;
+  obs::Histogram* query_seconds_;
+  obs::Histogram* insert_seconds_;
 };
 
 }  // namespace rps

@@ -2,9 +2,36 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace rps {
+namespace {
+
+// Process-wide pool metrics, aggregated across every BufferPool
+// instance; the per-instance BufferPoolStats struct stays the exact
+// per-pool view the Section 4.4 experiments read.
+struct PoolMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& write_backs;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* const metrics = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      return new PoolMetrics{
+          registry.GetCounter("rps_bufferpool_hits"),
+          registry.GetCounter("rps_bufferpool_misses"),
+          registry.GetCounter("rps_bufferpool_evictions"),
+          registry.GetCounter("rps_bufferpool_write_backs"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
   if (this != &other) {
@@ -53,11 +80,13 @@ Result<PinnedPage> BufferPool::Pin(PageId id) {
     Frame& frame = frames_[static_cast<size_t>(it->second)];
     ++frame.pins;
     ++stats_.hits;
+    PoolMetrics::Get().hits.Increment();
     TouchLru(it->second);
     return PinnedPage(this, it->second, frame.data.data());
   }
 
   ++stats_.misses;
+  PoolMetrics::Get().misses.Increment();
   RPS_ASSIGN_OR_RETURN(const int64_t frame_id, AcquireFrame());
   Frame& frame = frames_[static_cast<size_t>(frame_id)];
   RPS_RETURN_IF_ERROR(pager_->ReadPage(id, frame.data.data()));
@@ -76,6 +105,7 @@ Status BufferPool::FlushAll() {
       RPS_RETURN_IF_ERROR(pager_->WritePage(frame.page, frame.data.data()));
       frame.dirty = false;
       ++stats_.write_backs;
+      PoolMetrics::Get().write_backs.Increment();
     }
   }
   return Status::Ok();
@@ -105,12 +135,14 @@ Result<int64_t> BufferPool::AcquireFrame() {
       RPS_RETURN_IF_ERROR(pager_->WritePage(frame.page, frame.data.data()));
       frame.dirty = false;
       ++stats_.write_backs;
+      PoolMetrics::Get().write_backs.Increment();
     }
     page_to_frame_.erase(frame.page);
     frame.page = -1;
     lru_pos_.erase(frame_id);
     lru_.erase(it);
     ++stats_.evictions;
+    PoolMetrics::Get().evictions.Increment();
     return frame_id;
   }
   return Status::ResourceExhausted("all buffer pool frames are pinned");

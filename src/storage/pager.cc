@@ -3,9 +3,34 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace rps {
+namespace {
+
+// Physical page I/O across every pager instance (the injection
+// wrapper is excluded: it delegates, and counting it too would
+// double-bill each access).
+struct PagerMetrics {
+  obs::Counter& reads;
+  obs::Counter& writes;
+  obs::Counter& allocations;
+
+  static PagerMetrics& Get() {
+    static PagerMetrics* const metrics = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      return new PagerMetrics{
+          registry.GetCounter("rps_pager_page_reads_total"),
+          registry.GetCounter("rps_pager_page_writes_total"),
+          registry.GetCounter("rps_pager_allocations_total"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 MemPager::MemPager(int64_t page_size) : page_size_(page_size) {
   RPS_CHECK(page_size >= 8);
@@ -16,6 +41,7 @@ Status MemPager::Grow(int64_t count) {
   while (num_pages() < count) {
     pages_.emplace_back(static_cast<size_t>(page_size_), std::byte{0});
     ++stats_.allocations;
+    PagerMetrics::Get().allocations.Increment();
   }
   return Status::Ok();
 }
@@ -28,6 +54,7 @@ Status MemPager::ReadPage(PageId id, std::byte* out) {
   std::memcpy(out, pages_[static_cast<size_t>(id)].data(),
               static_cast<size_t>(page_size_));
   ++stats_.page_reads;
+  PagerMetrics::Get().reads.Increment();
   return Status::Ok();
 }
 
@@ -39,6 +66,7 @@ Status MemPager::WritePage(PageId id, const std::byte* data) {
   std::memcpy(pages_[static_cast<size_t>(id)].data(), data,
               static_cast<size_t>(page_size_));
   ++stats_.page_writes;
+  PagerMetrics::Get().writes.Increment();
   return Status::Ok();
 }
 
@@ -105,6 +133,7 @@ Status FilePager::Grow(int64_t count) {
       return Status::IoError("write failed while growing " + path_);
     }
     ++stats_.allocations;
+    PagerMetrics::Get().allocations.Increment();
   }
   num_pages_ = count;
   return Status::Ok();
@@ -124,6 +153,7 @@ Status FilePager::ReadPage(PageId id, std::byte* out) {
     return Status::IoError("short read: " + path_);
   }
   ++stats_.page_reads;
+  PagerMetrics::Get().reads.Increment();
   return Status::Ok();
 }
 
@@ -141,6 +171,7 @@ Status FilePager::WritePage(PageId id, const std::byte* data) {
     return Status::IoError("short write: " + path_);
   }
   ++stats_.page_writes;
+  PagerMetrics::Get().writes.Increment();
   return Status::Ok();
 }
 

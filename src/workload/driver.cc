@@ -1,5 +1,6 @@
 #include "workload/driver.h"
 
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace rps {
@@ -11,6 +12,15 @@ WorkloadReport RunWorkloadImpl(QueryMethod<int64_t>& method, QueryGen& queries,
   WorkloadReport report;
   report.method = method.name();
 
+  // Per-op latency distributions; the Observe calls happen outside the
+  // timed sections so they never inflate the report's totals.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const obs::Labels labels = {{"method", std::string(method.name())}};
+  obs::Histogram& query_hist =
+      registry.GetHistogram("rps_workload_query_seconds", labels);
+  obs::Histogram& update_hist =
+      registry.GetHistogram("rps_workload_update_seconds", labels);
+
   const int64_t rounds = std::max(spec.num_queries, spec.num_updates);
   int64_t issued_queries = 0;
   int64_t issued_updates = 0;
@@ -19,17 +29,21 @@ WorkloadReport RunWorkloadImpl(QueryMethod<int64_t>& method, QueryGen& queries,
     const Box range = queries.Next();
     Stopwatch watch;
     const int64_t sum = method.RangeSum(range);
-    report.query_seconds += watch.ElapsedSeconds();
+    const int64_t nanos = watch.ElapsedNanos();
+    report.query_seconds += static_cast<double>(nanos) * 1e-9;
     report.query_checksum += sum;
     ++report.queries;
+    query_hist.ObserveNanos(nanos);
   };
   auto do_update = [&] {
     const UpdateOp op = updates.Next();
     Stopwatch watch;
     const UpdateStats stats = method.Add(op.cell, op.delta);
-    report.update_seconds += watch.ElapsedSeconds();
+    const int64_t nanos = watch.ElapsedNanos();
+    report.update_seconds += static_cast<double>(nanos) * 1e-9;
     report.update_cells += stats.total();
     ++report.updates;
+    update_hist.ObserveNanos(nanos);
   };
 
   if (spec.interleave) {

@@ -1,0 +1,85 @@
+// Concurrent increments from many threads must lose no counts and
+// must not race (this binary carries the `concurrency` ctest label,
+// so the tsan preset runs it under ThreadSanitizer).
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace rps::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 10000;
+
+TEST(MetricsConcurrencyTest, CounterLosesNoIncrements) {
+  MetricRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread registers on first use; all get the same object.
+      Counter& counter = registry.GetCounter("rps_test_concurrent_total");
+      for (int i = 0; i < kIterations; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("rps_test_concurrent_total").Value(),
+            int64_t{kThreads} * kIterations);
+}
+
+TEST(MetricsConcurrencyTest, HistogramLosesNoObservations) {
+  Histogram hist;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        hist.ObserveNanos(1 + (int64_t{1} << (t % 8)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.Count(), int64_t{kThreads} * kIterations);
+
+  int64_t in_buckets = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    in_buckets += hist.BucketCount(i);
+  }
+  EXPECT_EQ(in_buckets, hist.Count());
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentRegistrationIsSafe) {
+  MetricRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 100; ++i) {
+        registry
+            .GetCounter("rps_test_reg_total",
+                        {{"shard", std::to_string(i % 4)}})
+            .Increment();
+        registry.GetHistogram("rps_test_reg_seconds").ObserveNanos(t + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  int64_t total = 0;
+  for (int shard = 0; shard < 4; ++shard) {
+    total += registry
+                 .GetCounter("rps_test_reg_total",
+                             {{"shard", std::to_string(shard)}})
+                 .Value();
+  }
+  EXPECT_EQ(total, kThreads * 100);
+  EXPECT_EQ(registry.GetHistogram("rps_test_reg_seconds").Count(),
+            kThreads * 100);
+}
+
+}  // namespace
+}  // namespace rps::obs

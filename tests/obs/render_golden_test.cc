@@ -1,0 +1,87 @@
+// Golden-file stability tests for the metric exposition formats. The
+// expected strings below are the contract: a change here is a change
+// every scraper and the CI schema check must follow.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace rps::obs {
+namespace {
+
+// A private registry with one metric of each kind, deterministic
+// values.
+MetricRegistry& PopulatedRegistry() {
+  static MetricRegistry* const registry = [] {
+    auto* r = new MetricRegistry();
+    r->GetCounter("rps_demo_hits").Increment(3);
+    r->GetCounter("rps_demo_queries_total", {{"method", "rps"}})
+        .Increment(7);
+    r->GetGauge("rps_demo_ratio").Set(0.25);
+    Histogram& hist = r->GetHistogram("rps_demo_seconds");
+    hist.ObserveNanos(1);     // bucket 0, le 1e-09
+    hist.ObserveNanos(3);     // bucket 2, le 4e-09
+    hist.ObserveNanos(1000);  // bucket 10, le 1.024e-06
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(RenderGoldenTest, Text) {
+  const std::string expected =
+      "# TYPE rps_demo_hits counter\n"
+      "rps_demo_hits 3\n"
+      "# TYPE rps_demo_queries_total counter\n"
+      "rps_demo_queries_total{method=\"rps\"} 7\n"
+      "# TYPE rps_demo_ratio gauge\n"
+      "rps_demo_ratio 0.25\n"
+      "# TYPE rps_demo_seconds histogram\n"
+      "rps_demo_seconds_bucket{le=\"1e-09\"} 1\n"
+      "rps_demo_seconds_bucket{le=\"2e-09\"} 1\n"
+      "rps_demo_seconds_bucket{le=\"4e-09\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"8e-09\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"1.6e-08\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"3.2e-08\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"6.4e-08\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"1.28e-07\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"2.56e-07\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"5.12e-07\"} 2\n"
+      "rps_demo_seconds_bucket{le=\"1.024e-06\"} 3\n"
+      "rps_demo_seconds_bucket{le=\"+Inf\"} 3\n"
+      "rps_demo_seconds_sum 1.004e-06\n"
+      "rps_demo_seconds_count 3\n";
+  EXPECT_EQ(PopulatedRegistry().RenderText(), expected);
+}
+
+TEST(RenderGoldenTest, Json) {
+  const std::string expected =
+      "{\"counters\":["
+      "{\"name\":\"rps_demo_hits\",\"labels\":{},\"value\":3},"
+      "{\"name\":\"rps_demo_queries_total\",\"labels\":{\"method\":\"rps\"},"
+      "\"value\":7}"
+      "],\"gauges\":["
+      "{\"name\":\"rps_demo_ratio\",\"labels\":{},\"value\":0.25}"
+      "],\"histograms\":["
+      "{\"name\":\"rps_demo_seconds\",\"labels\":{},"
+      "\"count\":3,\"sum_seconds\":1.004e-06,"
+      "\"p50\":4e-09,\"p95\":1.024e-06,\"p99\":1.024e-06,"
+      "\"buckets\":["
+      "{\"le_seconds\":1e-09,\"count\":1},"
+      "{\"le_seconds\":4e-09,\"count\":1},"
+      "{\"le_seconds\":1.024e-06,\"count\":1}"
+      "],\"overflow\":0}"
+      "]}";
+  EXPECT_EQ(PopulatedRegistry().RenderJson(), expected);
+}
+
+TEST(RenderGoldenTest, EmptyRegistry) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.RenderText(), "");
+  EXPECT_EQ(registry.RenderJson(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+}
+
+}  // namespace
+}  // namespace rps::obs

@@ -12,6 +12,7 @@
 #include "storage/durable_rps.h"
 #include "workload/data_gen.h"
 #include "workload/query_gen.h"
+#include <unistd.h>
 
 namespace rps {
 namespace {
@@ -20,7 +21,8 @@ class DurableRpsTest : public testing::Test {
  protected:
   void SetUp() override {
     dir_ = (std::filesystem::temp_directory_path() /
-            ("rps_durable_" + std::to_string(counter_++)))
+            ("rps_durable_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++)))
                .string();
     std::filesystem::create_directory(dir_);
   }

@@ -12,6 +12,7 @@
 #include "storage/paged_rps.h"
 #include "workload/data_gen.h"
 #include "workload/query_gen.h"
+#include <unistd.h>
 
 namespace rps {
 namespace {
@@ -20,7 +21,8 @@ class PagedRpsPersistenceTest : public testing::TestWithParam<bool> {
  protected:
   void SetUp() override {
     path_ = (std::filesystem::temp_directory_path() /
-             ("rps_paged_persist_" + std::to_string(counter_++) + ".db"))
+             ("rps_paged_persist_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++) + ".db"))
                 .string();
   }
   void TearDown() override { std::filesystem::remove(path_); }

@@ -3,7 +3,11 @@
 
 #include "tools/cli.h"
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -60,7 +64,8 @@ class CliEndToEndTest : public testing::Test {
  protected:
   void SetUp() override {
     dir_ = (std::filesystem::temp_directory_path() /
-            ("rps_cli_" + std::to_string(counter_++)))
+            ("rps_cli_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++)))
                .string();
     std::filesystem::create_directory(dir_);
     cube_ = dir_ + "/cube.bin";
@@ -214,6 +219,39 @@ TEST_F(CliEndToEndTest, TraceRecordAndReplay) {
   EXPECT_EQ(RunCli({"trace-replay", "--cube", cube_, "--trace", trace,
                     "--method", "nonsense"}),
             1);
+}
+
+TEST_F(CliEndToEndTest, MetricsSubcommandWritesParseableJson) {
+  const std::string json_path = dir_ + "/metrics.json";
+  EXPECT_EQ(RunCli({"metrics", "--shape", "8x8", "--queries", "4",
+                    "--updates", "4", "--format", "json", "--json",
+                    json_path}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(json_path));
+
+  std::ifstream in(json_path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  // Structural spot-checks; the full format is pinned by the obs
+  // golden tests, and CI validates against the schema script.
+  EXPECT_EQ(json.rfind("{\"counters\":[", 0), 0u);
+  EXPECT_NE(json.find("\"rps_bufferpool_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"rps_wal_fsync_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"rps_workload_query_seconds\""), std::string::npos);
+
+  EXPECT_EQ(RunCli({"metrics", "--format", "nonsense"}), 1);
+}
+
+TEST_F(CliEndToEndTest, BenchMetricsJsonFlagWritesFile) {
+  const std::string json_path = dir_ + "/bench_metrics.json";
+  ASSERT_EQ(RunCli({"gen", "--shape", "16x16", "--out", cube_}), 0);
+  EXPECT_EQ(RunCli({"bench", "--cube", cube_, "--method",
+                    "relative_prefix_sum", "--queries", "5", "--updates",
+                    "5", "--metrics-json", json_path}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(json_path));
+  EXPECT_GT(std::filesystem::file_size(json_path), 0u);
 }
 
 TEST_F(CliEndToEndTest, CubeFileRoundTripsThroughIo) {

@@ -1,0 +1,45 @@
+// Stopwatch is the time source for every latency metric, so pin down
+// its contract: non-negative, monotonic non-decreasing readings and a
+// working Reset.
+
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(StopwatchTest, ElapsedNanosIsMonotonicNonDecreasing) {
+  const Stopwatch watch;
+  int64_t last = watch.ElapsedNanos();
+  EXPECT_GE(last, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t now = watch.ElapsedNanos();
+    EXPECT_GE(now, last);  // steady_clock never goes backwards
+    last = now;
+  }
+}
+
+TEST(StopwatchTest, SecondsMatchNanos) {
+  const Stopwatch watch;
+  const double seconds = watch.ElapsedSeconds();
+  const int64_t nanos = watch.ElapsedNanos();
+  // Seconds read first, so it can only be the smaller measurement.
+  EXPECT_LE(seconds, static_cast<double>(nanos) * 1e-9 + 1e-12);
+  EXPECT_GE(seconds, 0.0);
+}
+
+TEST(StopwatchTest, ResetRestartsFromZeroish) {
+  Stopwatch watch;
+  // Burn a little time so the pre-reset reading is visibly larger.
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const int64_t before = watch.ElapsedNanos();
+  watch.Reset();
+  const int64_t after = watch.ElapsedNanos();
+  EXPECT_GE(before, after);
+  EXPECT_GE(after, 0);
+}
+
+}  // namespace
+}  // namespace rps

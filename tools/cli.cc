@@ -1,7 +1,10 @@
 #include "tools/cli.h"
 
+#include <unistd.h>
+
 #include <charconv>
 #include <cstdio>
+#include <filesystem>
 #include <string_view>
 
 #include "core/cost_model.h"
@@ -11,6 +14,10 @@
 #include "core/prefix_sum_method.h"
 #include "core/snapshot.h"
 #include "cube/cube_io.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "storage/wal.h"
 #include "workload/data_gen.h"
 #include "workload/driver.h"
 #include "workload/trace.h"
@@ -67,6 +74,17 @@ Result<int64_t> IntOptionOr(const ParsedArgs& args, const std::string& key,
   auto it = args.options.find(key);
   if (it == args.options.end()) return fallback;
   return ParseInt64(it->second);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const int rc = std::fclose(file);
+  if (written != content.size() || rc != 0) {
+    return Status::IoError("failed writing " + path);
+  }
+  return Status::Ok();
 }
 
 Status CmdGen(const ParsedArgs& args) {
@@ -286,6 +304,97 @@ Status CmdBench(const ParsedArgs& args) {
                 report.avg_query_micros(), report.avg_update_micros(),
                 report.avg_update_cells());
   }
+  if (auto it = args.options.find("metrics-json"); it != args.options.end()) {
+    RPS_RETURN_IF_ERROR(WriteTextFile(
+        it->second, obs::MetricRegistry::Global().RenderJson() + "\n"));
+    std::printf("wrote metrics JSON to %s\n", it->second.c_str());
+  }
+  return Status::Ok();
+}
+
+// Runs a small self-contained workload so every instrumented
+// subsystem (core structures, buffer pool, pager, WAL) has samples,
+// then renders the process-wide registry.
+Status CmdMetrics(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const Shape shape,
+                       ParseShape(OptionOr(args, "shape", "32x32")));
+  RPS_ASSIGN_OR_RETURN(const int64_t queries,
+                       IntOptionOr(args, "queries", 64));
+  RPS_ASSIGN_OR_RETURN(const int64_t updates,
+                       IntOptionOr(args, "updates", 64));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  const std::string format = OptionOr(args, "format", "both");
+  if (format != "text" && format != "json" && format != "both") {
+    return Status::InvalidArgument("unknown --format '" + format + "'");
+  }
+
+  // Core structures via the workload driver: fills the per-method
+  // rps_workload_* latency histograms and the rps_core_* counters.
+  const NdArray<int64_t> cube =
+      UniformCube(shape, 0, 9, static_cast<uint64_t>(seed));
+  std::vector<std::unique_ptr<QueryMethod<int64_t>>> methods;
+  methods.push_back(std::make_unique<NaiveMethod<int64_t>>(cube));
+  methods.push_back(std::make_unique<PrefixSumMethod<int64_t>>(cube));
+  methods.push_back(std::make_unique<RelativePrefixSum<int64_t>>(cube));
+  methods.push_back(std::make_unique<HierarchicalRps<int64_t>>(cube));
+  methods.push_back(std::make_unique<FenwickMethod<int64_t>>(cube));
+  for (auto& method : methods) {
+    UniformQueryGen query_gen(cube.shape(), static_cast<uint64_t>(seed));
+    UniformUpdateGen update_gen(cube.shape(), 9,
+                                static_cast<uint64_t>(seed) + 1);
+    const WorkloadSpec spec{.num_queries = queries, .num_updates = updates,
+                            .interleave = true};
+    (void)RunWorkload(*method, query_gen, update_gen, spec);
+  }
+
+  // Storage: churn a small buffer pool over a MemPager (hits, misses,
+  // evictions, write-backs) ...
+  {
+    MemPager pager(512);
+    RPS_RETURN_IF_ERROR(pager.Grow(16));
+    BufferPool pool(&pager, 4);
+    for (int64_t round = 0; round < 2; ++round) {
+      for (PageId id = 0; id < pager.num_pages(); ++id) {
+        RPS_ASSIGN_OR_RETURN(PinnedPage page, pool.Pin(id));
+        page.MarkDirty();
+        RPS_ASSIGN_OR_RETURN(const PinnedPage again, pool.Pin(id));  // hit
+      }
+    }
+    RPS_RETURN_IF_ERROR(pool.FlushAll());
+  }
+
+  // ... and WAL append/flush latency against a scratch file.
+  {
+    const std::string wal_path =
+        (std::filesystem::temp_directory_path() /
+         ("rps_metrics_" + std::to_string(::getpid()) + ".wal"))
+            .string();
+    RPS_ASSIGN_OR_RETURN(
+        WriteAheadLog wal,
+        WriteAheadLog::OpenForAppend(wal_path, shape.dims(),
+                                     sizeof(int64_t)));
+    const int64_t payload = 1;
+    CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+    for (int64_t i = 0; i < 8; ++i) {
+      cell[0] = i % shape.extent(0);
+      RPS_RETURN_IF_ERROR(wal.Append(cell, &payload));
+    }
+    RPS_RETURN_IF_ERROR(wal.Close());
+    std::filesystem::remove(wal_path);
+  }
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  if (format == "text" || format == "both") {
+    std::fputs(registry.RenderText().c_str(), stdout);
+  }
+  if (format == "json" || format == "both") {
+    std::fputs(registry.RenderJson().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  if (auto it = args.options.find("json"); it != args.options.end()) {
+    RPS_RETURN_IF_ERROR(
+        WriteTextFile(it->second, registry.RenderJson() + "\n"));
+  }
   return Status::Ok();
 }
 
@@ -359,6 +468,9 @@ void PrintUsage() {
       "  bench   --cube cube.bin [--method all|naive|prefix_sum|\n"
       "          relative_prefix_sum|hierarchical_rps|fenwick]\n"
       "          [--queries N --updates N --seed N]\n"
+      "          [--metrics-json metrics.json]\n"
+      "  metrics [--shape AxB --queries N --updates N --seed N]\n"
+      "          [--format text|json|both] [--json out.json]\n"
       "  trace-record --shape AxB [--queries N --updates N --seed N]\n"
       "          --out t.trace\n"
       "  trace-replay --cube cube.bin --trace t.trace [--method M]\n");
@@ -455,6 +567,8 @@ int RunCli(const std::vector<std::string>& args) {
     status = CmdAudit(parsed.value());
   } else if (command == "bench") {
     status = CmdBench(parsed.value());
+  } else if (command == "metrics") {
+    status = CmdMetrics(parsed.value());
   } else if (command == "trace-record") {
     status = CmdTraceRecord(parsed.value());
   } else if (command == "trace-replay") {
