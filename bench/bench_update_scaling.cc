@@ -55,6 +55,78 @@ BENCHMARK(BM_Update<HierarchicalRps<int64_t>>)
     ->Range(16, 1024)
     ->Unit(benchmark::kMicrosecond);
 
+// The batched/parallel update path: AddBatch coalesces the strict-
+// anchor writes shared by updates landing in the same box, and its
+// scatters go through the row kernels (plus the thread pool above
+// the size threshold). Reported per update for comparison with
+// BM_Update<RelativePrefixSum>.
+void BM_UpdateBatch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t batch = 64;
+  const Shape shape = Shape::Hypercube(2, n);
+  RelativePrefixSum<int64_t> method(UniformCube(shape, 0, 99, 37));
+  UniformUpdateGen gen(shape, 5, 41);
+  std::vector<std::vector<RelativePrefixSum<int64_t>::CellDelta>> batches;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<RelativePrefixSum<int64_t>::CellDelta> ops;
+    for (int64_t i = 0; i < batch; ++i) {
+      const UpdateOp op = gen.Next();
+      ops.push_back({op.cell, op.delta});
+    }
+    batches.push_back(std::move(ops));
+  }
+  size_t next = 0;
+  int64_t cells = 0;
+  for (auto _ : state) {
+    cells += method.AddBatch(batches[next]).total();
+    next = (next + 1) & 7;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["cells/update"] = benchmark::Counter(
+      static_cast<double>(cells) / static_cast<double>(batch),
+      benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_UpdateBatch)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Same batched path under a Zipf-skewed ("today's slice") update
+// stream: updates cluster in few boxes, so the per-group coalescing
+// of strict-anchor writes pays off directly.
+void BM_UpdateBatchHotspot(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t batch = 64;
+  const Shape shape = Shape::Hypercube(2, n);
+  RelativePrefixSum<int64_t> method(UniformCube(shape, 0, 99, 37));
+  HotspotUpdateGen gen(shape, /*skew=*/1.2, 5, 41);
+  std::vector<std::vector<RelativePrefixSum<int64_t>::CellDelta>> batches;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<RelativePrefixSum<int64_t>::CellDelta> ops;
+    for (int64_t i = 0; i < batch; ++i) {
+      const UpdateOp op = gen.Next();
+      ops.push_back({op.cell, op.delta});
+    }
+    batches.push_back(std::move(ops));
+  }
+  size_t next = 0;
+  int64_t cells = 0;
+  for (auto _ : state) {
+    cells += method.AddBatch(batches[next]).total();
+    next = (next + 1) & 7;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["cells/update"] = benchmark::Counter(
+      static_cast<double>(cells) / static_cast<double>(batch),
+      benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_UpdateBatchHotspot)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
 // Build cost for context: all methods build in O(d N)-ish time except
 // Fenwick's O(N log^d N) insertion build.
 template <typename Method>

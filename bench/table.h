@@ -60,10 +60,21 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// printf-style float formatting into std::string.
+/// printf-style float formatting into std::string. The format
+/// attribute moves -Wformat checking to each call site's literal.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 0)))
+#endif
 inline std::string Fmt(const char* fmt, double value) {
   char buf[64];
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+#endif
   std::snprintf(buf, sizeof(buf), fmt, value);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   return buf;
 }
 

@@ -11,7 +11,7 @@
 # build, and every header is additionally compiled standalone, which
 # both syntax-checks it and proves it self-contained.
 #
-# Usage: scripts/lint.sh [dir ...]   (default: src tools)
+# Usage: scripts/lint.sh [dir ...]   (default: src tools bench)
 # Exits nonzero on the first diagnostic.
 
 set -u -o pipefail
@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 targets=("$@")
 if [ "${#targets[@]}" -eq 0 ]; then
-  targets=(src tools)
+  targets=(src tools bench)
 fi
 
 sources=()

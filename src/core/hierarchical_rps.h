@@ -47,15 +47,21 @@ CellIndex RecommendedHierarchicalBoxSize(const Shape& shape);
 template <typename T>
 class HierarchicalRps final : public QueryMethod<T> {
  public:
-  explicit HierarchicalRps(const NdArray<T>& source)
-      : HierarchicalRps(source,
-                        RecommendedHierarchicalBoxSize(source.shape())) {}
+  /// `pool` (borrowed, must outlive the structure; may be null for
+  /// strictly serial execution) parallelizes the RP scan and the
+  /// coarse/face aggregation of large builds.
+  explicit HierarchicalRps(const NdArray<T>& source,
+                           ThreadPool* pool = &ThreadPool::Global())
+      : HierarchicalRps(source, RecommendedHierarchicalBoxSize(source.shape()),
+                        pool) {}
 
-  HierarchicalRps(const NdArray<T>& source, const CellIndex& box_size)
+  HierarchicalRps(const NdArray<T>& source, const CellIndex& box_size,
+                  ThreadPool* pool = &ThreadPool::Global())
       : shape_(source.shape()),
         box_size_(box_size),
         grid_shape_(MakeGridShape(source.shape(), box_size)),
-        rp_(source.shape()) {
+        rp_(source.shape()),
+        pool_(pool) {
     BuildFrom(source);
   }
 
@@ -87,8 +93,9 @@ class HierarchicalRps final : public QueryMethod<T> {
   static Result<HierarchicalRps> FromParts(
       const Shape& shape, const CellIndex& box_size, NdArray<T> rp,
       RelativePrefixSum<T> coarse,
-      std::vector<std::unique_ptr<RelativePrefixSum<T>>> faces) {
-    HierarchicalRps parts(shape, box_size, PartsTag{});
+      std::vector<std::unique_ptr<RelativePrefixSum<T>>> faces,
+      ThreadPool* pool = &ThreadPool::Global()) {
+    HierarchicalRps parts(shape, box_size, PartsTag{}, pool);
     if (!(rp.shape() == shape)) {
       return Status::InvalidArgument("RP shape mismatch");
     }
@@ -115,7 +122,18 @@ class HierarchicalRps final : public QueryMethod<T> {
     return parts;
   }
 
-  /// Shape of the face cube for `mask` (cell-granular in set bits).
+  /// The pool used by Build (null means strictly serial). Borrowed;
+  /// callers keep ownership. Inner structures carry their own pool.
+  ThreadPool* thread_pool() const { return pool_; }
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Parallelism knobs; tests lower min_parallel_cells to force the
+  /// parallel paths on small cubes.
+  const ParallelPolicy& parallel_policy() const { return policy_; }
+  void set_parallel_policy(const ParallelPolicy& policy) { policy_ = policy; }
+
+  /// Shape of the face cube for `mask` (cell-granular in set bits;
+  /// mask 0 gives the coarse grid shape).
   Shape FaceShape(uint32_t mask) const {
     std::vector<int64_t> extents;
     for (int j = 0; j < shape_.dims(); ++j) {
@@ -227,14 +245,14 @@ class HierarchicalRps final : public QueryMethod<T> {
       box_hi[j] =
           std::min(anchor + box_size_[j], shape_.extent(j)) - 1;
     }
-    // RP tail of the covering box.
+    // RP tail of the covering box, one row kernel per row.
     {
-      Box affected(cell, box_hi);
-      CellIndex t = affected.lo();
-      do {
-        rp_.at(t) += delta;
-        ++stats.primary_cells;
-      } while (NextIndexInBox(affected, t));
+      const Box affected(cell, box_hi);
+      const int64_t row_len = affected.Extent(d - 1);
+      ForEachRowStart(affected, [&](const CellIndex& row) {
+        AddToRow(rp_.row_span(row, row_len), row_len, delta);
+      });
+      stats.primary_cells += affected.NumCells();
     }
     // Coarse cube: one inner point update.
     {
@@ -413,11 +431,13 @@ class HierarchicalRps final : public QueryMethod<T> {
 
  private:
   struct PartsTag {};
-  HierarchicalRps(const Shape& shape, const CellIndex& box_size, PartsTag)
+  HierarchicalRps(const Shape& shape, const CellIndex& box_size, PartsTag,
+                  ThreadPool* pool)
       : shape_(shape),
         box_size_(box_size),
         grid_shape_(MakeGridShape(shape, box_size)),
-        rp_(shape) {}
+        rp_(shape),
+        pool_(pool) {}
 
   static Shape MakeGridShape(const Shape& shape, const CellIndex& box_size) {
     RPS_CHECK(box_size.dims() == shape.dims());
@@ -432,75 +452,85 @@ class HierarchicalRps final : public QueryMethod<T> {
 
   void BuildFrom(const NdArray<T>& source) {
     const int d = shape_.dims();
+    ThreadPool* pool =
+        (pool_ != nullptr &&
+         shape_.num_cells() >= policy_.min_parallel_cells)
+            ? pool_
+            : nullptr;
 
-    // RP: prefix sums restarted at box boundaries.
+    // RP: prefix sums restarted at box boundaries, one segmented
+    // row-kernel pass per dimension.
     rp_ = source;
     for (int dim = 0; dim < d; ++dim) {
-      const int64_t extent = shape_.extent(dim);
-      if (extent == 1) continue;
-      const int64_t stride = shape_.Stride(dim);
-      const int64_t block = stride * extent;
-      const int64_t k = box_size_[dim];
-      for (int64_t base = 0; base < rp_.num_cells(); base += block) {
-        for (int64_t lane = 0; lane < stride; ++lane) {
-          int64_t offset = base + lane;
-          for (int64_t i = 1; i < extent; ++i) {
-            if (i % k != 0) {
-              rp_.at_linear(offset + stride) += rp_.at_linear(offset);
-            }
-            offset += stride;
-          }
-        }
-      }
+      SegmentedPrefixSumAlongDim(rp_, dim, box_size_[dim], pool);
     }
 
-    // Coarse cube of box totals and the face cubes.
-    NdArray<T> coarse_cells(grid_shape_, T{});
+    // Coarse cube of box totals (task 0) and the face cubes (tasks
+    // 1 .. 2^d - 2). Each task reads only `source` and builds its own
+    // inner structure, so tasks run in parallel; each aggregation is
+    // serial within its task, keeping results independent of thread
+    // count. Inner builds triggered from pool workers run inline.
     const uint32_t full = (1u << d) - 1;
-    std::vector<NdArray<T>> face_cells(static_cast<size_t>(full));
-    for (uint32_t mask = 1; mask < full; ++mask) {
-      std::vector<int64_t> extents;
-      for (int j = 0; j < d; ++j) {
-        extents.push_back((mask & (1u << j)) ? shape_.extent(j)
-                                             : grid_shape_.extent(j));
-      }
-      face_cells[static_cast<size_t>(mask)] =
-          NdArray<T>(Shape::FromExtents(extents), T{});
-    }
-    CellIndex cell = CellIndex::Filled(d, 0);
-    CellIndex coarse_index = CellIndex::Filled(d, 0);
-    CellIndex face_index = CellIndex::Filled(d, 0);
-    do {
-      const T value = source.at(cell);
-      if (value == T{}) {
-        // Zero cells contribute nothing; skip the fan-out.
-        continue;
-      }
-      for (int j = 0; j < d; ++j) coarse_index[j] = cell[j] / box_size_[j];
-      coarse_cells.at(coarse_index) += value;
-      for (uint32_t mask = 1; mask < full; ++mask) {
-        for (int j = 0; j < d; ++j) {
-          face_index[j] =
-              (mask & (1u << j)) ? cell[j] : coarse_index[j];
-        }
-        face_cells[static_cast<size_t>(mask)].at(face_index) += value;
-      }
-    } while (NextIndex(shape_, cell));
-
-    coarse_ = std::make_unique<RelativePrefixSum<T>>(coarse_cells);
     faces_.clear();
     faces_.resize(static_cast<size_t>(full));
-    for (uint32_t mask = 1; mask < full; ++mask) {
-      faces_[static_cast<size_t>(mask)] =
-          std::make_unique<RelativePrefixSum<T>>(
-              face_cells[static_cast<size_t>(mask)]);
+    auto build_cubes = [&](int64_t task_lo, int64_t task_hi) {
+      for (int64_t task = task_lo; task < task_hi; ++task) {
+        const uint32_t mask = static_cast<uint32_t>(task);
+        NdArray<T> cells = AggregateFace(source, mask);
+        auto inner = std::make_unique<RelativePrefixSum<T>>(cells, pool_);
+        if (mask == 0) {
+          coarse_ = std::move(inner);
+        } else {
+          faces_[static_cast<size_t>(mask)] = std::move(inner);
+        }
+      }
+    };
+    if (pool != nullptr && full > 1) {
+      pool->ParallelFor(0, full, 1, build_cubes);
+    } else {
+      build_cubes(0, full);
     }
+  }
+
+  // The cell array of the face cube for `mask` (mask 0 = the coarse
+  // cube of box totals): source aggregated at cell granularity in the
+  // mask dimensions and box granularity elsewhere. One row-kernel
+  // pass over the source: rows either add into an output row
+  // (innermost dimension cell-granular) or segment-reduce into one
+  // output cell per box (innermost dimension box-granular).
+  NdArray<T> AggregateFace(const NdArray<T>& source, uint32_t mask) const {
+    const int d = shape_.dims();
+    const Shape out_shape = FaceShape(mask);
+    NdArray<T> out(out_shape, T{});
+    const int64_t n_inner = shape_.extent(d - 1);
+    const bool inner_cells = (mask & (1u << (d - 1))) != 0;
+    const int64_t k_inner = box_size_[d - 1];
+    CellIndex out_index = CellIndex::Filled(d, 0);
+    ForEachRowStart(Box::All(shape_), [&](const CellIndex& row) {
+      for (int j = 0; j + 1 < d; ++j) {
+        out_index[j] =
+            (mask & (1u << j)) ? row[j] : row[j] / box_size_[j];
+      }
+      const T* src = source.row_span(row, n_inner);
+      if (inner_cells) {
+        AddRowInto(out.row_span(out_index, n_inner), src, n_inner);
+      } else {
+        T* dst = out.row_span(out_index, out_shape.extent(d - 1));
+        for (int64_t seg = 0, s = 0; seg < n_inner; seg += k_inner, ++s) {
+          const int64_t seg_len = std::min(k_inner, n_inner - seg);
+          dst[s] += ReduceRow(src + seg, seg_len);
+        }
+      }
+    });
+    return out;
   }
 
   Shape shape_;
   CellIndex box_size_;
   Shape grid_shape_;
   NdArray<T> rp_;
+  ThreadPool* pool_ = nullptr;
+  ParallelPolicy policy_;
   std::unique_ptr<RelativePrefixSum<T>> coarse_;
   // Indexed by dimension-subset mask (bit j set = dimension j at cell
   // granularity); slots 0 and full are unused.

@@ -74,6 +74,14 @@ class OverlayGeometry {
   /// Slot of the anchor cell of `box_index` (all-zero offsets).
   int64_t AnchorSlotOf(const CellIndex& box_index) const;
 
+  /// AnchorSlotOf for a pre-linearized (row-major) grid index. Hot
+  /// update scatters walk dominating boxes in grid-linear order and
+  /// skip the per-box relinearization.
+  int64_t AnchorSlotOfLinear(int64_t box_linear) const {
+    RPS_DCHECK(box_linear >= 0 && box_linear < num_boxes());
+    return slot_base_[static_cast<size_t>(box_linear)];
+  }
+
   /// Self-audit of the geometry bookkeeping: grid extents, slot-base
   /// monotonicity, and (for up to `max_boxes` boxes) that SlotOf is a
   /// bijection from a box's stored cells onto its slot range. Returns
@@ -123,6 +131,24 @@ class Overlay {
   }
   T& at(const CellIndex& box_index, const CellIndex& offsets) {
     return at_slot(geometry_.SlotOf(box_index, offsets));
+  }
+
+  /// Pointer to `len` consecutive slots starting at `slot`, for the
+  /// row kernels. Slot order within a box follows BorderRank: when a
+  /// stored cell has a zero offset in some dimension before the
+  /// innermost, incrementing its innermost offset advances its slot
+  /// by exactly one, so such "rows" of stored cells are contiguous
+  /// spans (update scatters and builders exploit this; they DCHECK
+  /// the span endpoints against SlotOf).
+  const T* slot_span(int64_t slot, int64_t len) const {
+    RPS_DCHECK(slot >= 0 && len >= 0 &&
+               slot + len <= static_cast<int64_t>(values_.size()));
+    return values_.data() + slot;
+  }
+  T* slot_span(int64_t slot, int64_t len) {
+    RPS_DCHECK(slot >= 0 && len >= 0 &&
+               slot + len <= static_cast<int64_t>(values_.size()));
+    return values_.data() + slot;
   }
 
   int64_t num_values() const { return static_cast<int64_t>(values_.size()); }

@@ -19,6 +19,7 @@
 #define RPS_CORE_RELATIVE_PREFIX_SUM_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <type_traits>
@@ -32,10 +33,12 @@
 #include "cube/box.h"
 #include "cube/nd_array.h"
 #include "cube/prefix.h"
+#include "cube/row_kernels.h"
 #include "util/check.h"
 #include "util/math.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rps {
 
@@ -77,6 +80,36 @@ bool CellsEqual(const T& actual, const T& expected) {
 /// [1, n_j] (Section 4.3).
 CellIndex RecommendedBoxSize(const Shape& shape);
 
+/// Parallel-execution knobs for structure builds and large update
+/// scatters. Work whose estimated touched cells fall below
+/// `min_parallel_cells` stays on the calling thread, and ParallelFor
+/// chunk grains are derived from the same constant -- chunk
+/// boundaries depend only on the problem size, never on thread
+/// count, so parallel results are bit-identical to serial ones for
+/// integral T.
+struct ParallelPolicy {
+  int64_t min_parallel_cells = kMinCellsPerParallelChunk;
+};
+
+namespace internal_parallel {
+
+/// Runs fn(lo, hi) over chunks of [0, total) with the given grain --
+/// through `pool` when it is non-null and the range spans more than
+/// one chunk, serially otherwise -- and returns the summed int64
+/// results. fn must be safe to run concurrently on disjoint ranges.
+template <typename Fn>
+int64_t ChunkedSum(ThreadPool* pool, int64_t total, int64_t grain, Fn&& fn) {
+  if (total <= 0) return 0;
+  if (pool == nullptr || total <= grain) return fn(int64_t{0}, total);
+  std::atomic<int64_t> sum{0};
+  pool->ParallelFor(0, total, grain, [&](int64_t lo, int64_t hi) {
+    sum.fetch_add(fn(lo, hi), std::memory_order_relaxed);
+  });
+  return sum.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal_parallel
+
 /// Sum of prefix-array cells by inclusion-exclusion over the 2^d
 /// corners of `range`: the query of the prefix sum method, reused by
 /// builders and tests. `prefix` must be a full prefix-sum array.
@@ -115,14 +148,19 @@ template <typename T>
 class RelativePrefixSum final : public QueryMethod<T> {
  public:
   /// Builds the structure for `source` with the recommended
-  /// (sqrt(n)) box sizes.
-  explicit RelativePrefixSum(const NdArray<T>& source)
-      : RelativePrefixSum(source, RecommendedBoxSize(source.shape())) {}
+  /// (sqrt(n)) box sizes. `pool` (borrowed, must outlive the
+  /// structure; may be null for strictly serial execution) runs the
+  /// build and large update scatters in parallel when the work
+  /// clears the ParallelPolicy threshold.
+  explicit RelativePrefixSum(const NdArray<T>& source,
+                             ThreadPool* pool = &ThreadPool::Global())
+      : RelativePrefixSum(source, RecommendedBoxSize(source.shape()), pool) {}
 
   /// Builds with explicit per-dimension box sizes (each in
   /// [1, extent]).
-  RelativePrefixSum(const NdArray<T>& source, const CellIndex& box_size)
-      : rp_(source.shape()), overlay_(source.shape(), box_size) {
+  RelativePrefixSum(const NdArray<T>& source, const CellIndex& box_size,
+                    ThreadPool* pool = &ThreadPool::Global())
+      : rp_(source.shape()), overlay_(source.shape(), box_size), pool_(pool) {
     BuildFrom(source);
   }
 
@@ -130,11 +168,11 @@ class RelativePrefixSum final : public QueryMethod<T> {
   /// (snapshot loading -- see core/snapshot.h). `rp_cells` is the RP
   /// array in linear order; `overlay_values` the overlay in slot
   /// order. Sizes must match the geometry exactly.
-  static Result<RelativePrefixSum> FromParts(const Shape& shape,
-                                             const CellIndex& box_size,
-                                             std::vector<T> rp_cells,
-                                             std::vector<T> overlay_values) {
-    RelativePrefixSum parts(shape, box_size, PartsTag{});
+  static Result<RelativePrefixSum> FromParts(
+      const Shape& shape, const CellIndex& box_size, std::vector<T> rp_cells,
+      std::vector<T> overlay_values,
+      ThreadPool* pool = &ThreadPool::Global()) {
+    RelativePrefixSum parts(shape, box_size, PartsTag{}, pool);
     if (static_cast<int64_t>(rp_cells.size()) != parts.rp_.num_cells()) {
       return Status::InvalidArgument("RP cell count mismatch");
     }
@@ -201,6 +239,16 @@ class RelativePrefixSum final : public QueryMethod<T> {
   const NdArray<T>& rp_array() const { return rp_; }
   const Overlay<T>& overlay() const { return overlay_; }
 
+  /// The pool used by Build and large update scatters (null means
+  /// strictly serial). Borrowed; callers keep ownership.
+  ThreadPool* thread_pool() const { return pool_; }
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Parallelism knobs; tests lower min_parallel_cells to force the
+  /// parallel paths on small cubes.
+  const ParallelPolicy& parallel_policy() const { return policy_; }
+  void set_parallel_policy(const ParallelPolicy& policy) { policy_ = policy; }
+
   /// Self-audit from first principles (tests and `rps_tool audit`).
   /// Recovers the source array A implied by the RP array, builds A's
   /// prefix array P, and re-derives samples of every component
@@ -237,10 +285,40 @@ class RelativePrefixSum final : public QueryMethod<T> {
 
  private:
   struct PartsTag {};
-  RelativePrefixSum(const Shape& shape, const CellIndex& box_size, PartsTag)
-      : rp_(shape), overlay_(shape, box_size) {}
+  RelativePrefixSum(const Shape& shape, const CellIndex& box_size, PartsTag,
+                    ThreadPool* pool)
+      : rp_(shape), overlay_(shape, box_size), pool_(pool) {}
 
   void BuildFrom(const NdArray<T>& source);
+
+  // Computes the stored values of box `box_index` from the full
+  // prefix array (build step; boxes are independent of each other).
+  void FillOverlayBox(const NdArray<T>& prefix, const CellIndex& box_index);
+
+  // Adds `delta` to every RP cell of `affected` (the tail of the
+  // covering box dominating the updated cell), one row kernel per
+  // innermost-dimension row. Returns cells touched.
+  int64_t AddToRpTail(const Box& affected, T delta);
+
+  // Adds `delta` to the stored cells of the non-strictly dominating
+  // box `box_index` that are affected by an update at `cell`
+  // (Figure 14): per dimension, offset {0} when cell_j <= anchor_j,
+  // else the whole tail [cell_j - anchor_j, extents_j). Writes whole
+  // slot spans (see Overlay::slot_span). Returns cells touched.
+  int64_t ScatterBoxUpdate(const CellIndex& box_index, const CellIndex& cell,
+                           T delta);
+
+  // Scatters an update at `cell` into every dominating box that
+  // shares at least one grid coordinate with the covering box
+  // (strict dominators take the anchor-only fast path below).
+  // Returns cells touched.
+  int64_t ScatterSlabs(const CellIndex& own_box, const CellIndex& cell,
+                       T delta);
+
+  // Adds `delta` to the anchor of every strictly dominating box --
+  // the (n/k)^d interior anchors of Figure 14, the volume term of an
+  // update. Returns cells touched.
+  int64_t ScatterStrictAnchors(const CellIndex& own_box, T delta);
 
   // Per-instance lookup counters; obs::RelaxedCounter carries its
   // value across structure copies.
@@ -251,6 +329,8 @@ class RelativePrefixSum final : public QueryMethod<T> {
 
   NdArray<T> rp_;
   Overlay<T> overlay_;
+  ThreadPool* pool_ = nullptr;
+  ParallelPolicy policy_;
   mutable AtomicLookupStats lookups_;
 };
 
@@ -262,84 +342,93 @@ void RelativePrefixSum<T>::BuildFrom(const NdArray<T>& source) {
   const Shape& shape = source.shape();
   const OverlayGeometry& geo = overlay_.geometry();
   const int d = shape.dims();
+  ThreadPool* pool =
+      (pool_ != nullptr && shape.num_cells() >= policy_.min_parallel_cells)
+          ? pool_
+          : nullptr;
 
-  // RP: prefix sums restarted at every box boundary, one pass per
-  // dimension (O(d*N)).
+  // RP: prefix sums restarted at every box boundary, one segmented
+  // row-kernel pass per dimension (O(d*N)).
   rp_ = source;
   for (int dim = 0; dim < d; ++dim) {
-    const int64_t extent = shape.extent(dim);
-    if (extent == 1) continue;
-    const int64_t stride = shape.Stride(dim);
-    const int64_t block = stride * extent;
-    const int64_t k = geo.box_size()[dim];
-    for (int64_t base = 0; base < rp_.num_cells(); base += block) {
-      for (int64_t lane = 0; lane < stride; ++lane) {
-        int64_t offset = base + lane;
-        for (int64_t i = 1; i < extent; ++i) {
-          if (i % k != 0) {
-            rp_.at_linear(offset + stride) += rp_.at_linear(offset);
-          }
-          offset += stride;
-        }
-      }
-    }
+    SegmentedPrefixSumAlongDim(rp_, dim, geo.box_size()[dim], pool);
   }
 
   // Full prefix array P, used once to fill the overlay.
   NdArray<T> prefix = source;
-  PrefixSumInPlace(prefix);
+  PrefixSumInPlace(prefix, pool);
 
-  // Overlay values. Stored cells of each box are visited in row-major
-  // offset order, so every proper projection of a cell (some positive
-  // offsets zeroed) is already computed; by
+  // Overlay values, box by box. Each box reads only P, RP and its own
+  // already-computed projections (FillOverlayBox assigns every stored
+  // cell), so boxes are independent and large cubes fill them in
+  // parallel; chunk grains depend only on the geometry, keeping
+  // parallel builds bit-identical to serial ones for integral T.
+  const int64_t num_boxes = geo.num_boxes();
+  const Shape& grid = geo.grid_shape();
+  auto fill_boxes = [&](int64_t box_lo, int64_t box_hi) {
+    CellIndex box_index = grid.Delinearize(box_lo);
+    for (int64_t b = box_lo; b < box_hi; ++b) {
+      FillOverlayBox(prefix, box_index);
+      NextIndex(grid, box_index);
+    }
+  };
+  if (pool != nullptr && num_boxes > 1) {
+    const int64_t cells_per_box =
+        std::max<int64_t>(1, shape.num_cells() / num_boxes);
+    const int64_t grain =
+        std::max<int64_t>(1, kMinCellsPerParallelChunk / cells_per_box);
+    pool->ParallelFor(0, num_boxes, grain, fill_boxes);
+  } else {
+    fill_boxes(0, num_boxes);
+  }
+}
+
+template <typename T>
+void RelativePrefixSum<T>::FillOverlayBox(const NdArray<T>& prefix,
+                                          const CellIndex& box_index) {
+  // Stored cells are visited in row-major offset order, so every
+  // proper projection of a cell (some positive offsets zeroed) is
+  // already computed; by
   //   P[c] - RP[c] = sum over S' subset of S(c) of val(c_{S'}),
   // the new value is P[c] - RP[c] minus the previously computed
   // projections (DESIGN.md, Section 1).
-  overlay_.FillZero();
-  CellIndex box_index = CellIndex::Filled(d, 0);
-  const int64_t num_boxes = geo.num_boxes();
-  for (int64_t b = 0; b < num_boxes; ++b) {
-    const CellIndex anchor = geo.AnchorOf(box_index);
-    const CellIndex extents = geo.ExtentsOf(box_index);
-    const Shape box_shape =
-        [&] {
-          std::vector<int64_t> e(static_cast<size_t>(d));
-          for (int j = 0; j < d; ++j) e[static_cast<size_t>(j)] = extents[j];
-          return Shape::FromExtents(e);
-        }();
-    CellIndex offsets = CellIndex::Filled(d, 0);
-    do {
-      bool stored = false;
-      for (int j = 0; j < d; ++j) {
-        if (offsets[j] == 0) {
-          stored = true;
-          break;
-        }
+  const OverlayGeometry& geo = overlay_.geometry();
+  const int d = rp_.dims();
+  const CellIndex anchor = geo.AnchorOf(box_index);
+  const CellIndex extents = geo.ExtentsOf(box_index);
+  CellIndex extents_hi = extents;
+  for (int j = 0; j < d; ++j) extents_hi[j] = extents[j] - 1;
+  const Box offsets_box(CellIndex::Filled(d, 0), extents_hi);
+  CellIndex offsets = offsets_box.lo();
+  do {
+    bool stored = false;
+    for (int j = 0; j < d; ++j) {
+      if (offsets[j] == 0) {
+        stored = true;
+        break;
       }
-      if (!stored) continue;
-      CellIndex cell = anchor;
-      for (int j = 0; j < d; ++j) cell[j] = anchor[j] + offsets[j];
-      T value = prefix.at(cell) - rp_.at(cell);
-      // Subtract the values of all proper projections (subsets of the
-      // positive-offset dimensions).
-      int positive[kMaxDims];
-      int num_positive = 0;
-      for (int j = 0; j < d; ++j) {
-        if (offsets[j] > 0) positive[num_positive++] = j;
+    }
+    if (!stored) continue;
+    CellIndex cell = anchor;
+    for (int j = 0; j < d; ++j) cell[j] = anchor[j] + offsets[j];
+    T value = prefix.at(cell) - rp_.at(cell);
+    // Subtract the values of all proper projections (subsets of the
+    // positive-offset dimensions).
+    int positive[kMaxDims];
+    int num_positive = 0;
+    for (int j = 0; j < d; ++j) {
+      if (offsets[j] > 0) positive[num_positive++] = j;
+    }
+    CellIndex proj = CellIndex::Filled(d, 0);
+    for (uint32_t mask = 0; mask + 1 < (1u << num_positive); ++mask) {
+      for (int j = 0; j < d; ++j) proj[j] = 0;
+      for (int i = 0; i < num_positive; ++i) {
+        if (mask & (1u << i)) proj[positive[i]] = offsets[positive[i]];
       }
-      CellIndex proj = CellIndex::Filled(d, 0);
-      for (uint32_t mask = 0;
-           mask + 1 < (1u << num_positive); ++mask) {
-        for (int j = 0; j < d; ++j) proj[j] = 0;
-        for (int i = 0; i < num_positive; ++i) {
-          if (mask & (1u << i)) proj[positive[i]] = offsets[positive[i]];
-        }
-        value -= overlay_.at(box_index, proj);
-      }
-      overlay_.at(box_index, offsets) = value;
-    } while (NextIndex(box_shape, offsets));
-    NextIndex(geo.grid_shape(), box_index);
-  }
+      value -= overlay_.at(box_index, proj);
+    }
+    overlay_.at(box_index, offsets) = value;
+  } while (NextIndexInBox(offsets_box, offsets));
 }
 
 template <typename T>
@@ -457,7 +546,6 @@ UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
   const OverlayGeometry& geo = overlay_.geometry();
   const Shape& shape = rp_.shape();
   RPS_CHECK(shape.Contains(cell));
-  const int d = shape.dims();
   UpdateStats stats;
 
   const CellIndex own_box = geo.BoxIndexOf(cell);
@@ -465,44 +553,14 @@ UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
 
   // 1. RP: cells of the covering box dominating `cell`
   //    (cascading stops at the box boundary -- Section 4.2).
-  {
-    Box affected(cell, own_region.hi());
-    CellIndex t = affected.lo();
-    do {
-      rp_.at(t) += delta;
-      ++stats.primary_cells;
-    } while (NextIndexInBox(affected, t));
-  }
+  stats.primary_cells += AddToRpTail(Box(cell, own_region.hi()), delta);
 
   // 2. Overlay: every box whose grid index dominates the covering
-  //    box's, except the covering box itself (Figure 14). Within an
-  //    affected box anchored at a the touched stored cells are the
-  //    product over dimensions of:
-  //      {a_j}                         if u_j <= a_j,
-  //      {c_j : u_j <= c_j < a_j+e_j}  if u_j >  a_j (same box row).
-  const Shape& grid = geo.grid_shape();
-  Box grid_range(own_box, Box::All(grid).hi());
-  CellIndex box_index = grid_range.lo();
-  do {
-    if (box_index == own_box) continue;
-    const CellIndex anchor = geo.AnchorOf(box_index);
-    const CellIndex extents = geo.ExtentsOf(box_index);
-    // Offset ranges per dimension.
-    CellIndex off_lo = CellIndex::Filled(d, 0);
-    CellIndex off_hi = CellIndex::Filled(d, 0);
-    for (int j = 0; j < d; ++j) {
-      if (cell[j] > anchor[j]) {
-        off_lo[j] = cell[j] - anchor[j];
-        off_hi[j] = extents[j] - 1;
-      }  // else single offset 0
-    }
-    Box offsets_box(off_lo, off_hi);
-    CellIndex offsets = offsets_box.lo();
-    do {
-      overlay_.at(box_index, offsets) += delta;
-      ++stats.aux_cells;
-    } while (NextIndexInBox(offsets_box, offsets));
-  } while (NextIndexInBox(grid_range, box_index));
+  //    box's, except the covering box itself (Figure 14), split into
+  //    the boxes sharing a grid coordinate (border-row slabs) and the
+  //    strictly dominating boxes (anchor cells only).
+  stats.aux_cells += ScatterSlabs(own_box, cell, delta);
+  stats.aux_cells += ScatterStrictAnchors(own_box, delta);
 
   static obs::Counter& updates =
       obs::MetricRegistry::Global().GetCounter("rps_core_rps_updates_total");
@@ -511,6 +569,140 @@ UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
   updates.Increment();
   cells.Increment(stats.total());
   return stats;
+}
+
+template <typename T>
+int64_t RelativePrefixSum<T>::AddToRpTail(const Box& affected, T delta) {
+  const int d = rp_.dims();
+  const int64_t row_len = affected.Extent(d - 1);
+  ForEachRowStart(affected, [&](const CellIndex& row) {
+    AddToRow(rp_.row_span(row, row_len), row_len, delta);
+  });
+  return affected.NumCells();
+}
+
+template <typename T>
+int64_t RelativePrefixSum<T>::ScatterBoxUpdate(const CellIndex& box_index,
+                                               const CellIndex& cell,
+                                               T delta) {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const int d = rp_.dims();
+  const CellIndex anchor = geo.AnchorOf(box_index);
+  const CellIndex extents = geo.ExtentsOf(box_index);
+  // Affected stored cells: the product over dimensions of
+  //   {a_j}                         if u_j <= a_j,
+  //   {c_j : u_j <= c_j < a_j+e_j}  if u_j >  a_j (same box row).
+  CellIndex off_lo = CellIndex::Filled(d, 0);
+  CellIndex off_hi = CellIndex::Filled(d, 0);
+  for (int j = 0; j < d; ++j) {
+    if (cell[j] > anchor[j]) {
+      off_lo[j] = cell[j] - anchor[j];
+      off_hi[j] = extents[j] - 1;
+    }  // else single offset 0
+  }
+  const Box offsets_box(off_lo, off_hi);
+  const int64_t row_len = offsets_box.Extent(d - 1);
+  ForEachRowStart(offsets_box, [&](const CellIndex& offsets) {
+    const int64_t slot = geo.SlotOf(box_index, offsets);
+#if !defined(NDEBUG)
+    if (row_len > 1) {
+      // Slots of an innermost-offset row are contiguous whenever some
+      // outer offset is zero -- guaranteed here: row_len > 1 means
+      // the innermost offsets vary, and every stored cell has a zero
+      // offset somewhere, which must then be an outer dimension.
+      CellIndex last = offsets;
+      last[d - 1] = off_hi[d - 1];
+      RPS_DCHECK(geo.SlotOf(box_index, last) == slot + row_len - 1);
+    }
+#endif
+    AddToRow(overlay_.slot_span(slot, row_len), row_len, delta);
+  });
+  return offsets_box.NumCells();
+}
+
+template <typename T>
+int64_t RelativePrefixSum<T>::ScatterSlabs(const CellIndex& own_box,
+                                           const CellIndex& cell, T delta) {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& grid = geo.grid_shape();
+  const int d = grid.dims();
+  const CellIndex grid_hi = Box::All(grid).hi();
+  const int64_t avg_stored_per_box =
+      std::max<int64_t>(1, overlay_.num_values() /
+                               std::max<int64_t>(1, geo.num_boxes()));
+  int64_t touched = 0;
+  // Partition the non-strict dominators by the first dimension g with
+  // box[g] == own_box[g]: dimensions before g strictly above,
+  // dimensions after g free (>=). The slabs are disjoint and cover
+  // every dominating box sharing a grid coordinate exactly once.
+  for (int g = 0; g < d; ++g) {
+    CellIndex lo = own_box;
+    CellIndex hi = grid_hi;
+    bool empty = false;
+    for (int j = 0; j < g; ++j) {
+      if (own_box[j] + 1 > grid_hi[j]) {
+        empty = true;
+        break;
+      }
+      lo[j] = own_box[j] + 1;
+    }
+    if (empty) continue;
+    hi[g] = own_box[g];
+    const Box slab(lo, hi);
+    const int64_t boxes_per_row = slab.Extent(d - 1);
+    auto scatter_rows = [&](int64_t row_lo, int64_t row_hi) -> int64_t {
+      int64_t chunk_touched = 0;
+      ForEachRowStartInRange(
+          slab, row_lo, row_hi, [&](const CellIndex& row) {
+            CellIndex box_index = row;
+            for (int64_t i = 0; i < boxes_per_row; ++i) {
+              box_index[d - 1] = row[d - 1] + i;
+              if (box_index == own_box) continue;  // RP handles it
+              chunk_touched += ScatterBoxUpdate(box_index, cell, delta);
+            }
+          });
+      return chunk_touched;
+    };
+    // Rows write disjoint boxes, so chunks never race; the grain
+    // estimate targets min_parallel_cells of stored-cell writes.
+    const int64_t grain = std::max<int64_t>(
+        1, policy_.min_parallel_cells /
+               std::max<int64_t>(1, boxes_per_row * avg_stored_per_box));
+    touched += internal_parallel::ChunkedSum(pool_, NumRowsOf(slab), grain,
+                                             scatter_rows);
+  }
+  return touched;
+}
+
+template <typename T>
+int64_t RelativePrefixSum<T>::ScatterStrictAnchors(const CellIndex& own_box,
+                                                   T delta) {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& grid = geo.grid_shape();
+  const int d = grid.dims();
+  CellIndex lo = own_box;
+  for (int j = 0; j < d; ++j) {
+    if (own_box[j] + 1 >= grid.extent(j)) return 0;
+    lo[j] = own_box[j] + 1;
+  }
+  const Box strict(lo, Box::All(grid).hi());
+  const int64_t row_len = strict.Extent(d - 1);
+  auto scatter_rows = [&](int64_t row_lo, int64_t row_hi) -> int64_t {
+    ForEachRowStartInRange(strict, row_lo, row_hi, [&](const CellIndex& row) {
+      // Boxes consecutive along the innermost grid dimension are
+      // consecutive in grid-linear order; one Linearize per row.
+      const int64_t base = grid.Linearize(row);
+      for (int64_t i = 0; i < row_len; ++i) {
+        overlay_.at_slot(geo.AnchorSlotOfLinear(base + i)) += delta;
+      }
+    });
+    return (row_hi - row_lo) * row_len;
+  };
+  // Rows write disjoint boxes' anchors, so chunks never race.
+  const int64_t grain = std::max<int64_t>(
+      1, policy_.min_parallel_cells / std::max<int64_t>(1, row_len));
+  return internal_parallel::ChunkedSum(pool_, NumRowsOf(strict), grain,
+                                       scatter_rows);
 }
 
 template <typename T>
@@ -676,7 +868,6 @@ UpdateStats RelativePrefixSum<T>::AddBatch(
   const OverlayGeometry& geo = overlay_.geometry();
   const Shape& shape = rp_.shape();
   const Shape& grid = geo.grid_shape();
-  const int d = shape.dims();
   UpdateStats stats;
 
   // Group ops by covering box (sorted by box linear id).
@@ -702,64 +893,16 @@ UpdateStats RelativePrefixSum<T>::AddBatch(
       const CellDelta& op = *grouped[i].second;
       group_delta += op.delta;
       // RP: per-op, within the covering box.
-      Box affected(op.cell, own_region.hi());
-      CellIndex t = affected.lo();
-      do {
-        rp_.at(t) += op.delta;
-        ++stats.primary_cells;
-      } while (NextIndexInBox(affected, t));
+      stats.primary_cells +=
+          AddToRpTail(Box(op.cell, own_region.hi()), op.delta);
       // Overlay slabs: boxes b >= bu with at least one equal
       // component (strict dominators are coalesced below).
-      Box grid_range(own_box, Box::All(grid).hi());
-      CellIndex box_index = grid_range.lo();
-      do {
-        if (box_index == own_box) continue;
-        bool strict = true;
-        for (int j = 0; j < d; ++j) {
-          if (box_index[j] == own_box[j]) {
-            strict = false;
-            break;
-          }
-        }
-        if (strict) continue;  // coalesced once per group
-        const CellIndex anchor = geo.AnchorOf(box_index);
-        const CellIndex extents = geo.ExtentsOf(box_index);
-        CellIndex off_lo = CellIndex::Filled(d, 0);
-        CellIndex off_hi = CellIndex::Filled(d, 0);
-        for (int j = 0; j < d; ++j) {
-          if (op.cell[j] > anchor[j]) {
-            off_lo[j] = op.cell[j] - anchor[j];
-            off_hi[j] = extents[j] - 1;
-          }
-        }
-        Box offsets_box(off_lo, off_hi);
-        CellIndex offsets = offsets_box.lo();
-        do {
-          overlay_.at(box_index, offsets) += op.delta;
-          ++stats.aux_cells;
-        } while (NextIndexInBox(offsets_box, offsets));
-      } while (NextIndexInBox(grid_range, box_index));
+      stats.aux_cells += ScatterSlabs(own_box, op.cell, op.delta);
     }
 
     // Strictly dominating boxes: anchors only, summed delta, once per
     // group.
-    bool any_strict = true;
-    CellIndex strict_lo = own_box;
-    for (int j = 0; j < d; ++j) {
-      if (own_box[j] + 1 >= grid.extent(j)) {
-        any_strict = false;
-        break;
-      }
-      strict_lo[j] = own_box[j] + 1;
-    }
-    if (any_strict) {
-      Box strict_range(strict_lo, Box::All(grid).hi());
-      CellIndex box_index = strict_range.lo();
-      do {
-        overlay_.at_slot(geo.AnchorSlotOf(box_index)) += group_delta;
-        ++stats.aux_cells;
-      } while (NextIndexInBox(strict_range, box_index));
-    }
+    stats.aux_cells += ScatterStrictAnchors(own_box, group_delta);
     start = end;
   }
 

@@ -8,6 +8,7 @@
 #ifndef RPS_CUBE_ND_ARRAY_H_
 #define RPS_CUBE_ND_ARRAY_H_
 
+#include <utility>
 #include <vector>
 
 #include "cube/box.h"
@@ -64,6 +65,24 @@ class NdArray {
       total += at(index);
     } while (NextIndexInBox(box, index));
     return total;
+  }
+
+  /// Pointer to the contiguous row of `len` cells starting at `start`
+  /// and running along the innermost dimension (storage is row-major,
+  /// so consecutive innermost-dimension cells are adjacent in memory).
+  /// The row must not cross the array edge:
+  /// start[d-1] + len <= extent(d-1). The hot-path unit for the row
+  /// kernels in cube/row_kernels.h.
+  const T* row_span(const CellIndex& start, int64_t len) const {
+    RPS_DCHECK_MSG(shape_.Contains(start), "NdArray::row_span out of bounds");
+    RPS_DCHECK_MSG(
+        len >= 0 &&
+            start[shape_.dims() - 1] + len <= shape_.extent(shape_.dims() - 1),
+        "NdArray::row_span overruns its row");
+    return cells_.data() + shape_.Linearize(start);
+  }
+  T* row_span(const CellIndex& start, int64_t len) {
+    return const_cast<T*>(std::as_const(*this).row_span(start, len));
   }
 
   const T* data() const { return cells_.data(); }

@@ -1,0 +1,59 @@
+// Vectorizable kernels over contiguous innermost-dimension rows.
+//
+// The hot paths of the RPS structures (box-local prefix scans, update
+// scatters, face-cube aggregation) all reduce to four primitive loops
+// over contiguous T spans. Keeping them as standalone kernels with
+// restrict-qualified pointers lets the compiler unroll and
+// auto-vectorize them, where the equivalent NextIndexInBox-per-cell
+// walks pay full N-d index arithmetic (and a Linearize) per cell.
+
+#ifndef RPS_CUBE_ROW_KERNELS_H_
+#define RPS_CUBE_ROW_KERNELS_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace rps {
+
+/// row[i] += delta for i in [0, len).
+template <typename T>
+inline void AddToRow(T* row, int64_t len, T delta) {
+  for (int64_t i = 0; i < len; ++i) row[i] += delta;
+}
+
+/// dst[i] += src[i] for i in [0, len). Spans must not overlap.
+template <typename T>
+inline void AddRowInto(T* __restrict dst, const T* __restrict src,
+                       int64_t len) {
+  for (int64_t i = 0; i < len; ++i) dst[i] += src[i];
+}
+
+/// Sum of row[0 .. len).
+template <typename T>
+inline T ReduceRow(const T* row, int64_t len) {
+  T total{};
+  for (int64_t i = 0; i < len; ++i) total += row[i];
+  return total;
+}
+
+/// In-place prefix scan: row[i] += row[i-1] for i in [1, len).
+template <typename T>
+inline void PrefixScanRow(T* row, int64_t len) {
+  for (int64_t i = 1; i < len; ++i) row[i] += row[i - 1];
+}
+
+/// Prefix scan restarted at every multiple of k (the box-local RP
+/// scan of the innermost dimension). k >= 1.
+template <typename T>
+inline void SegmentedPrefixScanRow(T* row, int64_t len, int64_t k) {
+  RPS_DCHECK(k >= 1);
+  for (int64_t seg = 0; seg < len; seg += k) {
+    const int64_t seg_len = (seg + k < len) ? k : len - seg;
+    PrefixScanRow(row + seg, seg_len);
+  }
+}
+
+}  // namespace rps
+
+#endif  // RPS_CUBE_ROW_KERNELS_H_

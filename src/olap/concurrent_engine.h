@@ -23,8 +23,12 @@ namespace rps {
 
 class ConcurrentOlapEngine {
  public:
-  ConcurrentOlapEngine(Schema schema, EngineMethod method)
-      : engine_(std::move(schema), method) {
+  /// `pool` is forwarded to the wrapped OlapEngine; builds and large
+  /// update scatters run on it while this facade holds the writer
+  /// lock, so readers still observe atomic transitions.
+  ConcurrentOlapEngine(Schema schema, EngineMethod method,
+                       ThreadPool* pool = &ThreadPool::Global())
+      : engine_(std::move(schema), method, pool) {
     obs::MetricRegistry& registry = obs::MetricRegistry::Global();
     const obs::Labels labels = {{"method", EngineMethodName(method)}};
     query_seconds_ =

@@ -25,7 +25,8 @@ const char* EngineMethodName(EngineMethod method) {
 }
 
 std::unique_ptr<QueryMethod<double>> MakeDoubleMethod(EngineMethod method,
-                                                      const Shape& shape) {
+                                                      const Shape& shape,
+                                                      ThreadPool* pool) {
   const NdArray<double> empty(shape, 0.0);
   switch (method) {
     case EngineMethod::kNaive:
@@ -33,17 +34,18 @@ std::unique_ptr<QueryMethod<double>> MakeDoubleMethod(EngineMethod method,
     case EngineMethod::kPrefixSum:
       return std::make_unique<PrefixSumMethod<double>>(empty);
     case EngineMethod::kRelativePrefixSum:
-      return std::make_unique<RelativePrefixSum<double>>(empty);
+      return std::make_unique<RelativePrefixSum<double>>(empty, pool);
     case EngineMethod::kFenwick:
       return std::make_unique<FenwickMethod<double>>(empty);
     case EngineMethod::kHierarchicalRps:
-      return std::make_unique<HierarchicalRps<double>>(empty);
+      return std::make_unique<HierarchicalRps<double>>(empty, pool);
   }
   return nullptr;
 }
 
 std::unique_ptr<QueryMethod<int64_t>> MakeCountMethod(EngineMethod method,
-                                                      const Shape& shape) {
+                                                      const Shape& shape,
+                                                      ThreadPool* pool) {
   const NdArray<int64_t> empty(shape, 0);
   switch (method) {
     case EngineMethod::kNaive:
@@ -51,20 +53,21 @@ std::unique_ptr<QueryMethod<int64_t>> MakeCountMethod(EngineMethod method,
     case EngineMethod::kPrefixSum:
       return std::make_unique<PrefixSumMethod<int64_t>>(empty);
     case EngineMethod::kRelativePrefixSum:
-      return std::make_unique<RelativePrefixSum<int64_t>>(empty);
+      return std::make_unique<RelativePrefixSum<int64_t>>(empty, pool);
     case EngineMethod::kFenwick:
       return std::make_unique<FenwickMethod<int64_t>>(empty);
     case EngineMethod::kHierarchicalRps:
-      return std::make_unique<HierarchicalRps<int64_t>>(empty);
+      return std::make_unique<HierarchicalRps<int64_t>>(empty, pool);
   }
   return nullptr;
 }
 
-OlapEngine::OlapEngine(Schema schema, EngineMethod method)
+OlapEngine::OlapEngine(Schema schema, EngineMethod method, ThreadPool* pool)
     : schema_(std::move(schema)),
       method_(method),
-      sums_(MakeDoubleMethod(method, schema_.CubeShape())),
-      counts_(MakeCountMethod(method, schema_.CubeShape())) {
+      pool_(pool),
+      sums_(MakeDoubleMethod(method, schema_.CubeShape(), pool)),
+      counts_(MakeCountMethod(method, schema_.CubeShape(), pool)) {
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   const obs::Labels labels = {{"method", EngineMethodName(method)}};
   queries_total_ = &registry.GetCounter("rps_engine_queries_total", labels);

@@ -25,6 +25,7 @@
 #include "olap/query.h"
 #include "olap/schema.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rps {
 
@@ -41,10 +42,15 @@ const char* EngineMethodName(EngineMethod method);
 
 /// Factories for the underlying structures, shared by the engines.
 /// The returned structure is built over an all-zero cube of `shape`.
-std::unique_ptr<QueryMethod<double>> MakeDoubleMethod(EngineMethod method,
-                                                      const Shape& shape);
-std::unique_ptr<QueryMethod<int64_t>> MakeCountMethod(EngineMethod method,
-                                                      const Shape& shape);
+/// `pool` (borrowed, must outlive the structure; may be null for
+/// strictly serial execution) drives parallel builds and large update
+/// scatters in the pool-aware methods; the others ignore it.
+std::unique_ptr<QueryMethod<double>> MakeDoubleMethod(
+    EngineMethod method, const Shape& shape,
+    ThreadPool* pool = &ThreadPool::Global());
+std::unique_ptr<QueryMethod<int64_t>> MakeCountMethod(
+    EngineMethod method, const Shape& shape,
+    ThreadPool* pool = &ThreadPool::Global());
 
 /// One input record: raw dimension values (schema order) + measure.
 struct OlapRecord {
@@ -60,11 +66,15 @@ struct IngestReport {
 
 class OlapEngine {
  public:
-  /// An empty engine over `schema` using `method`.
-  OlapEngine(Schema schema, EngineMethod method);
+  /// An empty engine over `schema` using `method`. `pool` backs the
+  /// builds (Load) and large update scatters of pool-aware methods;
+  /// pass null for strictly serial execution.
+  OlapEngine(Schema schema, EngineMethod method,
+             ThreadPool* pool = &ThreadPool::Global());
 
   const Schema& schema() const { return schema_; }
   EngineMethod method() const { return method_; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// Bulk loads `records`, replacing current contents. Out-of-domain
   /// records are counted and skipped.
@@ -111,6 +121,7 @@ class OlapEngine {
  private:
   Schema schema_;
   EngineMethod method_;
+  ThreadPool* pool_;
   std::unique_ptr<QueryMethod<double>> sums_;
   std::unique_ptr<QueryMethod<int64_t>> counts_;
   int64_t update_cells_ = 0;

@@ -1,0 +1,186 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace rps {
+
+namespace {
+
+// True while the current thread is executing a pool task or a
+// ParallelFor body; nested ParallelFor calls observe it and run
+// inline instead of re-entering the pool.
+thread_local bool t_inside_pool_work = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  RPS_CHECK_MSG(num_threads >= 0, "thread pool size must be >= 0");
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  tasks_total_ = &registry.GetCounter("rps_pool_tasks_total");
+  queue_depth_ = &registry.GetGauge("rps_pool_queue_depth");
+  task_seconds_ = &registry.GetHistogram("rps_pool_task_seconds");
+  registry.GetGauge("rps_pool_threads").Set(static_cast<double>(num_threads));
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Tasks still queued at destruction run on the destroying thread so
+  // Submit keeps its "will eventually run" contract.
+  while (RunOnePendingTask()) {
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  RPS_CHECK_MSG(task != nullptr, "cannot submit an empty task");
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RPS_CHECK_MSG(!shutting_down_, "submit on a shutting-down pool");
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  tasks_total_->Increment();
+  queue_depth_->Set(static_cast<double>(depth));
+  work_available_.notify_one();
+}
+
+bool ThreadPool::RunOnePendingTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  const Stopwatch watch;
+  const bool was_inside = t_inside_pool_work;
+  t_inside_pool_work = true;
+  task();
+  t_inside_pool_work = was_inside;
+  task_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    const Stopwatch watch;
+    t_inside_pool_work = true;
+    task();
+    t_inside_pool_work = false;
+    task_seconds_->ObserveNanos(watch.ElapsedNanos());
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t range = end - begin;
+  // Serial fast paths: one chunk, no workers, or already inside pool
+  // work (running inline keeps workers non-blocking, which is what
+  // makes nested parallel builds deadlock-free).
+  if (range <= grain || workers_.empty() || t_inside_pool_work) {
+    const bool was_inside = t_inside_pool_work;
+    t_inside_pool_work = true;
+    body(begin, end);
+    t_inside_pool_work = was_inside;
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<int64_t> next;
+    int64_t end;
+    int64_t grain;
+    const std::function<void(int64_t, int64_t)>* body;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int active_helpers = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->body = &body;
+
+  auto run_chunks = [](SharedState& s) {
+    for (;;) {
+      const int64_t lo = s.next.fetch_add(s.grain, std::memory_order_relaxed);
+      if (lo >= s.end) return;
+      (*s.body)(lo, std::min(lo + s.grain, s.end));
+    }
+  };
+
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  const int helpers = static_cast<int>(std::min<int64_t>(
+      static_cast<int64_t>(workers_.size()), num_chunks - 1));
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->active_helpers = helpers;
+  }
+  for (int i = 0; i < helpers; ++i) {
+    Submit([state, run_chunks] {
+      run_chunks(*state);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->active_helpers;
+      }
+      state->done_cv.notify_all();
+    });
+  }
+
+  // The caller claims chunks too, then waits for the helpers it
+  // enlisted. `body` lives on this frame, so the wait must not return
+  // before every helper has finished with it.
+  t_inside_pool_work = true;
+  run_chunks(*state);
+  t_inside_pool_work = false;
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->active_helpers == 0; });
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("RPS_THREADS")) {
+    char* parse_end = nullptr;
+    const long parsed = std::strtol(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && parsed >= 1) {
+      return static_cast<int>(std::min<long>(parsed, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Global() {
+  // N usable threads = the caller plus N-1 pool workers.
+  static ThreadPool pool(DefaultThreads() - 1);
+  return pool;
+}
+
+}  // namespace rps

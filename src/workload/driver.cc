@@ -1,5 +1,7 @@
 #include "workload/driver.h"
 
+#include <atomic>
+
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
 
@@ -77,6 +79,40 @@ WorkloadReport RunWorkload(QueryMethod<int64_t>& method,
                            HotspotUpdateGen& updates,
                            const WorkloadSpec& spec) {
   return RunWorkloadImpl(method, queries, updates, spec);
+}
+
+WorkloadReport RunParallelQueryWorkload(const QueryMethod<int64_t>& method,
+                                        const std::vector<Box>& ranges,
+                                        ThreadPool* pool) {
+  WorkloadReport report;
+  report.method = method.name();
+  obs::Histogram& query_hist = obs::MetricRegistry::Global().GetHistogram(
+      "rps_workload_query_seconds", {{"method", std::string(method.name())}});
+
+  std::atomic<int64_t> checksum{0};
+  const int64_t total = static_cast<int64_t>(ranges.size());
+  auto run_range = [&](int64_t lo, int64_t hi) {
+    int64_t local = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const Stopwatch op_watch;
+      local += method.RangeSum(ranges[static_cast<size_t>(i)]);
+      query_hist.ObserveNanos(op_watch.ElapsedNanos());
+    }
+    checksum.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  const Stopwatch watch;
+  if (pool != nullptr && total > 1) {
+    // Fixed grain: chunk boundaries (and the summed checksum) never
+    // depend on worker count.
+    pool->ParallelFor(0, total, /*grain=*/8, run_range);
+  } else if (total > 0) {
+    run_range(0, total);
+  }
+  report.query_seconds = static_cast<double>(watch.ElapsedNanos()) * 1e-9;
+  report.queries = total;
+  report.query_checksum = checksum.load(std::memory_order_relaxed);
+  return report;
 }
 
 }  // namespace rps

@@ -8,8 +8,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/method.h"
+#include "cube/box.h"
+#include "util/thread_pool.h"
 #include "workload/query_gen.h"
 
 namespace rps {
@@ -60,6 +63,17 @@ WorkloadReport RunWorkload(QueryMethod<int64_t>& method,
                            SelectivityQueryGen& queries,
                            HotspotUpdateGen& updates,
                            const WorkloadSpec& spec);
+
+/// Issues `ranges` as read-only RangeSum queries through `pool`
+/// (many analysts querying at once; serial when `pool` is null).
+/// Queries are side-effect-free on every method, so chunks of the
+/// batch run concurrently; the checksum is order-independent (a sum),
+/// so the report matches a serial run of the same ranges.
+/// query_seconds is the wall time of the whole batch, not the summed
+/// per-op time.
+WorkloadReport RunParallelQueryWorkload(const QueryMethod<int64_t>& method,
+                                        const std::vector<Box>& ranges,
+                                        ThreadPool* pool);
 
 }  // namespace rps
 

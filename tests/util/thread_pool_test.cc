@@ -1,0 +1,147 @@
+// ThreadPool unit tests: chunk coverage, caller participation,
+// nested-call inlining, shutdown draining, and RPS_THREADS sizing.
+// Runs under the `concurrency` ctest label so the tsan preset
+// exercises the claiming and wake-up paths.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rps {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(std::memory_order_relaxed), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int64_t covered = 0;
+  pool.ParallelFor(10, 60, 8, [&](int64_t lo, int64_t hi) {
+    // Inline execution: one call covering the whole range, on this
+    // thread, so unsynchronized access is fine.
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered, 50);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverCallsBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfWorkerCount) {
+  // The determinism contract: once the pool goes parallel, chunk
+  // [lo, hi) splits are the fixed progression begin, begin+grain, ...
+  // regardless of how many workers claim them. (The serial fast path
+  // runs one whole-range chunk instead; bodies must therefore compute
+  // each index's result self-contained, which every caller in this
+  // codebase does.)
+  auto collect = [](ThreadPool& pool) {
+    std::vector<std::atomic<int64_t>> chunk_lo(100);
+    pool.ParallelFor(0, 100, 9, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        chunk_lo[static_cast<size_t>(i)].store(lo, std::memory_order_relaxed);
+      }
+    });
+    std::vector<int64_t> out;
+    for (auto& v : chunk_lo) out.push_back(v.load(std::memory_order_relaxed));
+    return out;
+  };
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const std::vector<int64_t> chunks_one = collect(one);
+  const std::vector<int64_t> chunks_four = collect(four);
+  EXPECT_EQ(chunks_one, chunks_four);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(chunks_one[static_cast<size_t>(i)], (i / 9) * 9) << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Nested call: must run inline on this thread (workers never
+      // block on the pool), summing [0, 100).
+      int64_t inner = 0;
+      pool.ParallelFor(0, 100, 10, [&](int64_t a, int64_t b) {
+        for (int64_t v = a; v < b; ++v) inner += v;
+      });
+      total.fetch_add(inner, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTaskRunsInline) {
+  std::atomic<int64_t> covered{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      pool.ParallelFor(0, 50, 5, [&](int64_t lo, int64_t hi) {
+        covered.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+    });
+  }
+  EXPECT_EQ(covered.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsParsesRpsThreadsEnv) {
+  ::setenv("RPS_THREADS", "4", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 4);
+  ::setenv("RPS_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 1);
+  ::setenv("RPS_THREADS", "9999", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 256);
+
+  // Invalid values fall back to hardware concurrency (>= 1).
+  ::setenv("RPS_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  ::setenv("RPS_THREADS", "lots", 1);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  ::unsetenv("RPS_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  ThreadPool& pool = ThreadPool::Global();
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 64, 4, [&](int64_t lo, int64_t hi) {
+    covered.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), 64);
+  EXPECT_EQ(&pool, &ThreadPool::Global());
+}
+
+}  // namespace
+}  // namespace rps
