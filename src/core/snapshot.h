@@ -23,12 +23,21 @@ namespace rps {
 inline constexpr char kSnapshotMagic[8] = {'R', 'P', 'S', 'S',
                                            'N', 'A', 'P', '1'};
 
+/// How SaveSnapshot hits the disk.
+struct SnapshotWriteOptions {
+  /// fsync before close so the snapshot survives a crash after return.
+  bool durable = false;
+  /// fault_env failpoint site for injected I/O failures.
+  std::string site = "snapshot";
+};
+
 /// Writes `rps` to `path`. T must be trivially copyable.
 template <typename T>
-Status SaveSnapshot(const RelativePrefixSum<T>& rps,
-                    const std::string& path) {
+Status SaveSnapshot(const RelativePrefixSum<T>& rps, const std::string& path,
+                    const SnapshotWriteOptions& options = {}) {
   static_assert(std::is_trivially_copyable_v<T>);
-  RPS_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Create(path));
+  RPS_ASSIGN_OR_RETURN(BinaryWriter writer,
+                       BinaryWriter::Create(path, options.site));
   RPS_RETURN_IF_ERROR(writer.WriteBytes(kSnapshotMagic, 8));
   RPS_RETURN_IF_ERROR(
       writer.WriteScalar<uint32_t>(static_cast<uint32_t>(sizeof(T))));
@@ -53,14 +62,16 @@ Status SaveSnapshot(const RelativePrefixSum<T>& rps,
     overlay_values[static_cast<size_t>(slot)] = rps.overlay().at_slot(slot);
   }
   RPS_RETURN_IF_ERROR(writer.WriteVector(overlay_values));
-  return writer.FinishWithChecksum();
+  return writer.FinishWithChecksum(options.durable);
 }
 
 /// Reads a structure previously written by SaveSnapshot.
 template <typename T>
-Result<RelativePrefixSum<T>> LoadSnapshot(const std::string& path) {
+Result<RelativePrefixSum<T>> LoadSnapshot(const std::string& path,
+                                          const std::string& site =
+                                              "snapshot") {
   static_assert(std::is_trivially_copyable_v<T>);
-  RPS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  RPS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path, site));
   char magic[8];
   RPS_RETURN_IF_ERROR(reader.ReadBytes(magic, 8));
   if (std::memcmp(magic, kSnapshotMagic, 8) != 0) {

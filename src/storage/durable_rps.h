@@ -1,62 +1,133 @@
 // Durable relative prefix sums: snapshot + write-ahead log.
 //
-// The in-memory structure is paired with an on-disk directory holding
-//   snapshot.bin -- a CRC-checked structure snapshot (core/snapshot.h)
-//   wal.log      -- updates applied since the snapshot
+// The in-memory structure is paired with an on-disk directory of
+// numbered generations committed through a manifest:
+//   CURRENT          -- text file naming the live generation N
+//   snapshot-N.bin   -- CRC-checked structure snapshot (core/snapshot.h)
+//   wal-N.log        -- updates applied since snapshot N
 // Every Add appends to the log before mutating memory, so a crash
-// loses at most a torn tail record; Open() restores the snapshot and
-// replays the log. Checkpoint() rewrites the snapshot and truncates
-// the log. This is the durability story for the paper's
-// "near-current" cubes: cheap updates AND cheap recovery.
+// loses at most a torn tail record; Open() reads CURRENT, restores
+// snapshot N and replays wal-N. Checkpoint() writes the NEXT
+// generation's snapshot and empty log beside the live ones, fsyncs
+// them, then commits by atomically replacing CURRENT (tmp + fsync +
+// rename + directory fsync). A crash at any instant leaves CURRENT
+// naming a generation whose snapshot and log are both intact and
+// mutually consistent: before the rename recovery sees the old
+// snapshot plus the full old log, after it the new snapshot plus an
+// empty log -- never a half-written snapshot and never a log replayed
+// on top of a snapshot that already contains it. This is the
+// durability story for the paper's "near-current" cubes: cheap
+// updates AND cheap recovery.
+//
+// Transient append failures (simulated short writes, ENOSPC) are
+// retried with bounded backoff (util/retry.h); the WAL rolls partial
+// records back to a record boundary before each retry.
 
 #ifndef RPS_STORAGE_DURABLE_RPS_H_
 #define RPS_STORAGE_DURABLE_RPS_H_
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 
 #include "core/snapshot.h"
+#include "storage/fault_env.h"
 #include "storage/wal.h"
+#include "util/retry.h"
 
 namespace rps {
+
+namespace durable_internal {
+
+/// Reads the generation number from a CURRENT manifest.
+inline Result<int64_t> ReadManifest(const std::string& path) {
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "rb", "current"));
+  char buffer[32] = {};
+  RPS_ASSIGN_OR_RETURN(const size_t got,
+                       file.ReadUpTo(buffer, sizeof(buffer) - 1));
+  RPS_RETURN_IF_ERROR(file.Close());
+  char* end = nullptr;
+  const long long generation = std::strtoll(buffer, &end, 10);
+  if (got == 0 || end == buffer || generation < 1) {
+    return Status::IoError("corrupt manifest: " + path);
+  }
+  return static_cast<int64_t>(generation);
+}
+
+/// Atomically points the CURRENT manifest at `generation`: tmp write +
+/// fsync + rename + directory fsync. This is the checkpoint commit
+/// point.
+inline Status CommitManifest(const std::string& directory,
+                             int64_t generation) {
+  const std::string path = directory + "/CURRENT";
+  const std::string tmp = path + ".tmp";
+  const std::string text = std::to_string(generation) + "\n";
+  {
+    RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                         fault_env::File::Open(tmp, "wb", "current"));
+    RPS_RETURN_IF_ERROR(file.Write(text.data(), text.size()));
+    RPS_RETURN_IF_ERROR(file.Sync());
+    RPS_RETURN_IF_ERROR(file.Close());
+  }
+  RPS_RETURN_IF_ERROR(fault_env::Rename(tmp, path, "current"));
+  return fault_env::SyncDir(directory, "current");
+}
+
+}  // namespace durable_internal
 
 template <typename T>
 class DurableRps {
   static_assert(std::is_trivially_copyable_v<T>);
 
  public:
+  DurableRps(DurableRps&&) noexcept = default;
+  DurableRps& operator=(DurableRps&&) noexcept = default;
+  DurableRps(const DurableRps&) = delete;
+  DurableRps& operator=(const DurableRps&) = delete;
+
   /// Creates a fresh durable structure in `directory` (which must
-  /// exist): builds from `source`, writes the initial snapshot and an
-  /// empty log.
+  /// exist): builds from `source`, writes the generation-1 snapshot
+  /// and an empty log, and commits the manifest.
   static Result<DurableRps> Create(const NdArray<T>& source,
                                    const CellIndex& box_size,
                                    const std::string& directory) {
-    DurableRps durable(RelativePrefixSum<T>(source, box_size), directory);
-    RPS_RETURN_IF_ERROR(
-        SaveSnapshot(*durable.rps_, durable.SnapshotPath()));
+    DurableRps durable(RelativePrefixSum<T>(source, box_size), directory,
+                       /*generation=*/1);
+    RPS_RETURN_IF_ERROR(SaveSnapshot(*durable.rps_, durable.snapshot_path(),
+                                     {.durable = true}));
     RPS_ASSIGN_OR_RETURN(
         WriteAheadLog wal,
-        WriteAheadLog::OpenForAppend(durable.WalPath(),
+        WriteAheadLog::OpenForAppend(durable.wal_path(),
                                      source.shape().dims(), sizeof(T)));
     RPS_RETURN_IF_ERROR(wal.Reset());  // fresh Create discards stale logs
+    RPS_RETURN_IF_ERROR(fault_env::SyncDir(directory, "current"));
+    RPS_RETURN_IF_ERROR(durable_internal::CommitManifest(directory, 1));
     durable.wal_.emplace(std::move(wal));
     return durable;
   }
 
-  /// Restores from `directory`: loads the snapshot and replays the
-  /// log. `replayed` (optional out) reports how many records were
-  /// applied and whether a torn tail was discarded.
+  /// Restores from `directory`: reads CURRENT, loads the live
+  /// snapshot and replays its log. `replayed` (optional out) reports
+  /// how many records were applied and whether a torn tail was
+  /// discarded. Stale files from neighbouring generations (a crashed
+  /// checkpoint) are garbage-collected best-effort.
   static Result<DurableRps> Open(const std::string& directory,
                                  WalReplay* replayed = nullptr) {
-    const std::string snapshot_path = directory + "/snapshot.bin";
-    RPS_ASSIGN_OR_RETURN(RelativePrefixSum<T> rps,
-                         LoadSnapshot<T>(snapshot_path));
-    DurableRps durable(std::move(rps), directory);
+    RPS_ASSIGN_OR_RETURN(
+        const int64_t generation,
+        durable_internal::ReadManifest(directory + "/CURRENT"));
+    RPS_ASSIGN_OR_RETURN(
+        RelativePrefixSum<T> rps,
+        LoadSnapshot<T>(SnapshotPathFor(directory, generation)));
+    DurableRps durable(std::move(rps), directory, generation);
     RPS_ASSIGN_OR_RETURN(
         WalReplay replay,
-        WriteAheadLog::Replay(durable.WalPath(),
+        WriteAheadLog::Replay(durable.wal_path(),
                               durable.rps_->shape().dims(), sizeof(T)));
     for (const WalRecord& record : replay.records) {
       T delta;
@@ -67,22 +138,30 @@ class DurableRps {
       durable.rps_->Add(record.cell, delta);
     }
     if (replayed != nullptr) *replayed = replay;
+    if (replay.tail_truncated) {
+      // Cut the torn tail off before appending: bytes written after a
+      // damaged record would be invisible to every future replay.
+      RPS_RETURN_IF_ERROR(WriteAheadLog::TruncateTorn(durable.wal_path(),
+                                                      replay.valid_bytes));
+    }
     RPS_ASSIGN_OR_RETURN(
         WriteAheadLog wal,
-        WriteAheadLog::OpenForAppend(durable.WalPath(),
+        WriteAheadLog::OpenForAppend(durable.wal_path(),
                                      durable.rps_->shape().dims(),
                                      sizeof(T)));
     durable.wal_.emplace(std::move(wal));
+    durable.RemoveStaleGenerations();
     return durable;
   }
 
   const Shape& shape() const { return rps_->shape(); }
   const RelativePrefixSum<T>& structure() const { return *rps_; }
 
-  /// Logged point update: WAL append first, then the in-memory
-  /// structure.
+  /// Logged point update: WAL append first (retrying transient
+  /// failures), then the in-memory structure.
   Result<UpdateStats> Add(const CellIndex& cell, T delta) {
-    RPS_RETURN_IF_ERROR(wal_->Append(cell, &delta));
+    RPS_RETURN_IF_ERROR(RetryWithBackoff(
+        retry_policy_, [&] { return wal_->Append(cell, &delta); }));
     return rps_->Add(cell, delta);
   }
 
@@ -95,22 +174,81 @@ class DurableRps {
   /// Records logged since the last checkpoint (through this handle).
   int64_t wal_records() const { return wal_->appended(); }
 
-  /// Persists the current state and truncates the log.
+  /// Live generation number (advances by one per checkpoint).
+  int64_t generation() const { return generation_; }
+
+  /// On-disk paths of the live generation (tests peek at these).
+  std::string snapshot_path() const {
+    return SnapshotPathFor(directory_, generation_);
+  }
+  std::string wal_path() const { return WalPathFor(directory_, generation_); }
+  const std::string& directory() const { return directory_; }
+
+  /// Retry policy for transient WAL/checkpoint I/O failures.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+
+  /// Persists the current state as the next generation and commits it
+  /// atomically; the previous generation's files are then removed
+  /// best-effort. If this fails, the live generation is unchanged and
+  /// the handle remains usable (when the failure was not a crash).
   Status Checkpoint() {
-    RPS_RETURN_IF_ERROR(SaveSnapshot(*rps_, SnapshotPath()));
-    return wal_->Reset();
+    const int64_t next = generation_ + 1;
+    const std::string next_snapshot = SnapshotPathFor(directory_, next);
+    const std::string next_wal = WalPathFor(directory_, next);
+    // Write the next generation beside the live one. Transient
+    // failures (e.g. ENOSPC pressure) retry the whole snapshot write.
+    RPS_RETURN_IF_ERROR(RetryWithBackoff(retry_policy_, [&] {
+      return SaveSnapshot(*rps_, next_snapshot, {.durable = true});
+    }));
+    RPS_ASSIGN_OR_RETURN(
+        WriteAheadLog next_log,
+        WriteAheadLog::OpenForAppend(next_wal, rps_->shape().dims(),
+                                     sizeof(T)));
+    RPS_RETURN_IF_ERROR(next_log.Reset());
+    RPS_RETURN_IF_ERROR(fault_env::SyncDir(directory_, "current"));
+    // Commit point: until this rename lands, recovery uses the old
+    // snapshot + old log; after it, the new snapshot + empty log.
+    RPS_RETURN_IF_ERROR(durable_internal::CommitManifest(directory_, next));
+    const int64_t previous = generation_;
+    generation_ = next;
+    wal_ = std::move(next_log);
+    (void)fault_env::Remove(SnapshotPathFor(directory_, previous));
+    (void)fault_env::Remove(WalPathFor(directory_, previous));
+    return Status::Ok();
   }
 
  private:
-  DurableRps(RelativePrefixSum<T> rps, std::string directory)
+  DurableRps(RelativePrefixSum<T> rps, std::string directory,
+             int64_t generation)
       : rps_(std::make_unique<RelativePrefixSum<T>>(std::move(rps))),
-        directory_(std::move(directory)) {}
+        directory_(std::move(directory)),
+        generation_(generation) {}
 
-  std::string SnapshotPath() const { return directory_ + "/snapshot.bin"; }
-  std::string WalPath() const { return directory_ + "/wal.log"; }
+  static std::string SnapshotPathFor(const std::string& directory,
+                                     int64_t generation) {
+    return directory + "/snapshot-" + std::to_string(generation) + ".bin";
+  }
+  static std::string WalPathFor(const std::string& directory,
+                                int64_t generation) {
+    return directory + "/wal-" + std::to_string(generation) + ".log";
+  }
+
+  /// Best-effort removal of files a crashed checkpoint can leave
+  /// behind: the previous generation (crash after commit, before GC)
+  /// and the next one (crash before commit).
+  void RemoveStaleGenerations() {
+    for (const int64_t stale : {generation_ - 1, generation_ + 1}) {
+      if (stale < 1) continue;
+      (void)fault_env::Remove(SnapshotPathFor(directory_, stale));
+      (void)fault_env::Remove(WalPathFor(directory_, stale));
+    }
+    (void)fault_env::Remove(directory_ + "/CURRENT.tmp");
+  }
 
   std::unique_ptr<RelativePrefixSum<T>> rps_;
   std::string directory_;
+  int64_t generation_ = 1;
+  RetryPolicy retry_policy_;
   std::optional<WriteAheadLog> wal_;
 };
 

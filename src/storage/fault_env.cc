@@ -1,0 +1,272 @@
+#include "storage/fault_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rps::fault_env {
+namespace {
+
+std::atomic<bool> g_simulated_crash{false};
+
+Status CrashedStatus() {
+  return Status::Unavailable("simulated crash active; process is 'dead'");
+}
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " failed for '" + path + "': " +
+                         std::strerror(errno));
+}
+
+fail::Failpoint* Site(const std::string& site, const char* op) {
+  return &fail::FailpointRegistry::Global().Get("io." + site + "." + op);
+}
+
+}  // namespace
+
+bool SimulatedCrashActive() {
+  return g_simulated_crash.load(std::memory_order_acquire);
+}
+
+void ClearSimulatedCrash() {
+  g_simulated_crash.store(false, std::memory_order_release);
+}
+
+void TriggerSimulatedCrash(const std::string& site) {
+  g_simulated_crash.store(true, std::memory_order_release);
+  obs::MetricRegistry::Global()
+      .GetCounter("rps_simulated_crashes_total", {{"site", site}})
+      .Increment();
+}
+
+Result<File> File::Open(const std::string& path, const char* mode,
+                        const std::string& site) {
+  if (SimulatedCrashActive()) return CrashedStatus();
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) return ErrnoStatus("fopen", path);
+  return File(file, path, site);
+}
+
+File::File(std::FILE* file, std::string path, const std::string& site)
+    : file_(file),
+      path_(std::move(path)),
+      fp_crash_(Site(site, "crash")),
+      fp_torn_(Site(site, "torn_write")),
+      fp_short_(Site(site, "short_write")),
+      fp_enospc_(Site(site, "enospc")),
+      fp_read_(Site(site, "read")),
+      fp_fsync_(Site(site, "fsync")) {}
+
+File::File(File&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      fp_crash_(other.fp_crash_),
+      fp_torn_(other.fp_torn_),
+      fp_short_(other.fp_short_),
+      fp_enospc_(other.fp_enospc_),
+      fp_read_(other.fp_read_),
+      fp_fsync_(other.fp_fsync_) {
+  other.file_ = nullptr;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    fp_crash_ = other.fp_crash_;
+    fp_torn_ = other.fp_torn_;
+    fp_short_ = other.fp_short_;
+    fp_enospc_ = other.fp_enospc_;
+    fp_read_ = other.fp_read_;
+    fp_fsync_ = other.fp_fsync_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+File::~File() { (void)Close(); }
+
+Status File::CheckAlive() const {
+  if (SimulatedCrashActive()) return CrashedStatus();
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("file '" + path_ + "' is closed");
+  }
+  return Status::Ok();
+}
+
+Status File::Write(const void* data, size_t size) {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  if (fp_crash_->Fires()) {
+    TriggerSimulatedCrash(path_);
+    return CrashedStatus();
+  }
+  if (fp_enospc_->Fires()) {
+    return Status::ResourceExhausted("simulated ENOSPC writing '" + path_ +
+                                     "'");
+  }
+  if (fp_torn_->Fires()) {
+    // Persist a strict prefix (roughly half, at least one byte when
+    // possible), flush it so it survives "power loss", then die.
+    const size_t kept = size / 2;
+    if (kept > 0 && std::fwrite(data, 1, kept, file_) != kept) {
+      return ErrnoStatus("fwrite", path_);
+    }
+    (void)std::fflush(file_);
+    TriggerSimulatedCrash(path_);
+    return CrashedStatus();
+  }
+  if (fp_short_->Fires()) {
+    const size_t kept = size / 2;
+    if (kept > 0 && std::fwrite(data, 1, kept, file_) != kept) {
+      return ErrnoStatus("fwrite", path_);
+    }
+    return Status::Unavailable("simulated short write on '" + path_ + "' (" +
+                               std::to_string(kept) + "/" +
+                               std::to_string(size) + " bytes)");
+  }
+  if (size > 0 && std::fwrite(data, 1, size, file_) != size) {
+    return ErrnoStatus("fwrite", path_);
+  }
+  return Status::Ok();
+}
+
+Status File::Read(void* data, size_t size) {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  if (fp_read_->Fires()) {
+    return Status::IoError("simulated read error on '" + path_ + "'");
+  }
+  if (size > 0 && std::fread(data, 1, size, file_) != size) {
+    return Status::IoError("short read from '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> File::ReadUpTo(void* data, size_t size) {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  if (fp_read_->Fires()) {
+    return Status::IoError("simulated read error on '" + path_ + "'");
+  }
+  const size_t got = std::fread(data, 1, size, file_);
+  if (got != size && std::ferror(file_) != 0) {
+    return ErrnoStatus("fread", path_);
+  }
+  return got;
+}
+
+Status File::SeekTo(int64_t offset) {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return ErrnoStatus("fseek", path_);
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> File::Size() {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  const long current = std::ftell(file_);
+  if (current < 0) return ErrnoStatus("ftell", path_);
+  if (std::fseek(file_, 0, SEEK_END) != 0) return ErrnoStatus("fseek", path_);
+  const long size = std::ftell(file_);
+  if (size < 0) return ErrnoStatus("ftell", path_);
+  if (std::fseek(file_, current, SEEK_SET) != 0) {
+    return ErrnoStatus("fseek", path_);
+  }
+  return static_cast<int64_t>(size);
+}
+
+Status File::Flush() {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  if (fp_fsync_->Fires()) {
+    return Status::IoError("simulated flush failure on '" + path_ + "'");
+  }
+  if (std::fflush(file_) != 0) return ErrnoStatus("fflush", path_);
+  return Status::Ok();
+}
+
+Status File::Sync() {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  if (fp_fsync_->Fires()) {
+    return Status::IoError("simulated fsync failure on '" + path_ + "'");
+  }
+  if (std::fflush(file_) != 0) return ErrnoStatus("fflush", path_);
+  if (::fsync(::fileno(file_)) != 0) return ErrnoStatus("fsync", path_);
+  return Status::Ok();
+}
+
+Status File::TruncateTo(int64_t size) {
+  RPS_RETURN_IF_ERROR(CheckAlive());
+  // Flush first so buffered bytes cannot reappear past the new end.
+  if (std::fflush(file_) != 0) return ErrnoStatus("fflush", path_);
+  if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate", path_);
+  }
+  if (std::fseek(file_, static_cast<long>(size), SEEK_SET) != 0) {
+    return ErrnoStatus("fseek", path_);
+  }
+  return Status::Ok();
+}
+
+Status File::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::FILE* file = file_;
+  file_ = nullptr;
+  if (SimulatedCrashActive()) {
+    // A real crash loses bytes still sitting in the user-space stdio
+    // buffer. fclose() would flush them, so capture the size that
+    // already reached the OS, let fclose run, then cut the file back
+    // to that size. (Streams here are written sequentially, so the
+    // unflushed tail is exactly what lies past the stat'd size.)
+    struct stat st {};
+    const bool have_size = ::fstat(::fileno(file), &st) == 0;
+    (void)std::fclose(file);
+    if (have_size) (void)::truncate(path_.c_str(), st.st_size);
+    return CrashedStatus();
+  }
+  if (std::fclose(file) != 0) return ErrnoStatus("fclose", path_);
+  return Status::Ok();
+}
+
+Status Rename(const std::string& from, const std::string& to,
+              const std::string& site) {
+  if (SimulatedCrashActive()) return CrashedStatus();
+  if (Site(site, "rename")->Fires()) {
+    TriggerSimulatedCrash(site);
+    return CrashedStatus();
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + "' -> '" + to);
+  }
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& directory, const std::string& site) {
+  if (SimulatedCrashActive()) return CrashedStatus();
+  if (Site(site, "dirsync")->Fires()) {
+    TriggerSimulatedCrash(site);
+    return CrashedStatus();
+  }
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open", directory);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync", directory);
+  return Status::Ok();
+}
+
+Status Remove(const std::string& path) {
+  if (SimulatedCrashActive()) return CrashedStatus();
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("remove", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rps::fault_env

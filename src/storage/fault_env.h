@@ -1,0 +1,127 @@
+// Fault-injecting file layer for the durable storage paths.
+//
+// fault_env::File wraps the raw stdio handle used by the write-ahead
+// log, the snapshot writer/reader and the file pager, and consults
+// named failpoints (util/failpoint.h) before every physical
+// operation. A File opened with site "wal" answers to these sites:
+//
+//   io.wal.crash        simulated process death before the write; all
+//                       later fault_env I/O fails until the "process"
+//                       is restarted with ClearSimulatedCrash()
+//   io.wal.torn_write   persists only a prefix of the buffer (a torn
+//                       page/record), then crashes as above
+//   io.wal.short_write  writes a prefix and returns UNAVAILABLE (a
+//                       transient short write; retryable after the
+//                       caller rolls back)
+//   io.wal.enospc       returns RESOURCE_EXHAUSTED, writing nothing
+//   io.wal.read         returns IO_ERROR on a read
+//   io.wal.fsync        returns IO_ERROR from Flush()/Sync()
+//
+// plus io.<site>.rename / io.<site>.dirsync for the free functions.
+// With no failpoints armed every operation is a thin stdio/POSIX
+// call; the wrappers stay in release builds.
+//
+// The simulated-crash flag models the machine dying: once set, every
+// fault_env operation (including Close flushing buffers) refuses to
+// touch the disk, so the files keep exactly the bytes that had been
+// flushed -- the state a real crash would leave behind. Tests call
+// ClearSimulatedCrash() to "reboot" before re-opening.
+
+#ifndef RPS_STORAGE_FAULT_ENV_H_
+#define RPS_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace rps::fault_env {
+
+/// True after a crash-class failpoint fired; every fault_env
+/// operation fails until cleared.
+bool SimulatedCrashActive();
+
+/// "Reboots the machine" after a simulated crash.
+void ClearSimulatedCrash();
+
+/// Marks the process as crashed (normally done by the crash/torn
+/// fault sites themselves).
+void TriggerSimulatedCrash(const std::string& site);
+
+/// Checksummed stdio wrapper with fault sites. Move-only.
+class File {
+ public:
+  /// Opens `path` with fopen `mode`; `site` names the failpoint
+  /// family (see header comment).
+  static Result<File> Open(const std::string& path, const char* mode,
+                           const std::string& site);
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File();
+
+  bool open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Writes exactly `size` bytes at the current position (or the end
+  /// in append mode). Fault sites may persist a prefix.
+  Status Write(const void* data, size_t size);
+
+  /// Reads exactly `size` bytes.
+  Status Read(void* data, size_t size);
+
+  /// Reads at most `size` bytes; returns the count actually read
+  /// (fewer only at end-of-file).
+  Result<size_t> ReadUpTo(void* data, size_t size);
+
+  Status SeekTo(int64_t offset);
+  Result<int64_t> Size();
+
+  /// Flushes stdio buffers to the OS (this layer's cheap barrier).
+  Status Flush();
+
+  /// Flush + kernel fsync: the durability barrier.
+  Status Sync();
+
+  /// Truncates the file to `size` bytes (used to roll a partial
+  /// append back to the last record boundary).
+  Status TruncateTo(int64_t size);
+
+  Status Close();
+
+ private:
+  File(std::FILE* file, std::string path, const std::string& site);
+
+  Status CheckAlive() const;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  // Cached failpoint sites; references stay valid for process life.
+  fail::Failpoint* fp_crash_ = nullptr;
+  fail::Failpoint* fp_torn_ = nullptr;
+  fail::Failpoint* fp_short_ = nullptr;
+  fail::Failpoint* fp_enospc_ = nullptr;
+  fail::Failpoint* fp_read_ = nullptr;
+  fail::Failpoint* fp_fsync_ = nullptr;
+};
+
+/// Atomically replaces `to` with `from` (POSIX rename). Consults
+/// io.<site>.rename (fires -> simulated crash before the rename).
+Status Rename(const std::string& from, const std::string& to,
+              const std::string& site);
+
+/// fsyncs the directory so a preceding rename/create survives a power
+/// cut. Consults io.<site>.dirsync.
+Status SyncDir(const std::string& directory, const std::string& site);
+
+/// Removes a file, ignoring a missing one. Fails under an active
+/// simulated crash (best-effort GC must not run "after death").
+Status Remove(const std::string& path);
+
+}  // namespace rps::fault_env
+
+#endif  // RPS_STORAGE_FAULT_ENV_H_

@@ -73,65 +73,46 @@ Status MemPager::WritePage(PageId id, const std::byte* data) {
 Result<std::unique_ptr<FilePager>> FilePager::Create(const std::string& path,
                                                      int64_t page_size) {
   if (page_size < 8) return Status::InvalidArgument("page size too small");
-  std::FILE* file = std::fopen(path.c_str(), "w+b");
-  if (file == nullptr) {
-    return Status::IoError("cannot create page file: " + path);
-  }
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "w+b", "pager"));
   return std::unique_ptr<FilePager>(
-      new FilePager(path, file, page_size));
+      new FilePager(path, std::move(file), page_size));
 }
 
 Result<std::unique_ptr<FilePager>> FilePager::OpenExisting(
     const std::string& path, int64_t page_size) {
   if (page_size < 8) return Status::InvalidArgument("page size too small");
-  std::FILE* file = std::fopen(path.c_str(), "r+b");
-  if (file == nullptr) {
-    return Status::IoError("cannot open page file: " + path);
-  }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    std::fclose(file);
-    return Status::IoError("seek failed: " + path);
-  }
-  const long size = std::ftell(file);
-  if (size < 0 || size % page_size != 0) {
-    std::fclose(file);
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "r+b", "pager"));
+  RPS_ASSIGN_OR_RETURN(const int64_t size, file.Size());
+  if (size % page_size != 0) {
     return Status::IoError("file size is not a whole number of pages: " +
                            path);
   }
-  auto pager =
-      std::unique_ptr<FilePager>(new FilePager(path, file, page_size));
+  auto pager = std::unique_ptr<FilePager>(
+      new FilePager(path, std::move(file), page_size));
   pager->num_pages_ = size / page_size;
   return pager;
 }
 
-FilePager::~FilePager() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
 Status FilePager::Close() {
-  if (file_ == nullptr) return Status::FailedPrecondition("already closed");
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IoError("close failed: " + path_);
-  return Status::Ok();
+  if (!file_.has_value()) return Status::FailedPrecondition("already closed");
+  fault_env::File file = std::move(*file_);
+  file_.reset();
+  return file.Close();
 }
 
 Status FilePager::Grow(int64_t count) {
-  if (file_ == nullptr) return Status::FailedPrecondition("pager closed");
+  if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (count < 0) return Status::InvalidArgument("negative page count");
   if (count <= num_pages_) return Status::Ok();
   // Extend by writing a zero page at the new end; intermediate bytes
   // become a hole (or zeros) per stdio semantics.
   std::vector<std::byte> zero(static_cast<size_t>(page_size_), std::byte{0});
   for (int64_t id = num_pages_; id < count; ++id) {
-    if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) !=
-        0) {
-      return Status::IoError("seek failed while growing " + path_);
-    }
-    if (std::fwrite(zero.data(), 1, static_cast<size_t>(page_size_),
-                    file_) != static_cast<size_t>(page_size_)) {
-      return Status::IoError("write failed while growing " + path_);
-    }
+    RPS_RETURN_IF_ERROR(file_->SeekTo(id * page_size_));
+    RPS_RETURN_IF_ERROR(
+        file_->Write(zero.data(), static_cast<size_t>(page_size_)));
     ++stats_.allocations;
     PagerMetrics::Get().allocations.Increment();
   }
@@ -140,36 +121,26 @@ Status FilePager::Grow(int64_t count) {
 }
 
 Status FilePager::ReadPage(PageId id, std::byte* out) {
-  if (file_ == nullptr) return Status::FailedPrecondition("pager closed");
+  if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (id < 0 || id >= num_pages_) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
-    return Status::IoError("seek failed: " + path_);
-  }
-  if (std::fread(out, 1, static_cast<size_t>(page_size_), file_) !=
-      static_cast<size_t>(page_size_)) {
-    return Status::IoError("short read: " + path_);
-  }
+  RPS_RETURN_IF_ERROR(file_->SeekTo(id * page_size_));
+  RPS_RETURN_IF_ERROR(file_->Read(out, static_cast<size_t>(page_size_)));
   ++stats_.page_reads;
   PagerMetrics::Get().reads.Increment();
   return Status::Ok();
 }
 
 Status FilePager::WritePage(PageId id, const std::byte* data) {
-  if (file_ == nullptr) return Status::FailedPrecondition("pager closed");
+  if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (id < 0 || id >= num_pages_) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
-    return Status::IoError("seek failed: " + path_);
-  }
-  if (std::fwrite(data, 1, static_cast<size_t>(page_size_), file_) !=
-      static_cast<size_t>(page_size_)) {
-    return Status::IoError("short write: " + path_);
-  }
+  RPS_RETURN_IF_ERROR(file_->SeekTo(id * page_size_));
+  RPS_RETURN_IF_ERROR(file_->Write(data, static_cast<size_t>(page_size_)));
   ++stats_.page_writes;
   PagerMetrics::Get().writes.Increment();
   return Status::Ok();

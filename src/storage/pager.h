@@ -13,11 +13,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "storage/fault_env.h"
 #include "util/status.h"
 
 namespace rps {
@@ -76,11 +77,11 @@ class MemPager final : public Pager {
   std::vector<std::vector<std::byte>> pages_;
 };
 
-/// Pager backed by a real file. The file is created on open and
-/// removed by Close() when `remove_on_close` is set.
+/// Pager backed by a real file. I/O goes through the fault-injecting
+/// file layer (fault_env, site "pager").
 class FilePager final : public Pager {
  public:
-  ~FilePager() override;
+  ~FilePager() override = default;
 
   /// Creates (truncates) `path` as a page store.
   static Result<std::unique_ptr<FilePager>> Create(
@@ -103,11 +104,12 @@ class FilePager final : public Pager {
   const std::string& path() const { return path_; }
 
  private:
-  FilePager(std::string path, std::FILE* file, int64_t page_size)
-      : path_(std::move(path)), file_(file), page_size_(page_size) {}
+  FilePager(std::string path, fault_env::File file, int64_t page_size)
+      : path_(std::move(path)), file_(std::move(file)),
+        page_size_(page_size) {}
 
   std::string path_;
-  std::FILE* file_;
+  std::optional<fault_env::File> file_;
   int64_t page_size_;
   int64_t num_pages_ = 0;
 };

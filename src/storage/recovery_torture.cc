@@ -1,0 +1,279 @@
+#include "storage/recovery_torture.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "cube/nd_array.h"
+#include "storage/durable_rps.h"
+#include "storage/fault_env.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+#include "util/retry.h"
+
+namespace rps {
+namespace {
+
+// Every fault site the durable layer can hit. Crash-class sites end
+// the cycle with a simulated process death; transient sites exercise
+// the retry/rollback paths and may let the cycle continue.
+const char* const kFaultSites[] = {
+    "io.wal.crash",        "io.wal.torn_write", "io.wal.short_write",
+    "io.wal.enospc",       "io.wal.fsync",      "io.snapshot.crash",
+    "io.snapshot.enospc",  "io.snapshot.fsync", "io.current.crash",
+    "io.current.rename",   "io.current.dirsync",
+};
+
+// An Add whose status was non-OK: the delta may or may not have
+// reached the log before the fault. Resolved against the recovered
+// state (at most one per cycle; the cycle aborts on first failure).
+struct PendingAdd {
+  CellIndex cell;
+  int64_t delta = 0;
+};
+
+std::string Context(const TortureOptions& options, int64_t cycle) {
+  return " [torture seed=" + std::to_string(options.seed) +
+         " cycle=" + std::to_string(cycle) + "]";
+}
+
+CellIndex RandomCell(const Shape& shape, Rng& rng) {
+  CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+  for (int j = 0; j < shape.dims(); ++j) {
+    cell[j] = rng.UniformInt(0, shape.extent(j) - 1);
+  }
+  return cell;
+}
+
+Box RandomBox(const Shape& shape, Rng& rng) {
+  CellIndex lo = CellIndex::Filled(shape.dims(), 0);
+  CellIndex hi = CellIndex::Filled(shape.dims(), 0);
+  for (int j = 0; j < shape.dims(); ++j) {
+    const int64_t a = rng.UniformInt(0, shape.extent(j) - 1);
+    const int64_t b = rng.UniformInt(0, shape.extent(j) - 1);
+    lo[j] = a < b ? a : b;
+    hi[j] = a < b ? b : a;
+  }
+  return Box(lo, hi);
+}
+
+// Arms one random fault site for this cycle. Returns its name.
+std::string ArmRandomFault(Rng& rng) {
+  const size_t count = sizeof(kFaultSites) / sizeof(kFaultSites[0]);
+  const std::string site =
+      kFaultSites[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(count) - 1))];
+  fail::TriggerPolicy policy = fail::TriggerPolicy::Off();
+  if (rng.Bernoulli(0.3)) {
+    // Recurring transient-ish trigger; retries can still make
+    // progress past it when the site is retryable.
+    policy = fail::TriggerPolicy::EveryNth(rng.UniformInt(2, 5));
+  } else {
+    // Fire on every evaluation after a random warmup, so the fault
+    // lands at an unpredictable point in the cycle's I/O stream.
+    policy = fail::TriggerPolicy::AfterN(rng.UniformInt(0, 60));
+  }
+  fail::FailpointRegistry::Global().Get(site).Arm(policy);
+  return site;
+}
+
+// Full verification of a recovered structure: every cell plus random
+// range sums against the oracle.
+Status VerifyRecovered(const DurableRps<int64_t>& durable,
+                       const NdArray<int64_t>& oracle, Rng& rng,
+                       const TortureOptions& options, int64_t cycle,
+                       TortureReport* report) {
+  const Shape& shape = oracle.shape();
+  const Box all = Box::All(shape);
+  CellIndex index = all.lo();
+  do {
+    const int64_t got = durable.ValueAt(index);
+    const int64_t want = oracle.at(index);
+    if (got != want) {
+      return Status::Internal(
+          "recovered cell " + index.ToString() + " = " +
+          std::to_string(got) + ", oracle has " + std::to_string(want) +
+          Context(options, cycle));
+    }
+    ++report->cells_verified;
+  } while (NextIndexInBox(all, index));
+  for (int64_t q = 0; q < options.queries_per_cycle; ++q) {
+    const Box box = RandomBox(shape, rng);
+    const int64_t got = durable.RangeSum(box);
+    const int64_t want = oracle.SumBox(box);
+    if (got != want) {
+      return Status::Internal("recovered range sum over " + box.ToString() +
+                              " = " + std::to_string(got) +
+                              ", oracle has " + std::to_string(want) +
+                              Context(options, cycle));
+    }
+    ++report->range_sums_verified;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<TortureReport> RunRecoveryTorture(const TortureOptions& options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("torture needs a scratch directory");
+  }
+  if (options.cycles < 1 || options.ops_per_cycle < 1) {
+    return Status::InvalidArgument("torture needs cycles >= 1, ops >= 1");
+  }
+  if (options.extents.empty() ||
+      options.extents.size() != options.box_size.size()) {
+    return Status::InvalidArgument(
+        "torture extents/box_size must be non-empty and match");
+  }
+
+  const Shape shape = Shape::FromExtents(options.extents);
+  CellIndex box_size = CellIndex::Filled(shape.dims(), 1);
+  for (int j = 0; j < shape.dims(); ++j) {
+    const int64_t k = options.box_size[static_cast<size_t>(j)];
+    if (k < 1 || k > shape.extent(j)) {
+      return Status::InvalidArgument("torture box_size out of range");
+    }
+    box_size[j] = k;
+  }
+
+  Rng rng(options.seed);
+  TortureReport report;
+
+  // Make sure no earlier test/run leaves faults armed or a "dead
+  // process" behind.
+  fail::FailpointRegistry::Global().DisarmAll();
+  fault_env::ClearSimulatedCrash();
+
+  // Seed cube with a few nonzero cells so generation 1 is nontrivial.
+  NdArray<int64_t> oracle(shape);
+  for (int64_t i = 0; i < shape.num_cells() / 4 + 1; ++i) {
+    oracle.at(RandomCell(shape, rng)) += rng.UniformInt(-50, 50);
+  }
+
+  Result<DurableRps<int64_t>> created =
+      DurableRps<int64_t>::Create(
+          [&] {
+            NdArray<int64_t> source(shape);
+            const Box all = Box::All(shape);
+            CellIndex index = all.lo();
+            do {
+              source.at(index) = oracle.at(index);
+            } while (NextIndexInBox(all, index));
+            return source;
+          }(),
+          box_size, options.directory);
+  if (!created.ok()) return created.status();
+  std::optional<DurableRps<int64_t>> durable(std::move(created).value());
+  // No sleeping inside simulated-fault retries.
+  durable->set_retry_policy(RetryPolicy::NoBackoff(3));
+
+  const bool trace = std::getenv("RPS_TORTURE_TRACE") != nullptr;
+  for (int64_t cycle = 0; cycle < options.cycles; ++cycle) {
+    const bool faulty = rng.Bernoulli(options.fault_probability);
+    std::string armed;
+    if (faulty) armed = ArmRandomFault(rng);
+    if (trace) {
+      std::fprintf(stderr, "cycle %lld: fault=%s gen=%lld\n",
+                   static_cast<long long>(cycle),
+                   faulty ? armed.c_str() : "none",
+                   static_cast<long long>(durable->generation()));
+    }
+
+    std::optional<PendingAdd> pending;
+    for (int64_t op = 0; op < options.ops_per_cycle; ++op) {
+      if (rng.Bernoulli(options.checkpoint_probability)) {
+        const Status status = durable->Checkpoint();
+        if (trace) {
+          std::fprintf(stderr, "  op %lld: checkpoint -> %s\n",
+                       static_cast<long long>(op),
+                       status.ToString().c_str());
+        }
+        if (status.ok()) {
+          ++report.checkpoints;
+          continue;
+        }
+        ++report.checkpoints_failed;
+        break;  // abort to recovery
+      }
+      const CellIndex cell = RandomCell(shape, rng);
+      int64_t delta = rng.UniformInt(1, 100);
+      if (rng.Bernoulli(0.5)) delta = -delta;  // nonzero by construction
+      const Result<UpdateStats> added = durable->Add(cell, delta);
+      if (trace && !added.ok()) {
+        std::fprintf(stderr, "  op %lld: add %s %+lld -> %s\n",
+                     static_cast<long long>(op), cell.ToString().c_str(),
+                     static_cast<long long>(delta),
+                     added.status().ToString().c_str());
+      }
+      if (added.ok()) {
+        oracle.at(cell) += delta;
+        ++report.adds_applied;
+        continue;
+      }
+      // The delta's durability is unknown (e.g. a failed flush whose
+      // bytes still reach the disk when the handle is torn down);
+      // recovery resolves it below.
+      pending = PendingAdd{cell, delta};
+      ++report.adds_failed;
+      break;  // abort to recovery
+    }
+
+    // "Reboot": tear the handle down (a dead process loses unflushed
+    // buffers; see fault_env::File::Close), clear the fault state,
+    // and reopen from disk.
+    if (fault_env::SimulatedCrashActive()) ++report.crashes_injected;
+    durable.reset();
+    fail::FailpointRegistry::Global().DisarmAll();
+    fault_env::ClearSimulatedCrash();
+
+    WalReplay replay;
+    Result<DurableRps<int64_t>> reopened =
+        DurableRps<int64_t>::Open(options.directory, &replay);
+    if (!reopened.ok()) {
+      return Status::Internal("recovery failed: " +
+                              reopened.status().ToString() +
+                              Context(options, cycle));
+    }
+    durable.emplace(std::move(reopened).value());
+    durable->set_retry_policy(RetryPolicy::NoBackoff(3));
+    report.records_replayed += static_cast<int64_t>(replay.records.size());
+    if (replay.tail_truncated) ++report.torn_tails;
+    if (trace) {
+      std::fprintf(stderr,
+                   "  recovered gen=%lld replayed=%zu torn=%d pending=%d\n",
+                   static_cast<long long>(durable->generation()),
+                   replay.records.size(), replay.tail_truncated ? 1 : 0,
+                   pending.has_value() ? 1 : 0);
+    }
+
+    if (pending.has_value()) {
+      const int64_t got = durable->ValueAt(pending->cell);
+      const int64_t without = oracle.at(pending->cell);
+      if (got == without + pending->delta) {
+        oracle.at(pending->cell) = got;  // applied after all
+        ++report.pending_applied;
+      } else if (got == without) {
+        ++report.pending_lost;  // correctly lost
+      } else {
+        return Status::Internal(
+            "failed Add at " + pending->cell.ToString() +
+            " recovered to " + std::to_string(got) + "; expected " +
+            std::to_string(without) + " (lost) or " +
+            std::to_string(without + pending->delta) + " (applied)" +
+            Context(options, cycle));
+      }
+    }
+
+    RPS_RETURN_IF_ERROR(
+        VerifyRecovered(*durable, oracle, rng, options, cycle, &report));
+    ++report.cycles_run;
+  }
+
+  report.final_generation = durable->generation();
+  return report;
+}
+
+}  // namespace rps

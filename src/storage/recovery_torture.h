@@ -1,0 +1,74 @@
+// Randomized crash/recover torture for the durable storage layer.
+//
+// Each cycle opens (or reopens) a DurableRps in a scratch directory,
+// applies a random stream of logged updates and checkpoints while a
+// randomly chosen failpoint (util/failpoint.h) is armed to kill the
+// "process" mid-I/O -- torn WAL records, short writes, ENOSPC, fsync
+// failures, crashes inside the checkpoint commit -- then clears the
+// simulated crash, reopens, and verifies the recovered structure
+// cell-for-cell and with random range sums against an in-memory
+// oracle. An update whose Add failed is resolved from the recovered
+// state itself: the cell must read either with or without the delta
+// (applied or lost), never anything else, and never applied twice.
+//
+// The driver behind `rps_tool torture`; also exercised by the
+// "faults"-labeled tests. Fully deterministic for a given seed.
+
+#ifndef RPS_STORAGE_RECOVERY_TORTURE_H_
+#define RPS_STORAGE_RECOVERY_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rps {
+
+struct TortureOptions {
+  /// Cube extents / overlay box size (paper Section 3.1 geometry).
+  std::vector<int64_t> extents = {12, 12};
+  std::vector<int64_t> box_size = {4, 4};
+  /// Crash/recover cycles to run.
+  int64_t cycles = 100;
+  /// Seed for the whole run; every failure message echoes it.
+  uint64_t seed = 1;
+  /// Updates attempted per cycle (upper bound; a fault ends a cycle
+  /// early).
+  int64_t ops_per_cycle = 40;
+  /// Random range-sum queries verified after each recovery, on top of
+  /// the full cell sweep.
+  int64_t queries_per_cycle = 8;
+  /// Probability that a cycle runs with a fault armed (the rest are
+  /// clean close/reopen cycles).
+  double fault_probability = 0.85;
+  /// Probability that any op is a Checkpoint instead of an Add.
+  double checkpoint_probability = 0.05;
+  /// Scratch directory (must exist and be empty-ish; files are
+  /// created under it).
+  std::string directory;
+};
+
+struct TortureReport {
+  int64_t cycles_run = 0;
+  int64_t adds_applied = 0;         // Adds that returned OK
+  int64_t adds_failed = 0;          // Adds ended by an injected fault
+  int64_t checkpoints = 0;          // checkpoints that returned OK
+  int64_t checkpoints_failed = 0;
+  int64_t crashes_injected = 0;     // cycles ended by a simulated crash
+  int64_t torn_tails = 0;           // recoveries that discarded a torn tail
+  int64_t records_replayed = 0;
+  int64_t pending_applied = 0;      // failed Adds found durably applied
+  int64_t pending_lost = 0;         // failed Adds found (correctly) lost
+  int64_t cells_verified = 0;
+  int64_t range_sums_verified = 0;
+  int64_t final_generation = 0;
+};
+
+/// Runs the torture loop. Returns a non-OK status (echoing the seed
+/// and failing cycle) on any recovery failure or oracle divergence.
+Result<TortureReport> RunRecoveryTorture(const TortureOptions& options);
+
+}  // namespace rps
+
+#endif  // RPS_STORAGE_RECOVERY_TORTURE_H_

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/retry.h"
 #include "util/stopwatch.h"
 
 namespace rps {
@@ -24,6 +25,7 @@ size_t RecordBodySize(int dims, int64_t payload_size) {
 // report.
 struct WalMetrics {
   obs::Counter& appends;
+  obs::Counter& rollbacks;
   obs::Histogram& append_seconds;
   obs::Histogram& fsync_seconds;
 
@@ -32,6 +34,7 @@ struct WalMetrics {
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
       return new WalMetrics{
           registry.GetCounter("rps_wal_appends_total"),
+          registry.GetCounter("rps_wal_rollbacks_total"),
           registry.GetHistogram("rps_wal_append_seconds"),
           registry.GetHistogram("rps_wal_fsync_seconds"),
       };
@@ -42,17 +45,6 @@ struct WalMetrics {
 
 }  // namespace
 
-WriteAheadLog::~WriteAheadLog() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
-    : file_(std::exchange(other.file_, nullptr)),
-      path_(std::move(other.path_)),
-      dims_(other.dims_),
-      payload_size_(other.payload_size_),
-      appended_(other.appended_) {}
-
 Result<WriteAheadLog> WriteAheadLog::OpenForAppend(const std::string& path,
                                                    int dims,
                                                    int64_t payload_size) {
@@ -62,39 +54,60 @@ Result<WriteAheadLog> WriteAheadLog::OpenForAppend(const std::string& path,
   if (payload_size < 1) {
     return Status::InvalidArgument("bad WAL payload size");
   }
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::IoError("cannot open WAL: " + path);
-  }
-  return WriteAheadLog(file, path, dims, payload_size);
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "ab", "wal"));
+  RPS_ASSIGN_OR_RETURN(const int64_t size, file.Size());
+  return WriteAheadLog(std::move(file), path, dims, payload_size, size);
 }
 
 Status WriteAheadLog::Append(const CellIndex& cell, const void* payload) {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL closed");
+  if (!file_.has_value()) return Status::FailedPrecondition("WAL closed");
   if (cell.dims() != dims_) {
     return Status::InvalidArgument("cell dimensionality mismatch");
   }
   WalMetrics& metrics = WalMetrics::Get();
   const Stopwatch append_watch;
   const size_t body_size = RecordBodySize(dims_, payload_size_);
-  std::vector<std::byte> body(body_size);
+  // One contiguous buffer (crc | body) so an injected torn/short write
+  // leaves a prefix of a single record, never interleaved fragments.
+  std::vector<std::byte> record(sizeof(uint32_t) + body_size);
+  std::byte* const body = record.data() + sizeof(uint32_t);
   for (int j = 0; j < dims_; ++j) {
     const int64_t coord = cell[j];
-    std::memcpy(body.data() + sizeof(int64_t) * static_cast<size_t>(j),
-                &coord, sizeof(coord));
+    std::memcpy(body + sizeof(int64_t) * static_cast<size_t>(j), &coord,
+                sizeof(coord));
   }
-  std::memcpy(body.data() + sizeof(int64_t) * static_cast<size_t>(dims_),
-              payload, static_cast<size_t>(payload_size_));
-  const uint32_t crc = Crc32::Of(body.data(), body.size());
-  if (std::fwrite(&crc, 1, sizeof(crc), file_) != sizeof(crc) ||
-      std::fwrite(body.data(), 1, body.size(), file_) != body.size()) {
-    return Status::IoError("WAL append failed: " + path_);
+  std::memcpy(body + sizeof(int64_t) * static_cast<size_t>(dims_), payload,
+              static_cast<size_t>(payload_size_));
+  const uint32_t crc = Crc32::Of(body, body_size);
+  std::memcpy(record.data(), &crc, sizeof(crc));
+
+  Status status = file_->Write(record.data(), record.size());
+  if (status.ok()) {
+    const Stopwatch flush_watch;
+    status = file_->Flush();
+    if (status.ok()) {
+      metrics.fsync_seconds.ObserveNanos(flush_watch.ElapsedNanos());
+    }
   }
-  const Stopwatch flush_watch;
-  if (std::fflush(file_) != 0) {
-    return Status::IoError("WAL flush failed: " + path_);
+  if (!status.ok()) {
+    // Roll a possibly-partial record back to the last record boundary
+    // so the caller can retry the append against a clean tail. If the
+    // rollback itself fails (e.g. a simulated crash is active), the
+    // original status stands; recovery replay handles the torn tail.
+    if (IsRetryable(status)) {
+      const Status rollback = file_->TruncateTo(committed_size_);
+      if (rollback.ok()) {
+        metrics.rollbacks.Increment();
+      } else if (!fault_env::SimulatedCrashActive()) {
+        return Status::IoError("WAL rollback failed after '" +
+                               status.ToString() + "': " +
+                               rollback.message());
+      }
+    }
+    return status;
   }
-  metrics.fsync_seconds.ObserveNanos(flush_watch.ElapsedNanos());
+  committed_size_ += static_cast<int64_t>(record.size());
   metrics.append_seconds.ObserveNanos(append_watch.ElapsedNanos());
   metrics.appends.Increment();
   ++appended_;
@@ -102,22 +115,18 @@ Status WriteAheadLog::Append(const CellIndex& cell, const void* payload) {
 }
 
 Status WriteAheadLog::Reset() {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL closed");
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "wb");  // truncate
-  if (file_ == nullptr) {
-    return Status::IoError("cannot truncate WAL: " + path_);
-  }
+  if (!file_.has_value()) return Status::FailedPrecondition("WAL closed");
+  RPS_RETURN_IF_ERROR(file_->TruncateTo(0));
+  committed_size_ = 0;
   appended_ = 0;
   return Status::Ok();
 }
 
 Status WriteAheadLog::Close() {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL closed");
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IoError("WAL close failed: " + path_);
-  return Status::Ok();
+  if (!file_.has_value()) return Status::FailedPrecondition("WAL closed");
+  fault_env::File file = std::move(*file_);
+  file_.reset();
+  return file.Close();
 }
 
 Result<WalReplay> WriteAheadLog::Replay(const std::string& path, int dims,
@@ -126,20 +135,29 @@ Result<WalReplay> WriteAheadLog::Replay(const std::string& path, int dims,
     return Status::InvalidArgument("bad WAL dimensionality");
   }
   WalReplay replay;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return replay;  // no log yet: empty replay
+  Result<fault_env::File> opened = fault_env::File::Open(path, "rb", "wal");
+  if (!opened.ok()) {
+    if (fault_env::SimulatedCrashActive()) return opened.status();
+    return replay;  // no log yet: empty replay
+  }
+  fault_env::File file = std::move(opened).value();
 
   const size_t body_size = RecordBodySize(dims, payload_size);
+  const int64_t record_size =
+      static_cast<int64_t>(sizeof(uint32_t) + body_size);
   std::vector<std::byte> body(body_size);
   while (true) {
-    uint32_t crc;
-    const size_t got_crc = std::fread(&crc, 1, sizeof(crc), file);
+    uint32_t crc = 0;
+    RPS_ASSIGN_OR_RETURN(const size_t got_crc,
+                         file.ReadUpTo(&crc, sizeof(crc)));
     if (got_crc == 0) break;  // clean end
     if (got_crc != sizeof(crc)) {
       replay.tail_truncated = true;
       break;
     }
-    if (std::fread(body.data(), 1, body.size(), file) != body.size()) {
+    RPS_ASSIGN_OR_RETURN(const size_t got_body,
+                         file.ReadUpTo(body.data(), body.size()));
+    if (got_body != body.size()) {
       replay.tail_truncated = true;  // torn record
       break;
     }
@@ -147,6 +165,7 @@ Result<WalReplay> WriteAheadLog::Replay(const std::string& path, int dims,
       replay.tail_truncated = true;  // corrupt record: stop replay
       break;
     }
+    replay.valid_bytes += record_size;
     WalRecord record;
     record.cell = CellIndex::Filled(dims, 0);
     for (int j = 0; j < dims; ++j) {
@@ -162,8 +181,20 @@ Result<WalReplay> WriteAheadLog::Replay(const std::string& path, int dims,
         body.end());
     replay.records.push_back(std::move(record));
   }
-  std::fclose(file);
+  RPS_RETURN_IF_ERROR(file.Close());
   return replay;
+}
+
+Status WriteAheadLog::TruncateTorn(const std::string& path,
+                                   int64_t valid_bytes) {
+  if (valid_bytes < 0) {
+    return Status::InvalidArgument("negative WAL size");
+  }
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "r+b", "wal"));
+  RPS_RETURN_IF_ERROR(file.TruncateTo(valid_bytes));
+  RPS_RETURN_IF_ERROR(file.Sync());
+  return file.Close();
 }
 
 }  // namespace rps

@@ -6,16 +6,24 @@
 // corrupt/partial record (a torn tail from a crash is expected and
 // reported, not an error). The log is value-type agnostic: the payload
 // is raw bytes sized at open time.
+//
+// I/O goes through the fault-injecting file layer (fault_env, site
+// "wal"). The log tracks the byte offset of the last fully appended
+// record; when an append fails with a transient status (simulated
+// short write, ENOSPC) the partial record is truncated away so the
+// file stays at a record boundary and the caller can safely retry the
+// append (see util/retry.h).
 
 #ifndef RPS_STORAGE_WAL_H_
 #define RPS_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cube/index.h"
+#include "storage/fault_env.h"
 #include "util/status.h"
 
 namespace rps {
@@ -30,13 +38,14 @@ struct WalRecord {
 struct WalReplay {
   std::vector<WalRecord> records;
   bool tail_truncated = false;  // a torn/corrupt tail was discarded
+  int64_t valid_bytes = 0;      // byte offset after the last valid record
 };
 
 class WriteAheadLog {
  public:
-  ~WriteAheadLog();
-  WriteAheadLog(WriteAheadLog&& other) noexcept;
-  WriteAheadLog& operator=(WriteAheadLog&&) = delete;
+  ~WriteAheadLog() = default;
+  WriteAheadLog(WriteAheadLog&&) noexcept = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) noexcept = default;
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
@@ -45,11 +54,16 @@ class WriteAheadLog {
   static Result<WriteAheadLog> OpenForAppend(const std::string& path,
                                              int dims, int64_t payload_size);
 
-  /// Appends one record and flushes it to the OS.
+  /// Appends one record and flushes it to the OS. On a transient
+  /// failure the partial record is rolled back (file truncated to the
+  /// last record boundary) and the retryable status is returned.
   Status Append(const CellIndex& cell, const void* payload);
 
   /// Number of records appended through this handle.
   int64_t appended() const { return appended_; }
+
+  /// Byte size of the log up to the last fully appended record.
+  int64_t committed_size() const { return committed_size_; }
 
   /// Truncates the log to empty (after a checkpoint).
   Status Reset();
@@ -62,16 +76,24 @@ class WriteAheadLog {
   static Result<WalReplay> Replay(const std::string& path, int dims,
                                   int64_t payload_size);
 
- private:
-  WriteAheadLog(std::FILE* file, std::string path, int dims,
-                int64_t payload_size)
-      : file_(file), path_(std::move(path)), dims_(dims),
-        payload_size_(payload_size) {}
+  /// Cuts a torn/corrupt tail off `path`, keeping the first
+  /// `valid_bytes` bytes (from WalReplay::valid_bytes). Recovery MUST
+  /// do this before appending again: appends after a torn record
+  /// would be unreachable to every future replay, which stops at the
+  /// first damaged record.
+  static Status TruncateTorn(const std::string& path, int64_t valid_bytes);
 
-  std::FILE* file_;
+ private:
+  WriteAheadLog(fault_env::File file, std::string path, int dims,
+                int64_t payload_size, int64_t committed_size)
+      : file_(std::move(file)), path_(std::move(path)), dims_(dims),
+        payload_size_(payload_size), committed_size_(committed_size) {}
+
+  std::optional<fault_env::File> file_;
   std::string path_;
   int dims_;
   int64_t payload_size_;
+  int64_t committed_size_ = 0;
   int64_t appended_ = 0;
 };
 

@@ -1,78 +1,59 @@
 #include "util/binary_io.h"
 
+#include <utility>
+
 namespace rps {
 
-Result<BinaryWriter> BinaryWriter::Create(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot create: " + path);
-  }
-  return BinaryWriter(file, path);
-}
-
-BinaryWriter::~BinaryWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+Result<BinaryWriter> BinaryWriter::Create(const std::string& path,
+                                          const std::string& site) {
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "wb", site));
+  return BinaryWriter(std::move(file), path);
 }
 
 Status BinaryWriter::WriteBytes(const void* data, size_t size) {
-  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  if (!file_.open()) return Status::FailedPrecondition("writer closed");
   if (size == 0) return Status::Ok();
-  if (std::fwrite(data, 1, size, file_) != size) {
-    return Status::IoError("short write: " + path_);
-  }
+  RPS_RETURN_IF_ERROR(file_.Write(data, size));
   crc_.Update(data, size);
   return Status::Ok();
 }
 
-Status BinaryWriter::FinishWithChecksum() {
-  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+Status BinaryWriter::FinishWithChecksum(bool durable) {
+  if (!file_.open()) return Status::FailedPrecondition("writer closed");
   const uint32_t checksum = crc_.value();
-  if (std::fwrite(&checksum, 1, sizeof(checksum), file_) !=
-      sizeof(checksum)) {
-    return Status::IoError("short checksum write: " + path_);
-  }
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IoError("close failed: " + path_);
-  return Status::Ok();
+  RPS_RETURN_IF_ERROR(file_.Write(&checksum, sizeof(checksum)));
+  if (durable) RPS_RETURN_IF_ERROR(file_.Sync());
+  return file_.Close();
 }
 
-Result<BinaryReader> BinaryReader::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IoError("cannot open: " + path);
-  }
-  return BinaryReader(file, path);
-}
-
-BinaryReader::~BinaryReader() {
-  if (file_ != nullptr) std::fclose(file_);
+Result<BinaryReader> BinaryReader::Open(const std::string& path,
+                                        const std::string& site) {
+  RPS_ASSIGN_OR_RETURN(fault_env::File file,
+                       fault_env::File::Open(path, "rb", site));
+  return BinaryReader(std::move(file), path);
 }
 
 Status BinaryReader::ReadBytes(void* data, size_t size) {
-  if (file_ == nullptr) return Status::FailedPrecondition("reader closed");
+  if (!file_.open()) return Status::FailedPrecondition("reader closed");
   if (size == 0) return Status::Ok();
-  if (std::fread(data, 1, size, file_) != size) {
-    return Status::IoError("short read: " + path_);
-  }
+  RPS_RETURN_IF_ERROR(file_.Read(data, size));
   crc_.Update(data, size);
   return Status::Ok();
 }
 
 Status BinaryReader::VerifyChecksum() {
-  if (file_ == nullptr) return Status::FailedPrecondition("reader closed");
+  if (!file_.open()) return Status::FailedPrecondition("reader closed");
   const uint32_t expected = crc_.value();  // CRC of payload bytes read
   uint32_t stored;
-  if (std::fread(&stored, 1, sizeof(stored), file_) != sizeof(stored)) {
+  Status read_status = file_.Read(&stored, sizeof(stored));
+  if (!read_status.ok()) {
     return Status::IoError("missing checksum: " + path_);
   }
   if (stored != expected) {
     return Status::IoError("checksum mismatch in " + path_);
   }
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IoError("close failed: " + path_);
-  return Status::Ok();
+  return file_.Close();
 }
 
 }  // namespace rps

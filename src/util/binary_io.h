@@ -1,20 +1,26 @@
 // Checksummed binary file I/O for structure snapshots.
 //
-// BinaryWriter/BinaryReader wrap stdio with Status-reporting
-// primitives and keep a running CRC-32 of every byte written/read, so
-// snapshot formats get integrity verification for free. All integers
-// are stored little-endian-native; snapshots are not intended to
-// cross endianness boundaries (documented in the format headers).
+// BinaryWriter/BinaryReader wrap the fault-injecting file layer
+// (storage/fault_env.h) with Status-reporting primitives and keep a
+// running CRC-32 of every byte written/read, so snapshot formats get
+// integrity verification for free. All integers are stored
+// little-endian-native; snapshots are not intended to cross
+// endianness boundaries (documented in the format headers).
+//
+// Callers name a failpoint site at open time (e.g. "snapshot"); with
+// no failpoints armed the wrappers are thin stdio calls. Writers that
+// need a durability barrier pass durable=true to FinishWithChecksum,
+// which fsyncs before closing.
 
 #ifndef RPS_UTIL_BINARY_IO_H_
 #define RPS_UTIL_BINARY_IO_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "storage/fault_env.h"
 #include "util/crc32.h"
 #include "util/status.h"
 
@@ -22,18 +28,16 @@ namespace rps {
 
 class BinaryWriter {
  public:
-  /// Creates/truncates `path`.
-  static Result<BinaryWriter> Create(const std::string& path);
+  /// Creates/truncates `path`. `site` names the fault_env failpoint
+  /// family used for injected I/O failures.
+  static Result<BinaryWriter> Create(const std::string& path,
+                                     const std::string& site = "binary");
 
-  BinaryWriter(BinaryWriter&& other) noexcept
-      : file_(other.file_), path_(std::move(other.path_)),
-        crc_(other.crc_) {
-    other.file_ = nullptr;
-  }
-  BinaryWriter& operator=(BinaryWriter&&) = delete;
+  BinaryWriter(BinaryWriter&&) noexcept = default;
+  BinaryWriter& operator=(BinaryWriter&&) noexcept = default;
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
-  ~BinaryWriter();
+  ~BinaryWriter() = default;
 
   Status WriteBytes(const void* data, size_t size);
 
@@ -54,14 +58,15 @@ class BinaryWriter {
   /// CRC-32 of everything written so far.
   uint32_t crc() const { return crc_.value(); }
 
-  /// Appends the running CRC and closes the file.
-  Status FinishWithChecksum();
+  /// Appends the running CRC and closes the file. With durable=true,
+  /// fsyncs first so the bytes survive a crash after return.
+  Status FinishWithChecksum(bool durable = false);
 
  private:
-  BinaryWriter(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  BinaryWriter(fault_env::File file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
 
-  std::FILE* file_;
+  fault_env::File file_;
   std::string path_;
   Crc32 crc_;
 };
@@ -69,17 +74,14 @@ class BinaryWriter {
 class BinaryReader {
  public:
   /// Opens `path` for reading.
-  static Result<BinaryReader> Open(const std::string& path);
+  static Result<BinaryReader> Open(const std::string& path,
+                                   const std::string& site = "binary");
 
-  BinaryReader(BinaryReader&& other) noexcept
-      : file_(other.file_), path_(std::move(other.path_)),
-        crc_(other.crc_) {
-    other.file_ = nullptr;
-  }
-  BinaryReader& operator=(BinaryReader&&) = delete;
+  BinaryReader(BinaryReader&&) noexcept = default;
+  BinaryReader& operator=(BinaryReader&&) noexcept = default;
   BinaryReader(const BinaryReader&) = delete;
   BinaryReader& operator=(const BinaryReader&) = delete;
-  ~BinaryReader();
+  ~BinaryReader() = default;
 
   Status ReadBytes(void* data, size_t size);
 
@@ -113,10 +115,10 @@ class BinaryReader {
   Status VerifyChecksum();
 
  private:
-  BinaryReader(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  BinaryReader(fault_env::File file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
 
-  std::FILE* file_;
+  fault_env::File file_;
   std::string path_;
   Crc32 crc_;
 };

@@ -1,0 +1,199 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rps::fail {
+namespace {
+
+// SplitMix64 step: small, seedable, and independent from util/random
+// so arming a probabilistic failpoint never perturbs workload RNG
+// streams.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D4A919F38BCE75ull;
+  return z ^ (z >> 31);
+}
+
+Result<int64_t> ParsePolicyInt(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty policy argument");
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || value < 1) {
+    return Status::InvalidArgument("bad policy argument '" + text + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+Result<TriggerPolicy> TriggerPolicy::Parse(const std::string& text) {
+  if (text == "off") return TriggerPolicy::Off();
+  if (text == "once") return TriggerPolicy::Once();
+  if (text == "always") return TriggerPolicy::Always();
+  const size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') {
+    return Status::InvalidArgument("bad failpoint policy '" + text + "'");
+  }
+  const std::string head = text.substr(0, open);
+  const std::string args = text.substr(open + 1, text.size() - open - 2);
+  if (head == "every") {
+    RPS_ASSIGN_OR_RETURN(const int64_t n, ParsePolicyInt(args));
+    return TriggerPolicy::EveryNth(n);
+  }
+  if (head == "after") {
+    RPS_ASSIGN_OR_RETURN(const int64_t n, ParsePolicyInt(args));
+    return TriggerPolicy::AfterN(n);
+  }
+  if (head == "prob") {
+    const size_t comma = args.find(',');
+    const std::string p_text =
+        comma == std::string::npos ? args : args.substr(0, comma);
+    char* end = nullptr;
+    const double p = std::strtod(p_text.c_str(), &end);
+    if (p_text.empty() || end != p_text.c_str() + p_text.size() || p < 0.0 ||
+        p > 1.0) {
+      return Status::InvalidArgument("bad probability '" + p_text + "'");
+    }
+    uint64_t seed = 1;
+    if (comma != std::string::npos) {
+      RPS_ASSIGN_OR_RETURN(const int64_t parsed,
+                           ParsePolicyInt(args.substr(comma + 1)));
+      seed = static_cast<uint64_t>(parsed);
+    }
+    return TriggerPolicy::Probability(p, seed);
+  }
+  return Status::InvalidArgument("unknown failpoint policy '" + text + "'");
+}
+
+Failpoint::Failpoint(std::string name) : name_(std::move(name)) {}
+
+void Failpoint::Arm(const TriggerPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = policy;
+  rng_state_ = policy.seed;
+  armed_.store(policy.kind != TriggerKind::kOff, std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = TriggerPolicy::Off();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool Failpoint::Fires() {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (policy_.kind == TriggerKind::kOff) return false;
+    ++evaluations_;
+    switch (policy_.kind) {
+      case TriggerKind::kOff:
+        break;
+      case TriggerKind::kOnce:
+        fired = true;
+        policy_ = TriggerPolicy::Off();
+        armed_.store(false, std::memory_order_relaxed);
+        break;
+      case TriggerKind::kAlways:
+        fired = true;
+        break;
+      case TriggerKind::kEveryNth:
+        fired = evaluations_ % policy_.n == 0;
+        break;
+      case TriggerKind::kAfterN:
+        fired = evaluations_ > policy_.n;
+        break;
+      case TriggerKind::kProbability:
+        fired = static_cast<double>(SplitMix64(&rng_state_) >> 11) *
+                    0x1.0p-53 <
+                policy_.p;
+        break;
+    }
+    if (fired) ++fires_;
+  }
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("rps_failpoint_evaluations_total", {{"site", name_}})
+      .Increment();
+  if (fired) {
+    registry.GetCounter("rps_failpoint_fires_total", {{"site", name_}})
+        .Increment();
+  }
+  return fired;
+}
+
+int64_t Failpoint::evaluations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+int64_t Failpoint::fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_;
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* const registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* spec = std::getenv("RPS_FAILPOINTS");
+        spec != nullptr && spec[0] != '\0') {
+      const Status status = r->ArmFromSpec(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "RPS_FAILPOINTS ignored: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Failpoint& FailpointRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(name, std::make_unique<Failpoint>(name)).first;
+  }
+  return *it->second;
+}
+
+Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find_first_of(",;", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec item needs name=policy: '" +
+                                     item + "'");
+    }
+    RPS_ASSIGN_OR_RETURN(const TriggerPolicy policy,
+                         TriggerPolicy::Parse(item.substr(eq + 1)));
+    Get(item.substr(0, eq)).Arm(policy);
+  }
+  return Status::Ok();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, site] : sites_) site->Disarm();
+}
+
+std::vector<std::string> FailpointRegistry::ArmedNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : sites_) {
+    if (site->armed()) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace rps::fail

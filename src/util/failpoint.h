@@ -1,0 +1,143 @@
+// Named, process-global fault sites for crash-safety testing.
+//
+// A failpoint is a registered site in production code that a test (or
+// the RPS_FAILPOINTS environment variable) can arm with a trigger
+// policy; the code under test asks `Fires()` at the site and takes
+// the failure path when it returns true. Disarmed sites cost one
+// relaxed atomic load, so the hooks stay compiled into release
+// binaries.
+//
+// Trigger policies (spec syntax in parentheses):
+//   off                 never fires (the default)
+//   once        (once)  fires on the first evaluation, then disarms
+//   always     (always) fires on every evaluation
+//   every Nth (every(N)) fires on evaluations N, 2N, 3N, ...
+//   after N   (after(N)) fires on every evaluation past the first N
+//   probabilistic (prob(P) or prob(P,SEED)) fires with probability P
+//                       per evaluation, from a seeded deterministic RNG
+//
+// Activation:
+//   - API: FailpointRegistry::Global().Get("io.wal.crash").Arm(policy)
+//     or ArmFromSpec("io.wal.crash=once,io.snapshot.enospc=every(3)").
+//   - Environment: RPS_FAILPOINTS holds the same spec string and is
+//     applied the first time the global registry is touched.
+//
+// Every evaluation and fire is exported through obs::MetricRegistry
+// as rps_failpoint_{evaluations,fires}_total{site="<name>"} (armed
+// sites only; disarmed evaluations are not counted).
+
+#ifndef RPS_UTIL_FAILPOINT_H_
+#define RPS_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rps::fail {
+
+/// When an armed failpoint fires.
+enum class TriggerKind {
+  kOff = 0,
+  kOnce,
+  kAlways,
+  kEveryNth,
+  kAfterN,
+  kProbability,
+};
+
+struct TriggerPolicy {
+  TriggerKind kind = TriggerKind::kOff;
+  int64_t n = 0;        // kEveryNth / kAfterN parameter
+  double p = 0.0;       // kProbability parameter
+  uint64_t seed = 1;    // kProbability RNG seed
+
+  static TriggerPolicy Off() { return {}; }
+  static TriggerPolicy Once() { return {TriggerKind::kOnce, 0, 0.0, 1}; }
+  static TriggerPolicy Always() { return {TriggerKind::kAlways, 0, 0.0, 1}; }
+  static TriggerPolicy EveryNth(int64_t n) {
+    return {TriggerKind::kEveryNth, n, 0.0, 1};
+  }
+  static TriggerPolicy AfterN(int64_t n) {
+    return {TriggerKind::kAfterN, n, 0.0, 1};
+  }
+  static TriggerPolicy Probability(double p, uint64_t seed = 1) {
+    return {TriggerKind::kProbability, 0, p, seed};
+  }
+
+  /// Parses one policy spec ("once", "every(3)", "after(10)",
+  /// "prob(0.25,42)", "off").
+  static Result<TriggerPolicy> Parse(const std::string& text);
+};
+
+/// One named fault site. References returned by the registry stay
+/// valid for the registry's lifetime, so I/O wrappers cache them.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name);
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// True when this site should take its failure path now. Disarmed
+  /// sites answer with a single relaxed load.
+  bool Fires();
+
+  void Arm(const TriggerPolicy& policy);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluations/fires while armed (since construction).
+  int64_t evaluations() const;
+  int64_t fires() const;
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+
+  mutable std::mutex mutex_;            // guards everything below
+  TriggerPolicy policy_;
+  int64_t evaluations_ = 0;
+  int64_t fires_ = 0;
+  uint64_t rng_state_ = 0;              // SplitMix64 for kProbability
+};
+
+/// Owns every failpoint by name.
+class FailpointRegistry {
+ public:
+  FailpointRegistry() = default;
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  /// The process-wide registry. On first use applies the
+  /// RPS_FAILPOINTS environment spec, if set.
+  static FailpointRegistry& Global();
+
+  /// Returns the site named `name`, creating it (disarmed) on first
+  /// use. The reference is stable for the registry's lifetime.
+  Failpoint& Get(const std::string& name);
+
+  /// Arms sites from a comma- or semicolon-separated spec string:
+  ///   "io.wal.crash=once,io.snapshot.enospc=every(3)"
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms every site (their counters survive).
+  void DisarmAll();
+
+  /// Names of the currently armed sites, sorted.
+  std::vector<std::string> ArmedNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+};
+
+}  // namespace rps::fail
+
+#endif  // RPS_UTIL_FAILPOINT_H_

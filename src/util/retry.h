@@ -1,0 +1,69 @@
+// Bounded retry with exponential backoff for transient failures.
+//
+// The storage layer distinguishes retryable conditions (UNAVAILABLE
+// for transient short writes, RESOURCE_EXHAUSTED for ENOSPC-like
+// pressure that may clear) from fatal ones (IO_ERROR, corrupt data).
+// RetryWithBackoff re-runs an operation while it keeps failing
+// retryably, sleeping between attempts, and returns the last status
+// once attempts are exhausted or a fatal status appears. Attempt
+// counts are exported as rps_retry_attempts_total /
+// rps_retry_exhausted_total.
+
+#ifndef RPS_UTIL_RETRY_H_
+#define RPS_UTIL_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace rps {
+
+struct RetryPolicy {
+  int max_attempts = 3;               // total attempts, including the first
+  int64_t initial_backoff_micros = 100;
+  double backoff_multiplier = 2.0;
+
+  /// No sleeping between attempts; for tests and simulated faults.
+  static RetryPolicy NoBackoff(int max_attempts = 3) {
+    return RetryPolicy{max_attempts, 0, 1.0};
+  }
+};
+
+/// True for status codes that may succeed on a simple retry.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+/// Runs `fn` (a callable returning Status) until it succeeds, fails
+/// with a non-retryable code, or `policy.max_attempts` is reached.
+template <typename Fn>
+Status RetryWithBackoff(const RetryPolicy& policy, Fn&& fn) {
+  static obs::Counter& attempts_total =
+      obs::MetricRegistry::Global().GetCounter("rps_retry_attempts_total");
+  static obs::Counter& exhausted_total =
+      obs::MetricRegistry::Global().GetCounter("rps_retry_exhausted_total");
+  int64_t backoff_micros = policy.initial_backoff_micros;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    attempts_total.Increment();
+    status = fn();
+    if (status.ok() || !IsRetryable(status)) return status;
+    if (attempt >= policy.max_attempts) break;
+    if (backoff_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+      backoff_micros = static_cast<int64_t>(
+          static_cast<double>(backoff_micros) * policy.backoff_multiplier);
+    }
+  }
+  exhausted_total.Increment();
+  return status;
+}
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_RETRY_H_

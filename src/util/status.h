@@ -27,6 +27,7 @@ enum class StatusCode {
   kResourceExhausted,
   kIoError,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "IO_ERROR").
@@ -66,6 +67,10 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Transient failure that may succeed on retry (see util/retry.h).
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

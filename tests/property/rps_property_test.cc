@@ -2,8 +2,13 @@
 // sum method that must hold for every cube, box size and update
 // stream. Each property is swept over randomized configurations
 // (dimensions, extents, per-dimension box sizes, value distributions).
+//
+// Setting RPS_TEST_SEED overrides every instantiation's seed so a
+// failure reported in CI can be replayed exactly; each failure
+// message carries the seed via a scoped trace.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +18,7 @@
 #include "core/hierarchical_rps.h"
 #include "core/prefix_sum_method.h"
 #include "core/relative_prefix_sum.h"
+#include "testing/test_seed.h"
 #include "workload/data_gen.h"
 #include "workload/query_gen.h"
 
@@ -23,12 +29,17 @@ struct Config {
   uint64_t seed;
 };
 
-class RpsPropertyTest : public testing::TestWithParam<Config> {
+class RpsPropertyTest : public ::testing::TestWithParam<Config> {
  protected:
   // Random shape with 1-4 dims, extents 2-12; random per-dim box
   // sizes in [1, extent].
   void SetUp() override {
-    Rng rng(GetParam().seed);
+    seed_ = testing::TestSeed(GetParam().seed);
+    // Held as a member so the seed shows in every failure message of
+    // the test body, not just SetUp's scope.
+    trace_ = std::make_unique<::testing::ScopedTrace>(
+        __FILE__, __LINE__, testing::SeedMessage(seed_));
+    Rng rng(seed_);
     const int d = static_cast<int>(rng.UniformInt(1, 4));
     std::vector<int64_t> extents;
     box_size_ = CellIndex::Filled(d, 1);
@@ -37,15 +48,19 @@ class RpsPropertyTest : public testing::TestWithParam<Config> {
       box_size_[j] = rng.UniformInt(1, extents.back());
     }
     shape_ = Shape::FromExtents(extents);
-    cube_ = UniformCube(shape_, -50, 50, GetParam().seed * 31 + 7);
+    cube_ = UniformCube(shape_, -50, 50, seed_ * 31 + 7);
   }
 
+  void TearDown() override { trace_.reset(); }
+
+  uint64_t seed_ = 0;
   Shape shape_;
   CellIndex box_size_;
   NdArray<int64_t> cube_;
+  std::unique_ptr<::testing::ScopedTrace> trace_;
 };
 
-std::string ConfigName(const testing::TestParamInfo<Config>& info) {
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
   return "seed" + std::to_string(info.param.seed);
 }
 
@@ -65,8 +80,8 @@ TEST_P(RpsPropertyTest, RangeSumIsAdditiveUnderSplits) {
   // Invariant: splitting any box along any dimension conserves the
   // sum.
   const RelativePrefixSum<int64_t> rps(cube_, box_size_);
-  Rng rng(GetParam().seed + 1);
-  UniformQueryGen gen(shape_, GetParam().seed + 2);
+  Rng rng(seed_ + 1);
+  UniformQueryGen gen(shape_, seed_ + 2);
   for (int trial = 0; trial < 25; ++trial) {
     const Box box = gen.Next();
     const int j = static_cast<int>(
@@ -89,7 +104,7 @@ TEST_P(RpsPropertyTest, AddThenNegateIsIdentity) {
   // observable value.
   RelativePrefixSum<int64_t> rps(cube_, box_size_);
   const PrefixSumMethod<int64_t> reference(cube_);
-  UniformUpdateGen gen(shape_, 40, GetParam().seed + 3);
+  UniformUpdateGen gen(shape_, 40, seed_ + 3);
   std::vector<UpdateOp> ops;
   for (int i = 0; i < 15; ++i) {
     ops.push_back(gen.Next());
@@ -107,7 +122,7 @@ TEST_P(RpsPropertyTest, AddThenNegateIsIdentity) {
 TEST_P(RpsPropertyTest, UpdateOrderDoesNotMatter) {
   // Invariant: the structure state depends only on the multiset of
   // applied deltas, not their order.
-  UniformUpdateGen gen(shape_, 20, GetParam().seed + 4);
+  UniformUpdateGen gen(shape_, 20, seed_ + 4);
   std::vector<UpdateOp> ops;
   for (int i = 0; i < 12; ++i) ops.push_back(gen.Next());
 
@@ -130,7 +145,7 @@ TEST_P(RpsPropertyTest, IncrementalUpdatesEqualFreshRebuild) {
   // structure contents as rebuilding from the updated cube.
   RelativePrefixSum<int64_t> incremental(cube_, box_size_);
   NdArray<int64_t> mutated = cube_;
-  UniformUpdateGen gen(shape_, 30, GetParam().seed + 5);
+  UniformUpdateGen gen(shape_, 30, seed_ + 5);
   for (int i = 0; i < 20; ++i) {
     const UpdateOp op = gen.Next();
     incremental.Add(op.cell, op.delta);
@@ -149,7 +164,7 @@ TEST_P(RpsPropertyTest, IncrementalUpdatesEqualFreshRebuild) {
 TEST_P(RpsPropertyTest, SetEqualsAddOfDifference) {
   RelativePrefixSum<int64_t> by_set(cube_, box_size_);
   RelativePrefixSum<int64_t> by_add(cube_, box_size_);
-  UniformUpdateGen gen(shape_, 25, GetParam().seed + 6);
+  UniformUpdateGen gen(shape_, 25, seed_ + 6);
   for (int i = 0; i < 10; ++i) {
     const UpdateOp op = gen.Next();
     const int64_t target_value = op.delta * 3;
@@ -167,7 +182,7 @@ TEST_P(RpsPropertyTest, UpdateCostNeverExceedsWorstCase) {
   RelativePrefixSum<int64_t> rps(cube_, box_size_);
   const OverlayGeometry geometry(shape_, box_size_);
   const int64_t worst = RpsWorstCaseUpdateCells(geometry).total();
-  UniformUpdateGen gen(shape_, 10, GetParam().seed + 7);
+  UniformUpdateGen gen(shape_, 10, seed_ + 7);
   for (int i = 0; i < 30; ++i) {
     const UpdateOp op = gen.Next();
     const UpdateStats stats = rps.Add(op.cell, op.delta);
@@ -189,7 +204,7 @@ TEST_P(RpsPropertyTest, OverlayStorageMatchesGeometryFormulaPerBox) {
 
 INSTANTIATE_TEST_SUITE_P(
     Seeds, RpsPropertyTest,
-    testing::Values(Config{1}, Config{2}, Config{3}, Config{4}, Config{5},
+    ::testing::Values(Config{1}, Config{2}, Config{3}, Config{4}, Config{5},
                     Config{6}, Config{7}, Config{8}, Config{9}, Config{10},
                     Config{11}, Config{12}, Config{13}, Config{14},
                     Config{15}, Config{16}, Config{17}, Config{18}),
@@ -200,7 +215,7 @@ TEST_P(RpsPropertyTest, HierarchicalStructureMatchesFlatEverywhere) {
   // every prefix, for every random configuration, through updates.
   RelativePrefixSum<int64_t> flat(cube_, box_size_);
   HierarchicalRps<int64_t> hier(cube_, box_size_);
-  UniformUpdateGen gen(shape_, 15, GetParam().seed + 8);
+  UniformUpdateGen gen(shape_, 15, seed_ + 8);
   for (int i = 0; i < 10; ++i) {
     const UpdateOp op = gen.Next();
     flat.Add(op.cell, op.delta);

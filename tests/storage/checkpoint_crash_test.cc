@@ -1,0 +1,212 @@
+// Regression tests for crash-atomic checkpoints. The hazard: a
+// checkpoint that overwrites its snapshot in place (the obvious
+// implementation) corrupts the ONLY copy when the process dies
+// mid-write, making the store unrecoverable. DurableRps instead
+// writes the next generation beside the live one and commits via an
+// atomic CURRENT rename; these tests kill the "process" (simulated
+// crash failpoints) at every step of that protocol and require full
+// recovery afterwards. They fail if the side-file + manifest commit
+// is reverted to in-place snapshot writes.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/durable_rps.h"
+#include "storage/fault_env.h"
+#include "testing/temp_dir.h"
+#include "util/failpoint.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace rps {
+namespace {
+
+class CheckpointCrashTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fail::FailpointRegistry::Global().DisarmAll();
+    fault_env::ClearSimulatedCrash();
+  }
+
+  static void Arm(const std::string& site) {
+    fail::FailpointRegistry::Global().Get(site).Arm(
+        fail::TriggerPolicy::Once());
+  }
+
+  // Recovers after the simulated crash and checks every range sum
+  // against the oracle.
+  void ExpectFullRecovery(const NdArray<int64_t>& oracle,
+                          int64_t expected_generation) {
+    fault_env::ClearSimulatedCrash();
+    WalReplay replay;
+    auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened.value().generation(), expected_generation);
+    UniformQueryGen gen(oracle.shape(), 21);
+    for (int trial = 0; trial < 30; ++trial) {
+      const Box range = gen.Next();
+      ASSERT_EQ(reopened.value().RangeSum(range), oracle.SumBox(range));
+    }
+    ASSERT_EQ(reopened.value().RangeSum(Box::All(oracle.shape())),
+              oracle.SumBox(Box::All(oracle.shape())));
+  }
+
+  // Builds a generation-1 store with some logged updates on top of
+  // the snapshot, mirrored into `oracle`.
+  Result<DurableRps<int64_t>> CreateWithUpdates(NdArray<int64_t>* oracle) {
+    RPS_ASSIGN_OR_RETURN(
+        DurableRps<int64_t> durable,
+        DurableRps<int64_t>::Create(*oracle, CellIndex{3, 3}, dir_));
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+      const CellIndex cell{rng.UniformInt(0, 7), rng.UniformInt(0, 7)};
+      const int64_t delta = rng.UniformInt(1, 9);
+      oracle->at(cell) += delta;
+      RPS_RETURN_IF_ERROR(durable.Add(cell, delta).status());
+    }
+    return durable;
+  }
+
+  testing::ScopedTempDir tmp_{"rps_ckpt_crash"};
+  const std::string& dir_ = tmp_.path();
+  const Shape shape_{8, 8};
+};
+
+TEST_F(CheckpointCrashTest, CrashMidSnapshotWriteKeepsOldGenerationLive) {
+  NdArray<int64_t> oracle = UniformCube(shape_, 0, 9, 31);
+  auto created = CreateWithUpdates(&oracle);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  {
+    auto durable = std::move(created).value();
+    // Die on the 3rd write into the next generation's snapshot file:
+    // the file is half-written when the "machine" stops.
+    fail::FailpointRegistry::Global().Get("io.snapshot.crash").Arm(
+        fail::TriggerPolicy::EveryNth(3));
+    EXPECT_FALSE(durable.Checkpoint().ok());
+    EXPECT_TRUE(fault_env::SimulatedCrashActive());
+  }  // handle torn down "post-mortem": nothing more reaches disk
+  ExpectFullRecovery(oracle, /*expected_generation=*/1);
+}
+
+TEST_F(CheckpointCrashTest, CrashBeforeManifestRenameKeepsOldGenerationLive) {
+  NdArray<int64_t> oracle = UniformCube(shape_, 0, 9, 32);
+  auto created = CreateWithUpdates(&oracle);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  {
+    auto durable = std::move(created).value();
+    // The next snapshot and log are fully written and fsynced, but
+    // the commit rename never happens: recovery must use the OLD
+    // snapshot + full old log.
+    Arm("io.current.rename");
+    EXPECT_FALSE(durable.Checkpoint().ok());
+    EXPECT_TRUE(fault_env::SimulatedCrashActive());
+  }
+  ExpectFullRecovery(oracle, /*expected_generation=*/1);
+}
+
+TEST_F(CheckpointCrashTest, CrashAtDirectorySyncStillRecovers) {
+  NdArray<int64_t> oracle = UniformCube(shape_, 0, 9, 33);
+  auto created = CreateWithUpdates(&oracle);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  int64_t generation_after = 1;
+  {
+    auto durable = std::move(created).value();
+    // Checkpoint syncs the directory twice: once before the commit
+    // rename and once after it. Crash at the second: the rename
+    // itself happened, and whether it is durable is up to the
+    // filesystem -- either generation must recover to the same sums.
+    fail::FailpointRegistry::Global().Get("io.current.dirsync").Arm(
+        fail::TriggerPolicy::EveryNth(2));
+    EXPECT_FALSE(durable.Checkpoint().ok());
+    EXPECT_TRUE(fault_env::SimulatedCrashActive());
+  }
+  {
+    fault_env::ClearSimulatedCrash();
+    auto peek = DurableRps<int64_t>::Open(dir_);
+    ASSERT_TRUE(peek.ok()) << peek.status().ToString();
+    generation_after = peek.value().generation();
+  }
+  EXPECT_TRUE(generation_after == 1 || generation_after == 2);
+  ExpectFullRecovery(oracle, generation_after);
+}
+
+TEST_F(CheckpointCrashTest, TransientSnapshotFailureIsRetriedToSuccess) {
+  NdArray<int64_t> oracle = UniformCube(shape_, 0, 9, 34);
+  auto created = CreateWithUpdates(&oracle);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto durable = std::move(created).value();
+  durable.set_retry_policy(RetryPolicy::NoBackoff(3));
+  // First snapshot attempt hits ENOSPC; the bounded retry succeeds.
+  Arm("io.snapshot.enospc");
+  ASSERT_TRUE(durable.Checkpoint().ok());
+  EXPECT_EQ(durable.generation(), 2);
+  ExpectFullRecovery(oracle, /*expected_generation=*/2);
+}
+
+TEST_F(CheckpointCrashTest, TransientWalFailuresNeverDoubleApply) {
+  NdArray<int64_t> oracle = UniformCube(shape_, 0, 9, 35);
+  auto created =
+      DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  {
+    auto durable = std::move(created).value();
+    durable.set_retry_policy(RetryPolicy::NoBackoff(4));
+    // Every other WAL write fails transiently; each failed attempt
+    // must be rolled back to a record boundary before the retry, or
+    // replay would double-count the update.
+    fail::FailpointRegistry::Global().Get("io.wal.short_write").Arm(
+        fail::TriggerPolicy::EveryNth(2));
+    Rng rng(6);
+    for (int i = 0; i < 12; ++i) {
+      const CellIndex cell{rng.UniformInt(0, 7), rng.UniformInt(0, 7)};
+      const int64_t delta = rng.UniformInt(1, 9);
+      oracle.at(cell) += delta;
+      ASSERT_TRUE(durable.Add(cell, delta).ok()) << "update " << i;
+    }
+    fail::FailpointRegistry::Global().DisarmAll();
+  }
+  WalReplay replay;
+  auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replay.records.size(), 12u);  // exactly one record per Add
+  EXPECT_EQ(reopened.value().RangeSum(Box::All(shape_)),
+            oracle.SumBox(Box::All(shape_)));
+}
+
+TEST_F(CheckpointCrashTest, StaleGenerationFilesAreCollectedOnOpen) {
+  NdArray<int64_t> oracle = UniformCube(shape_, 0, 9, 36);
+  auto created =
+      DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  {
+    auto durable = std::move(created).value();
+    ASSERT_TRUE(durable.Checkpoint().ok());  // now at generation 2
+  }
+  // Plant the debris a crashed checkpoint can leave: the previous
+  // generation (crash after commit, before GC) and a half-finished
+  // next one (crash before commit), plus a manifest temp file.
+  for (const char* name :
+       {"snapshot-1.bin", "wal-1.log", "snapshot-3.bin", "wal-3.log",
+        "CURRENT.tmp"}) {
+    std::FILE* f = std::fopen(tmp_.file(name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("debris", f);
+    std::fclose(f);
+  }
+  auto reopened = DurableRps<int64_t>::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().generation(), 2);
+  for (const char* name :
+       {"snapshot-1.bin", "wal-1.log", "snapshot-3.bin", "wal-3.log",
+        "CURRENT.tmp"}) {
+    EXPECT_FALSE(std::filesystem::exists(tmp_.file(name))) << name;
+  }
+  EXPECT_EQ(reopened.value().RangeSum(Box::All(shape_)),
+            oracle.SumBox(Box::All(shape_)));
+}
+
+}  // namespace
+}  // namespace rps

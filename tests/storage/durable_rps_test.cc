@@ -1,7 +1,7 @@
 // Crash-recovery tests for the snapshot + WAL configuration: durable
 // updates survive "crashes" (reopening without checkpoint), torn log
 // tails lose at most the torn record, and checkpoints truncate the
-// log.
+// log and advance the on-disk generation.
 
 #include <cstdint>
 #include <filesystem>
@@ -10,29 +10,18 @@
 #include <gtest/gtest.h>
 
 #include "storage/durable_rps.h"
+#include "testing/temp_dir.h"
 #include "workload/data_gen.h"
 #include "workload/query_gen.h"
-#include <unistd.h>
 
 namespace rps {
 namespace {
 
-class DurableRpsTest : public testing::Test {
+class DurableRpsTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() /
-            ("rps_durable_" + std::to_string(::getpid()) + "_" +
-             std::to_string(counter_++)))
-               .string();
-    std::filesystem::create_directory(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  static int counter_;
-  std::string dir_;
+  testing::ScopedTempDir tmp_{"rps_durable"};
+  const std::string& dir_ = tmp_.path();
 };
-
-int DurableRpsTest::counter_ = 0;
 
 TEST_F(DurableRpsTest, CreateQueryUpdate) {
   const Shape shape{12, 12};
@@ -45,6 +34,7 @@ TEST_F(DurableRpsTest, CreateQueryUpdate) {
   ASSERT_TRUE(durable.Add(CellIndex{3, 3}, 10).ok());
   EXPECT_EQ(durable.ValueAt(CellIndex{3, 3}), cube.at(CellIndex{3, 3}) + 10);
   EXPECT_EQ(durable.wal_records(), 1);
+  EXPECT_EQ(durable.generation(), 1);
 }
 
 TEST_F(DurableRpsTest, ReopenReplaysUncheckpointedUpdates) {
@@ -75,7 +65,7 @@ TEST_F(DurableRpsTest, ReopenReplaysUncheckpointedUpdates) {
   }
 }
 
-TEST_F(DurableRpsTest, CheckpointTruncatesLog) {
+TEST_F(DurableRpsTest, CheckpointTruncatesLogAndAdvancesGeneration) {
   const Shape shape{8, 8};
   NdArray<int64_t> oracle = UniformCube(shape, 0, 9, 3);
   {
@@ -85,6 +75,10 @@ TEST_F(DurableRpsTest, CheckpointTruncatesLog) {
     oracle.at(CellIndex{1, 1}) += 4;
     ASSERT_TRUE(durable.Checkpoint().ok());
     EXPECT_EQ(durable.wal_records(), 0);
+    EXPECT_EQ(durable.generation(), 2);
+    // The previous generation's files are gone; the new ones exist.
+    EXPECT_FALSE(std::filesystem::exists(dir_ + "/snapshot-1.bin"));
+    EXPECT_TRUE(std::filesystem::exists(durable.snapshot_path()));
     // Post-checkpoint update lands in the fresh log.
     ASSERT_TRUE(durable.Add(CellIndex{2, 2}, 6).ok());
     oracle.at(CellIndex{2, 2}) += 6;
@@ -93,6 +87,7 @@ TEST_F(DurableRpsTest, CheckpointTruncatesLog) {
   auto reopened = DurableRps<int64_t>::Open(dir_, &replay);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(replay.records.size(), 1u);  // only the post-checkpoint one
+  EXPECT_EQ(reopened.value().generation(), 2);
   EXPECT_EQ(reopened.value().RangeSum(Box::All(shape)),
             oracle.SumBox(Box::All(shape)));
 }
@@ -100,14 +95,15 @@ TEST_F(DurableRpsTest, CheckpointTruncatesLog) {
 TEST_F(DurableRpsTest, TornWalTailLosesOnlyTornRecord) {
   const Shape shape{8, 8};
   NdArray<int64_t> oracle = UniformCube(shape, 0, 9, 4);
+  std::string wal;
   {
     auto durable = std::move(
         DurableRps<int64_t>::Create(oracle, CellIndex{3, 3}, dir_)).value();
     ASSERT_TRUE(durable.Add(CellIndex{1, 1}, 7).ok());
     ASSERT_TRUE(durable.Add(CellIndex{5, 5}, 9).ok());
+    wal = durable.wal_path();
   }
   oracle.at(CellIndex{1, 1}) += 7;  // first survives; second is torn off
-  const std::string wal = dir_ + "/wal.log";
   std::filesystem::resize_file(wal, std::filesystem::file_size(wal) - 3);
 
   WalReplay replay;
@@ -121,14 +117,29 @@ TEST_F(DurableRpsTest, TornWalTailLosesOnlyTornRecord) {
 
 TEST_F(DurableRpsTest, CorruptSnapshotFailsOpen) {
   const NdArray<int64_t> cube = UniformCube(Shape{6, 6}, 0, 9, 5);
+  std::string snapshot;
+  {
+    auto durable = std::move(
+        DurableRps<int64_t>::Create(cube, CellIndex{2, 2}, dir_)).value();
+    snapshot = durable.snapshot_path();
+  }
+  std::FILE* f = std::fopen(snapshot.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 64, SEEK_SET);
+  std::fputc(0xFF, f);
+  std::fclose(f);
+  EXPECT_FALSE(DurableRps<int64_t>::Open(dir_).ok());
+}
+
+TEST_F(DurableRpsTest, CorruptManifestFailsOpen) {
+  const NdArray<int64_t> cube = UniformCube(Shape{6, 6}, 0, 9, 5);
   {
     auto durable = std::move(
         DurableRps<int64_t>::Create(cube, CellIndex{2, 2}, dir_)).value();
   }
-  std::FILE* f = std::fopen((dir_ + "/snapshot.bin").c_str(), "r+b");
+  std::FILE* f = std::fopen((dir_ + "/CURRENT").c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  std::fseek(f, 64, SEEK_SET);
-  std::fputc(0xFF, f);
+  std::fputs("not-a-generation\n", f);
   std::fclose(f);
   EXPECT_FALSE(DurableRps<int64_t>::Open(dir_).ok());
 }
@@ -152,6 +163,7 @@ TEST_F(DurableRpsTest, ManyCheckpointCyclesStayConsistent) {
     }
     ASSERT_TRUE(durable.Checkpoint().ok());
   }
+  EXPECT_EQ(durable.generation(), 6);
   // Reopen from the last checkpoint (empty log).
   WalReplay replay;
   auto reopened = DurableRps<int64_t>::Open(dir_, &replay);

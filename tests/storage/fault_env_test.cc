@@ -1,0 +1,226 @@
+// Fault-injecting file layer: each fault kind, simulated-crash
+// semantics, and that the fast path (no failpoints armed) behaves
+// like plain stdio.
+
+#include "storage/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/temp_dir.h"
+#include "util/failpoint.h"
+
+namespace rps::fault_env {
+namespace {
+
+using fail::FailpointRegistry;
+using fail::TriggerPolicy;
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FailpointRegistry::Global().DisarmAll();
+    ClearSimulatedCrash();
+  }
+
+  static void Arm(const std::string& site, const TriggerPolicy& policy) {
+    FailpointRegistry::Global().Get(site).Arm(policy);
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    Result<File> file = File::Open(path, "rb", "test");
+    if (!file.ok()) return "";
+    std::string data;
+    char buffer[256];
+    for (;;) {
+      Result<size_t> got = file.value().ReadUpTo(buffer, sizeof(buffer));
+      if (!got.ok() || got.value() == 0) break;
+      data.append(buffer, got.value());
+    }
+    return data;
+  }
+
+  rps::testing::ScopedTempDir dir_{"rps_fault_env"};
+};
+
+TEST_F(FaultEnvTest, PlainWriteReadRoundTrips) {
+  const std::string path = dir_.file("plain.bin");
+  {
+    Result<File> file = File::Open(path, "wb", "test");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value().Write("hello world", 11).ok());
+    ASSERT_TRUE(file.value().Sync().ok());
+    ASSERT_TRUE(file.value().Close().ok());
+  }
+  Result<File> file = File::Open(path, "rb", "test");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file.value().Size().value(), 11);
+  char buffer[11];
+  ASSERT_TRUE(file.value().Read(buffer, sizeof(buffer)).ok());
+  EXPECT_EQ(std::string(buffer, 11), "hello world");
+}
+
+TEST_F(FaultEnvTest, EnospcWritesNothingAndIsRetryable) {
+  const std::string path = dir_.file("enospc.bin");
+  Arm("io.test.enospc", TriggerPolicy::Once());
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  const Status first = file.value().Write("abcd", 4);
+  EXPECT_EQ(first.code(), StatusCode::kResourceExhausted);
+  // Failpoint was `once`: the retry goes through.
+  ASSERT_TRUE(file.value().Write("abcd", 4).ok());
+  ASSERT_TRUE(file.value().Close().ok());
+  EXPECT_EQ(ReadAll(path), "abcd");
+}
+
+TEST_F(FaultEnvTest, ShortWritePersistsPrefixAndIsRetryable) {
+  const std::string path = dir_.file("short.bin");
+  Arm("io.test.short_write", TriggerPolicy::Once());
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  const Status status = file.value().Write("abcdefgh", 8);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(SimulatedCrashActive());  // transient, not a crash
+  // The caller is expected to roll back; verify only a prefix landed.
+  ASSERT_TRUE(file.value().Flush().ok());
+  EXPECT_LT(file.value().Size().value(), 8);
+}
+
+TEST_F(FaultEnvTest, TornWritePersistsPrefixAndCrashes) {
+  const std::string path = dir_.file("torn.bin");
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  Arm("io.test.torn_write", TriggerPolicy::Once());
+  const Status status = file.value().Write("abcdefgh", 8);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(SimulatedCrashActive());
+  // Everything is dead until "reboot".
+  EXPECT_FALSE(file.value().Write("x", 1).ok());
+  EXPECT_FALSE(file.value().Flush().ok());
+  (void)file.value().Close();
+  ClearSimulatedCrash();
+  const std::string surviving = ReadAll(path);
+  EXPECT_EQ(surviving, "abcd");  // exactly the flushed half
+}
+
+TEST_F(FaultEnvTest, CrashBeforeWritePersistsNothingNew) {
+  const std::string path = dir_.file("crash.bin");
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value().Write("committed", 9).ok());
+  ASSERT_TRUE(file.value().Flush().ok());
+  Arm("io.test.crash", TriggerPolicy::Once());
+  EXPECT_FALSE(file.value().Write("lost", 4).ok());
+  EXPECT_TRUE(SimulatedCrashActive());
+  (void)file.value().Close();
+  ClearSimulatedCrash();
+  EXPECT_EQ(ReadAll(path), "committed");
+}
+
+TEST_F(FaultEnvTest, CloseUnderCrashDropsUnflushedBufferedBytes) {
+  const std::string path = dir_.file("buffered.bin");
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value().Write("flushed|", 8).ok());
+  ASSERT_TRUE(file.value().Flush().ok());
+  // These bytes sit in the stdio buffer only.
+  ASSERT_TRUE(file.value().Write("in-buffer", 9).ok());
+  TriggerSimulatedCrash("test");
+  (void)file.value().Close();  // must NOT flush the user-space buffer
+  ClearSimulatedCrash();
+  EXPECT_EQ(ReadAll(path), "flushed|");
+}
+
+TEST_F(FaultEnvTest, FsyncFailureReportsIoError) {
+  const std::string path = dir_.file("fsync.bin");
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value().Write("data", 4).ok());
+  Arm("io.test.fsync", TriggerPolicy::Once());
+  EXPECT_EQ(file.value().Sync().code(), StatusCode::kIoError);
+  EXPECT_FALSE(SimulatedCrashActive());
+  ASSERT_TRUE(file.value().Sync().ok());  // next attempt succeeds
+}
+
+TEST_F(FaultEnvTest, ReadFailpointFails) {
+  const std::string path = dir_.file("read.bin");
+  {
+    Result<File> file = File::Open(path, "wb", "test");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value().Write("data", 4).ok());
+    ASSERT_TRUE(file.value().Close().ok());
+  }
+  Result<File> file = File::Open(path, "rb", "test");
+  ASSERT_TRUE(file.ok());
+  Arm("io.test.read", TriggerPolicy::Once());
+  char buffer[4];
+  EXPECT_FALSE(file.value().Read(buffer, sizeof(buffer)).ok());
+  ASSERT_TRUE(file.value().SeekTo(0).ok());
+  EXPECT_TRUE(file.value().Read(buffer, sizeof(buffer)).ok());
+}
+
+TEST_F(FaultEnvTest, TruncateToRollsBackToBoundary) {
+  const std::string path = dir_.file("truncate.bin");
+  Result<File> file = File::Open(path, "wb", "test");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value().Write("record1|record2|part", 20).ok());
+  ASSERT_TRUE(file.value().TruncateTo(16).ok());
+  ASSERT_TRUE(file.value().Close().ok());
+  EXPECT_EQ(ReadAll(path), "record1|record2|");
+}
+
+TEST_F(FaultEnvTest, RenameReplacesAtomicallyAndCrashFaultBlocksIt) {
+  const std::string from = dir_.file("from.bin");
+  const std::string to = dir_.file("to.bin");
+  {
+    Result<File> file = File::Open(from, "wb", "test");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value().Write("new", 3).ok());
+    ASSERT_TRUE(file.value().Close().ok());
+  }
+  ASSERT_TRUE(Rename(from, to, "test").ok());
+  EXPECT_EQ(ReadAll(to), "new");
+
+  // Crash before the rename: target untouched.
+  {
+    Result<File> file = File::Open(from, "wb", "test");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value().Write("never", 5).ok());
+    ASSERT_TRUE(file.value().Close().ok());
+  }
+  Arm("io.test.rename", TriggerPolicy::Once());
+  EXPECT_FALSE(Rename(from, to, "test").ok());
+  EXPECT_TRUE(SimulatedCrashActive());
+  ClearSimulatedCrash();
+  EXPECT_EQ(ReadAll(to), "new");
+}
+
+TEST_F(FaultEnvTest, SyncDirFaultCrashes) {
+  Arm("io.test.dirsync", TriggerPolicy::Once());
+  EXPECT_FALSE(SyncDir(dir_.path(), "test").ok());
+  EXPECT_TRUE(SimulatedCrashActive());
+  ClearSimulatedCrash();
+  EXPECT_TRUE(SyncDir(dir_.path(), "test").ok());
+}
+
+TEST_F(FaultEnvTest, RemoveIgnoresMissingButFailsWhileCrashed) {
+  EXPECT_TRUE(Remove(dir_.file("nonexistent")).ok());
+  TriggerSimulatedCrash("test");
+  EXPECT_FALSE(Remove(dir_.file("nonexistent")).ok());
+  ClearSimulatedCrash();
+}
+
+TEST_F(FaultEnvTest, OperationsOnDifferentSitesAreIndependent) {
+  const std::string path = dir_.file("other_site.bin");
+  Arm("io.test.enospc", TriggerPolicy::Always());
+  Result<File> file = File::Open(path, "wb", "other");
+  ASSERT_TRUE(file.ok());
+  // "other" site ignores "test" faults entirely.
+  EXPECT_TRUE(file.value().Write("ok", 2).ok());
+}
+
+}  // namespace
+}  // namespace rps::fault_env

@@ -3,35 +3,24 @@
 // identical structure, for both overlay placements.
 
 #include <cstdint>
-#include <filesystem>
 #include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "storage/paged_rps.h"
+#include "testing/temp_dir.h"
 #include "workload/data_gen.h"
 #include "workload/query_gen.h"
-#include <unistd.h>
 
 namespace rps {
 namespace {
 
-class PagedRpsPersistenceTest : public testing::TestWithParam<bool> {
+class PagedRpsPersistenceTest : public ::testing::TestWithParam<bool> {
  protected:
-  void SetUp() override {
-    path_ = (std::filesystem::temp_directory_path() /
-             ("rps_paged_persist_" + std::to_string(::getpid()) + "_" +
-              std::to_string(counter_++) + ".db"))
-                .string();
-  }
-  void TearDown() override { std::filesystem::remove(path_); }
-
-  static int counter_;
-  std::string path_;
+  testing::ScopedTempDir tmp_{"rps_paged_persist"};
+  const std::string path_ = tmp_.file("paged.db");
 };
-
-int PagedRpsPersistenceTest::counter_ = 0;
 
 TEST_P(PagedRpsPersistenceTest, SurvivesReopen) {
   const bool overlay_on_disk = GetParam();
@@ -88,8 +77,8 @@ TEST_P(PagedRpsPersistenceTest, SurvivesReopen) {
 }
 
 INSTANTIATE_TEST_SUITE_P(OverlayPlacement, PagedRpsPersistenceTest,
-                         testing::Bool(),
-                         [](const testing::TestParamInfo<bool>& info) {
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "overlay_disk" : "overlay_ram";
                          });
 

@@ -1,10 +1,13 @@
 #include "storage/pager.h"
 
+#include <cstdio>
 #include <cstring>
-#include <filesystem>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "testing/temp_dir.h"
 
 namespace rps {
 namespace {
@@ -59,9 +62,13 @@ TEST(MemPagerTest, GrowIsIdempotent) {
   EXPECT_EQ(pager.Grow(-1).code(), StatusCode::kInvalidArgument);
 }
 
-TEST(FilePagerTest, RoundTrip) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "rps_pager_test.db").string();
+class FilePagerTest : public ::testing::Test {
+ protected:
+  testing::ScopedTempDir tmp_{"rps_pager"};
+};
+
+TEST_F(FilePagerTest, RoundTrip) {
+  const std::string path = tmp_.file("round_trip.db");
   auto created = FilePager::Create(path, 512);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
   auto pager = std::move(created).value();
@@ -69,13 +76,10 @@ TEST(FilePagerTest, RoundTrip) {
   ASSERT_TRUE(pager->Close().ok());
   EXPECT_EQ(pager->ReadPage(0, nullptr).code(),
             StatusCode::kFailedPrecondition);
-  std::filesystem::remove(path);
 }
 
-TEST(FilePagerTest, PersistsAcrossReopen) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "rps_pager_persist.db")
-          .string();
+TEST_F(FilePagerTest, PersistsAcrossReopen) {
+  const std::string path = tmp_.file("persist.db");
   const auto out = PatternPage(512, 3);
   {
     auto pager = std::move(FilePager::Create(path, 512)).value();
@@ -91,13 +95,10 @@ TEST(FilePagerTest, PersistsAcrossReopen) {
   ASSERT_EQ(std::fread(in.data(), 1, 512, f), 512u);
   std::fclose(f);
   EXPECT_EQ(std::memcmp(in.data(), out.data(), 512), 0);
-  std::filesystem::remove(path);
 }
 
-TEST(FilePagerTest, OpenExistingSeesPriorPages) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "rps_pager_reopen.db")
-          .string();
+TEST_F(FilePagerTest, OpenExistingSeesPriorPages) {
+  const std::string path = tmp_.file("reopen.db");
   const auto out = PatternPage(512, 9);
   {
     auto pager = std::move(FilePager::Create(path, 512)).value();
@@ -116,31 +117,27 @@ TEST(FilePagerTest, OpenExistingSeesPriorPages) {
     ASSERT_TRUE(reopened.value()->Grow(4).ok());
     ASSERT_TRUE(reopened.value()->WritePage(3, out.data()).ok());
   }
-  std::filesystem::remove(path);
 }
 
-TEST(FilePagerTest, OpenExistingRejectsPartialPages) {
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "rps_pager_partial.db")
-          .string();
+TEST_F(FilePagerTest, OpenExistingRejectsPartialPages) {
+  const std::string path = tmp_.file("partial.db");
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
   std::fputs("only a few bytes", f);
   std::fclose(f);
   EXPECT_EQ(FilePager::OpenExisting(path, 512).status().code(),
             StatusCode::kIoError);
-  std::filesystem::remove(path);
 }
 
-TEST(FilePagerTest, OpenExistingMissingFile) {
-  EXPECT_EQ(FilePager::OpenExisting("/tmp/rps_no_such_pager.db", 512)
+TEST_F(FilePagerTest, OpenExistingMissingFile) {
+  EXPECT_EQ(FilePager::OpenExisting(tmp_.file("no_such_pager.db"), 512)
                 .status()
                 .code(),
             StatusCode::kIoError);
 }
 
-TEST(FilePagerTest, RejectsTinyPageSize) {
-  EXPECT_EQ(FilePager::Create("/tmp/x.db", 4).status().code(),
+TEST_F(FilePagerTest, RejectsTinyPageSize) {
+  EXPECT_EQ(FilePager::Create(tmp_.file("tiny.db"), 4).status().code(),
             StatusCode::kInvalidArgument);
 }
 

@@ -1,0 +1,72 @@
+// Runs the randomized crash/recover torture loop (the engine behind
+// `rps_tool torture`) as a ctest. Seeds come from RPS_TEST_SEED when
+// set, so a CI failure log is enough to reproduce a run exactly.
+
+#include "storage/recovery_torture.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "testing/temp_dir.h"
+#include "testing/test_seed.h"
+
+namespace rps {
+namespace {
+
+TEST(RecoveryTortureTest, HundredsOfCrashCyclesRecoverExactly) {
+  const uint64_t seed = testing::TestSeed(7);
+  testing::ScopedTempDir dir("rps_torture_test");
+  TortureOptions options;
+  options.directory = dir.path();
+  options.cycles = 250;
+  options.seed = seed;
+  Result<TortureReport> report = RunRecoveryTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString()
+                           << testing::SeedMessage(seed);
+  const TortureReport& r = report.value();
+  EXPECT_EQ(r.cycles_run, 250);
+  // With fault_probability 0.85 the run must actually have been
+  // violent; a torture loop that never crashes verifies nothing.
+  EXPECT_GT(r.crashes_injected, 0) << testing::SeedMessage(seed);
+  EXPECT_GT(r.adds_failed, 0) << testing::SeedMessage(seed);
+  EXPECT_GT(r.adds_applied, 1000) << testing::SeedMessage(seed);
+  EXPECT_GT(r.cells_verified, 0);
+  EXPECT_GT(r.range_sums_verified, 0);
+  EXPECT_GE(r.final_generation, 1);
+}
+
+TEST(RecoveryTortureTest, ThreeDimensionalCubesSurviveTorture) {
+  const uint64_t seed = testing::TestSeed(11);
+  testing::ScopedTempDir dir("rps_torture_test_3d");
+  TortureOptions options;
+  options.directory = dir.path();
+  options.extents = {9, 7, 5};
+  options.box_size = {3, 3, 2};
+  options.cycles = 80;
+  options.seed = seed;
+  Result<TortureReport> report = RunRecoveryTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString()
+                           << testing::SeedMessage(seed);
+  EXPECT_EQ(report.value().cycles_run, 80);
+  EXPECT_GT(report.value().cells_verified, 0);
+}
+
+TEST(RecoveryTortureTest, FaultFreeRunsLoseNothing) {
+  const uint64_t seed = testing::TestSeed(3);
+  testing::ScopedTempDir dir("rps_torture_test_clean");
+  TortureOptions options;
+  options.directory = dir.path();
+  options.cycles = 40;
+  options.seed = seed;
+  options.fault_probability = 0.0;  // clean close/reopen cycles only
+  Result<TortureReport> report = RunRecoveryTorture(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString()
+                           << testing::SeedMessage(seed);
+  EXPECT_EQ(report.value().crashes_injected, 0);
+  EXPECT_EQ(report.value().adds_failed, 0);
+  EXPECT_EQ(report.value().pending_lost, 0);
+}
+
+}  // namespace
+}  // namespace rps

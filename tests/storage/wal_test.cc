@@ -7,17 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/temp_dir.h"
+
 namespace rps {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
-
-class WalTest : public testing::Test {
+class WalTest : public ::testing::Test {
  protected:
-  void TearDown() override { std::filesystem::remove(path_); }
-  std::string path_ = TempPath("rps_wal_test.log");
+  testing::ScopedTempDir tmp_{"rps_wal"};
+  const std::string path_ = tmp_.file("wal_test.log");
 };
 
 int64_t PayloadInt(const WalRecord& record) {
@@ -49,7 +47,7 @@ TEST_F(WalTest, AppendAndReplay) {
 
 TEST_F(WalTest, MissingFileReplaysEmpty) {
   const auto replay =
-      WriteAheadLog::Replay(TempPath("rps_wal_missing.log"), 2, 8);
+      WriteAheadLog::Replay(tmp_.file("wal_missing.log"), 2, 8);
   ASSERT_TRUE(replay.ok());
   EXPECT_TRUE(replay.value().records.empty());
   EXPECT_FALSE(replay.value().tail_truncated);

@@ -1,0 +1,54 @@
+// Scoped temporary directory for storage tests.
+//
+// Replaces the hand-rolled pid-suffixed paths previously duplicated
+// across tests/storage/*: each ScopedTempDir creates a unique fresh
+// directory under the system temp root and removes it (recursively)
+// on destruction. Uniqueness combines the pid with a process-wide
+// counter, so parallel ctest invocations and multiple fixtures in one
+// binary never collide.
+
+#ifndef RPS_TESTS_TESTING_TEMP_DIR_H_
+#define RPS_TESTS_TESTING_TEMP_DIR_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace rps::testing {
+
+class ScopedTempDir {
+ public:
+  /// Creates `<tmp>/<prefix>_<pid>_<counter>`.
+  explicit ScopedTempDir(const std::string& prefix = "rps_test") {
+    static std::atomic<int> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             (prefix + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter.fetch_add(1))))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+
+  ~ScopedTempDir() {
+    std::error_code ec;  // best-effort; never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Convenience for building file paths inside the directory.
+  std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace rps::testing
+
+#endif  // RPS_TESTS_TESTING_TEMP_DIR_H_

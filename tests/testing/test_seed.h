@@ -1,0 +1,39 @@
+// Deterministic-repro seed plumbing for randomized tests.
+//
+// Property, fuzz and torture tests derive their RNG seeds through
+// TestSeed(default): normally the test's fixed default (so CI is
+// stable), but overridable for reproduction with
+//
+//   RPS_TEST_SEED=12345 ctest -R property
+//
+// Failure messages should include SeedMessage(seed) so the exact
+// failing run can be replayed from the log alone.
+
+#ifndef RPS_TESTS_TESTING_TEST_SEED_H_
+#define RPS_TESTS_TESTING_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace rps::testing {
+
+/// The seed a randomized test should use: the RPS_TEST_SEED
+/// environment variable when set (and parseable), else `fallback`.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* text = std::getenv("RPS_TEST_SEED");
+  if (text == nullptr || text[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return fallback;
+  return static_cast<uint64_t>(value);
+}
+
+/// Standard failure-message suffix: how to reproduce this exact run.
+inline std::string SeedMessage(uint64_t seed) {
+  return " [reproduce with RPS_TEST_SEED=" + std::to_string(seed) + "]";
+}
+
+}  // namespace rps::testing
+
+#endif  // RPS_TESTS_TESTING_TEST_SEED_H_

@@ -254,6 +254,19 @@ TEST_F(CliEndToEndTest, BenchMetricsJsonFlagWritesFile) {
   EXPECT_GT(std::filesystem::file_size(json_path), 0u);
 }
 
+TEST_F(CliEndToEndTest, TortureSubcommandRunsAndReports) {
+  // A short but real crash/recover run in a caller-supplied scratch
+  // directory (kept across the run, removed by the fixture).
+  const std::string scratch = dir_ + "/torture";
+  std::filesystem::create_directory(scratch);
+  EXPECT_EQ(RunCli({"torture", "--cycles", "25", "--seed", "3", "--shape",
+                    "8x8", "--box", "3x3", "--dir", scratch}),
+            0);
+  // Bad arguments.
+  EXPECT_EQ(RunCli({"torture", "--shape", "8x8", "--box", "2x2x2"}), 1);
+  EXPECT_EQ(RunCli({"torture", "--cycles", "banana"}), 1);
+}
+
 TEST_F(CliEndToEndTest, CubeFileRoundTripsThroughIo) {
   const NdArray<int64_t> cube = [] {
     NdArray<int64_t> c(Shape{5, 7});

@@ -1,0 +1,155 @@
+// Failpoint framework: trigger policies, spec parsing, the global
+// registry, and the exported metrics.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rps::fail {
+namespace {
+
+class FailpointTest : public testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  Failpoint site("test.disarmed");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(site.Fires());
+  EXPECT_EQ(site.evaluations(), 0);  // disarmed evaluations not counted
+  EXPECT_EQ(site.fires(), 0);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnceThenDisarms) {
+  Failpoint site("test.once");
+  site.Arm(TriggerPolicy::Once());
+  EXPECT_TRUE(site.armed());
+  EXPECT_TRUE(site.Fires());
+  EXPECT_FALSE(site.armed());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(site.Fires());
+  EXPECT_EQ(site.fires(), 1);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryTime) {
+  Failpoint site("test.always");
+  site.Arm(TriggerPolicy::Always());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(site.Fires());
+  EXPECT_EQ(site.fires(), 5);
+  site.Disarm();
+  EXPECT_FALSE(site.Fires());
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnMultiples) {
+  Failpoint site("test.every");
+  site.Arm(TriggerPolicy::EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(site.Fires());
+  const std::vector<bool> want = {false, false, true, false, false,
+                                  true,  false, false, true};
+  EXPECT_EQ(fired, want);
+}
+
+TEST_F(FailpointTest, AfterNFiresOnEveryLaterEvaluation) {
+  Failpoint site("test.after");
+  site.Arm(TriggerPolicy::AfterN(2));
+  EXPECT_FALSE(site.Fires());
+  EXPECT_FALSE(site.Fires());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(site.Fires());
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  Failpoint a("test.prob_a");
+  Failpoint b("test.prob_b");
+  a.Arm(TriggerPolicy::Probability(0.5, 42));
+  b.Arm(TriggerPolicy::Probability(0.5, 42));
+  int fires = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool fa = a.Fires();
+    ASSERT_EQ(fa, b.Fires()) << "same seed must give same stream";
+    fires += fa ? 1 : 0;
+  }
+  // Loose two-sided bound: p=0.5 over 200 draws.
+  EXPECT_GT(fires, 50);
+  EXPECT_LT(fires, 150);
+  // Extremes behave.
+  Failpoint never("test.prob_never");
+  never.Arm(TriggerPolicy::Probability(0.0));
+  EXPECT_FALSE(never.Fires());
+  Failpoint sure("test.prob_always");
+  sure.Arm(TriggerPolicy::Probability(1.0));
+  EXPECT_TRUE(sure.Fires());
+}
+
+TEST_F(FailpointTest, ParseAcceptsEveryPolicyForm) {
+  EXPECT_EQ(TriggerPolicy::Parse("off").value().kind, TriggerKind::kOff);
+  EXPECT_EQ(TriggerPolicy::Parse("once").value().kind, TriggerKind::kOnce);
+  EXPECT_EQ(TriggerPolicy::Parse("always").value().kind,
+            TriggerKind::kAlways);
+  const TriggerPolicy every = TriggerPolicy::Parse("every(4)").value();
+  EXPECT_EQ(every.kind, TriggerKind::kEveryNth);
+  EXPECT_EQ(every.n, 4);
+  const TriggerPolicy after = TriggerPolicy::Parse("after(10)").value();
+  EXPECT_EQ(after.kind, TriggerKind::kAfterN);
+  EXPECT_EQ(after.n, 10);
+  const TriggerPolicy prob = TriggerPolicy::Parse("prob(0.25,7)").value();
+  EXPECT_EQ(prob.kind, TriggerKind::kProbability);
+  EXPECT_DOUBLE_EQ(prob.p, 0.25);
+  EXPECT_EQ(prob.seed, 7u);
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "bogus", "every", "every()", "every(0)", "every(x)",
+        "after(-1)", "prob(1.5)", "prob()", "prob(0.5,0)", "once(3)"}) {
+    EXPECT_FALSE(TriggerPolicy::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST_F(FailpointTest, RegistryReturnsStableReferences) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  Failpoint& first = registry.Get("test.stable");
+  Failpoint& second = registry.Get("test.stable");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsAndDisarmAllClears) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(
+      registry.ArmFromSpec("test.spec_a=once;test.spec_b=every(2)").ok());
+  EXPECT_TRUE(registry.Get("test.spec_a").armed());
+  EXPECT_TRUE(registry.Get("test.spec_b").armed());
+  const std::vector<std::string> armed = registry.ArmedNames();
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "test.spec_a"),
+            armed.end());
+  registry.DisarmAll();
+  EXPECT_FALSE(registry.Get("test.spec_a").armed());
+  EXPECT_TRUE(registry.ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsMalformedItems) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  EXPECT_FALSE(registry.ArmFromSpec("nopolicy").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("=once").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("a=notapolicy").ok());
+}
+
+TEST_F(FailpointTest, FiresAreExportedAsLabeledMetrics) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  Failpoint& site = registry.Get("test.metrics_site");
+  obs::Counter& fires = obs::MetricRegistry::Global().GetCounter(
+      "rps_failpoint_fires_total", {{"site", "test.metrics_site"}});
+  const int64_t before = fires.Value();
+  site.Arm(TriggerPolicy::Always());
+  ASSERT_TRUE(site.Fires());
+  ASSERT_TRUE(site.Fires());
+  EXPECT_EQ(fires.Value(), before + 2);
+}
+
+}  // namespace
+}  // namespace rps::fail

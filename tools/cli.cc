@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/recovery_torture.h"
 #include "storage/wal.h"
 #include "workload/data_gen.h"
 #include "workload/driver.h"
@@ -398,6 +399,83 @@ Status CmdMetrics(const ParsedArgs& args) {
   return Status::Ok();
 }
 
+// Thousands of simulated crash/recover cycles against an in-memory
+// oracle (storage/recovery_torture.h). Every knob is deterministic
+// from --seed; the seed is echoed so failures reproduce exactly.
+Status CmdTorture(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const Shape shape,
+                       ParseShape(OptionOr(args, "shape", "12x12")));
+  RPS_ASSIGN_OR_RETURN(const Shape box,
+                       ParseShape(OptionOr(args, "box", "4x4")));
+  if (box.dims() != shape.dims()) {
+    return Status::InvalidArgument("--box dimensionality mismatch");
+  }
+  TortureOptions options;
+  RPS_ASSIGN_OR_RETURN(options.cycles, IntOptionOr(args, "cycles", 200));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  options.seed = static_cast<uint64_t>(seed);
+  RPS_ASSIGN_OR_RETURN(options.ops_per_cycle, IntOptionOr(args, "ops", 40));
+  RPS_ASSIGN_OR_RETURN(options.queries_per_cycle,
+                       IntOptionOr(args, "queries", 8));
+  options.extents.clear();
+  options.box_size.clear();
+  for (int j = 0; j < shape.dims(); ++j) {
+    options.extents.push_back(shape.extent(j));
+    options.box_size.push_back(box.extent(j));
+  }
+
+  // Scratch directory: --dir if given, otherwise a fresh temp dir
+  // that is removed when the run passes (kept on failure for
+  // inspection).
+  options.directory = OptionOr(args, "dir", "");
+  const bool own_directory = options.directory.empty();
+  std::error_code ec;
+  if (own_directory) {
+    options.directory =
+        (std::filesystem::temp_directory_path() /
+         ("rps_torture_" + std::to_string(::getpid()) + "_" +
+          std::to_string(seed)))
+            .string();
+  }
+  std::filesystem::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create scratch dir " + options.directory);
+  }
+
+  const Result<TortureReport> run = RunRecoveryTorture(options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "torture state kept in %s\n",
+                 options.directory.c_str());
+    return run.status();
+  }
+  if (own_directory) std::filesystem::remove_all(options.directory, ec);
+  const TortureReport& report = run.value();
+  std::printf(
+      "torture OK: %lld cycles on %s (seed %lld)\n"
+      "  adds:        %lld applied, %lld interrupted "
+      "(%lld recovered, %lld lost)\n"
+      "  checkpoints: %lld committed, %lld interrupted "
+      "(final generation %lld)\n"
+      "  crashes:     %lld simulated, %lld torn WAL tails, "
+      "%lld records replayed\n"
+      "  verified:    %lld cells + %lld range sums post-recovery\n",
+      static_cast<long long>(report.cycles_run), shape.ToString().c_str(),
+      static_cast<long long>(seed),
+      static_cast<long long>(report.adds_applied),
+      static_cast<long long>(report.adds_failed),
+      static_cast<long long>(report.pending_applied),
+      static_cast<long long>(report.pending_lost),
+      static_cast<long long>(report.checkpoints),
+      static_cast<long long>(report.checkpoints_failed),
+      static_cast<long long>(report.final_generation),
+      static_cast<long long>(report.crashes_injected),
+      static_cast<long long>(report.torn_tails),
+      static_cast<long long>(report.records_replayed),
+      static_cast<long long>(report.cells_verified),
+      static_cast<long long>(report.range_sums_verified));
+  return Status::Ok();
+}
+
 Status CmdTraceRecord(const ParsedArgs& args) {
   RPS_ASSIGN_OR_RETURN(const std::string shape_text, Require(args, "shape"));
   RPS_ASSIGN_OR_RETURN(const Shape shape, ParseShape(shape_text));
@@ -471,6 +549,8 @@ void PrintUsage() {
       "          [--metrics-json metrics.json]\n"
       "  metrics [--shape AxB --queries N --updates N --seed N]\n"
       "          [--format text|json|both] [--json out.json]\n"
+      "  torture [--cycles N --shape AxB --box AxB --seed N]\n"
+      "          [--ops N --queries N --dir scratch/]\n"
       "  trace-record --shape AxB [--queries N --updates N --seed N]\n"
       "          --out t.trace\n"
       "  trace-replay --cube cube.bin --trace t.trace [--method M]\n");
@@ -569,6 +649,8 @@ int RunCli(const std::vector<std::string>& args) {
     status = CmdBench(parsed.value());
   } else if (command == "metrics") {
     status = CmdMetrics(parsed.value());
+  } else if (command == "torture") {
+    status = CmdTorture(parsed.value());
   } else if (command == "trace-record") {
     status = CmdTraceRecord(parsed.value());
   } else if (command == "trace-replay") {

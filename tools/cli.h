@@ -10,6 +10,7 @@
 //   update  --snap structure.snap --cell 3,4 --delta 5 [--out new.snap]
 //   verify  --cube cube.bin --snap structure.snap
 //   audit   --snap structure.snap [--samples N] [--seed N]
+//   torture [--cycles N] [--shape AxB --box AxB] [--seed N]
 //
 // `verify` needs the original cube; `audit` is the self-contained
 // invariant audit (RelativePrefixSum::CheckInvariants): it re-derives
