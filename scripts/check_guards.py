@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Guard-discipline lint for the capability-annotated locking layer.
+
+Two rules, both cheap textual checks that close the gaps Clang's
+-Wthread-safety cannot see from inside one translation unit:
+
+1. Raw-primitive ban. `std::mutex`, `std::shared_mutex`,
+   `std::condition_variable*`, `std::lock_guard`, `std::unique_lock`,
+   `std::shared_lock` and `std::scoped_lock` may appear only in
+   src/util/mutex.h (the single wrapper that owns them). Everything
+   else must use the annotated Mutex/SharedMutex/MutexLock/ReaderLock/
+   WriterLock/CondVar wrappers, because a raw primitive is invisible
+   to the analysis -- data it guards silently loses its proof.
+
+2. Guarded-sibling rule. A class/struct that declares a `Mutex` or
+   `SharedMutex` member must annotate at least one other member with
+   GUARDED_BY/PT_GUARDED_BY in the same file. A lock with no guarded
+   data is either dead weight or (worse) guarding data the analysis
+   does not know about. Opt out a genuinely standalone lock with a
+   trailing `// check_guards: standalone` comment on its declaration.
+
+Usage: scripts/check_guards.py [file ...]
+With no arguments, scans src/ tools/ bench/ examples/ (tests/ is
+exempt from rule 2 -- fixtures declare odd shapes on purpose -- but
+still subject to rule 1). Exits 1 on any finding.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+WRAPPER = REPO / "src" / "util" / "mutex.h"
+DEFAULT_DIRS = ["src", "tools", "bench", "examples", "tests"]
+
+RAW_PRIMITIVE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+
+# A Mutex/SharedMutex *member*: starts a declaration (optionally
+# mutable) and ends with a member-ish terminator (name, brace-init,
+# or ';'), so locals in functions are mostly excluded by the
+# declaration-context scan below.
+MUTEX_MEMBER = re.compile(
+    r"^\s*(mutable\s+)?(rps::)?(Mutex|SharedMutex)\s+\w+\s*(\{[^}]*\})?\s*;"
+)
+GUARDED = re.compile(r"\b(PT_)?GUARDED_BY\s*\(")
+STANDALONE_OPT_OUT = re.compile(r"//\s*check_guards:\s*standalone")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string literal bodies (keeps quotes)."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    return re.sub(r"//.*$", "", line)
+
+
+def check_file(path: pathlib.Path, findings: list[str]) -> None:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        findings.append(f"{path}: unreadable: {err}")
+        return
+
+    rel = path.resolve()
+    is_wrapper = rel == WRAPPER
+    in_tests = "tests" in rel.parts
+
+    lines = text.splitlines()
+    in_block_comment = False
+    mutex_decls: list[tuple[int, str]] = []  # (lineno, line)
+    has_guarded = bool(GUARDED.search(text))
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # Drop /* ... */ spans (single-line and opening).
+        line = re.sub(r"/\*.*?\*/", "", line)
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block_comment = True
+        code = strip_comments_and_strings(line)
+
+        if not is_wrapper and RAW_PRIMITIVE.search(code):
+            findings.append(
+                f"{path}:{lineno}: raw synchronization primitive "
+                f"'{RAW_PRIMITIVE.search(code).group(0)}' -- use the "
+                f"annotated wrappers from src/util/mutex.h"
+            )
+        if (
+            not in_tests
+            and MUTEX_MEMBER.match(code)
+            and not STANDALONE_OPT_OUT.search(raw)
+        ):
+            mutex_decls.append((lineno, raw.strip()))
+
+    if mutex_decls and not has_guarded:
+        for lineno, decl in mutex_decls:
+            findings.append(
+                f"{path}:{lineno}: mutex member '{decl}' but no "
+                f"GUARDED_BY-annotated sibling anywhere in the file -- "
+                f"annotate the data it guards (or mark the declaration "
+                f"'// check_guards: standalone')"
+            )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        files = [pathlib.Path(a) for a in argv[1:]]
+    else:
+        files = []
+        for d in DEFAULT_DIRS:
+            root = REPO / d
+            if root.is_dir():
+                files.extend(sorted(root.rglob("*.h")))
+                files.extend(sorted(root.rglob("*.cc")))
+
+    findings: list[str] = []
+    checked = 0
+    for f in files:
+        if f.suffix not in (".h", ".cc", ".cpp", ".hpp"):
+            continue
+        if not f.exists():
+            continue
+        checked += 1
+        check_file(f, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"check_guards.py: {len(findings)} finding(s) in "
+            f"{checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_guards.py: OK ({checked} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Static-analysis runner for the RPS engine.
 #
-# Preferred backend: clang-tidy with the repo .clang-tidy policy, run
-# over every translation unit under the target directory using the
-# compile database of the `release` preset (configured on demand).
+# Preferred backend: clang-tidy with the repo .clang-tidy policy,
+# using the compile database of the `release` preset (configured on
+# demand). By default only files that changed relative to origin/main
+# (merge-base, plus uncommitted changes) are linted, so iterating on a
+# branch stays fast; `--all` restores the full-tree sweep.
 #
 # Fallback backend (toolchains without clang-tidy, e.g. gcc-only
 # containers): a strict-warning pass with g++. Every .cc is compiled
@@ -11,16 +13,32 @@
 # build, and every header is additionally compiled standalone, which
 # both syntax-checks it and proves it self-contained.
 #
-# Usage: scripts/lint.sh [dir ...]   (default: src tools bench)
+# The guard-discipline lint (scripts/check_guards.py) always runs over
+# the whole tree first -- it is milliseconds-cheap and its rules are
+# global, not per-file.
+#
+# Usage: scripts/lint.sh [--all] [dir ...]   (default dirs: src tools bench)
 # Exits nonzero on the first diagnostic.
 
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
 
-targets=("$@")
+all=0
+targets=()
+for arg in "$@"; do
+  case "$arg" in
+    --all) all=1 ;;
+    *) targets+=("$arg") ;;
+  esac
+done
 if [ "${#targets[@]}" -eq 0 ]; then
   targets=(src tools bench)
+fi
+
+if ! python3 scripts/check_guards.py; then
+  echo "lint.sh: guard-discipline lint failed" >&2
+  exit 1
 fi
 
 sources=()
@@ -37,6 +55,36 @@ if [ "${#sources[@]}" -eq 0 ] && [ "${#headers[@]}" -eq 0 ]; then
   exit 2
 fi
 
+# Restrict to files changed vs origin/main (merge-base) plus any
+# uncommitted changes, unless --all or no usable base ref.
+if [ "$all" -eq 0 ]; then
+  base=""
+  if git rev-parse --verify -q origin/main >/dev/null 2>&1; then
+    base=$(git merge-base HEAD origin/main 2>/dev/null || true)
+  fi
+  if [ -n "$base" ]; then
+    changed=$( { git diff --name-only "$base" HEAD; git diff --name-only; \
+                 git diff --name-only --cached; } | sort -u)
+    filter() {
+      local out=()
+      for f in "$@"; do
+        if grep -qxF "$f" <<<"$changed"; then out+=("$f"); fi
+      done
+      printf '%s\n' "${out[@]:-}"
+    }
+    mapfile -t sources < <(filter "${sources[@]:-}" | sed '/^$/d')
+    mapfile -t headers < <(filter "${headers[@]:-}" | sed '/^$/d')
+    echo "lint.sh: diff-aware mode (vs $(git rev-parse --short "$base")):" \
+         "${#sources[@]} sources, ${#headers[@]} headers (--all for full tree)" >&2
+    if [ "${#sources[@]}" -eq 0 ] && [ "${#headers[@]}" -eq 0 ]; then
+      echo "lint.sh: no changed C++ files; done" >&2
+      exit 0
+    fi
+  else
+    echo "lint.sh: no origin/main base found; linting the full tree" >&2
+  fi
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
   build_dir=build/release
   if [ ! -f "$build_dir/compile_commands.json" ]; then
@@ -45,7 +93,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
   echo "lint.sh: clang-tidy over ${#sources[@]} translation units" >&2
   status=0
-  for f in "${sources[@]}"; do
+  for f in "${sources[@]:-}"; do
+    [ -n "$f" ] || continue
     clang-tidy -p "$build_dir" --quiet "$f" || status=1
   done
   exit "$status"
@@ -61,13 +110,15 @@ GCC_FLAGS=(
 )
 
 status=0
-for f in "${sources[@]}"; do
+for f in "${sources[@]:-}"; do
+  [ -n "$f" ] || continue
   if ! g++ "${GCC_FLAGS[@]}" "$f"; then
     echo "lint.sh: FAILED $f" >&2
     status=1
   fi
 done
-for f in "${headers[@]}"; do
+for f in "${headers[@]:-}"; do
+  [ -n "$f" ] || continue
   if ! g++ "${GCC_FLAGS[@]}" -x c++ "$f"; then
     echo "lint.sh: FAILED (standalone header) $f" >&2
     status=1

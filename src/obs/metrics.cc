@@ -152,7 +152,7 @@ MetricRegistry::Entry& MetricRegistry::GetEntry(Kind kind,
     key += rendered;
     key += '}';
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto [it, inserted] = entries_.try_emplace(std::move(key));
   Entry& entry = it->second;
   if (inserted) {
@@ -195,7 +195,7 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricRegistry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string out;
   std::string last_family;
   for (const auto& [key, entry] : entries_) {
@@ -267,7 +267,7 @@ std::string MetricRegistry::RenderText() const {
 }
 
 std::string MetricRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::string counters, gauges, histograms;
   for (const auto& [key, entry] : entries_) {
     std::string item = "{\"name\":\"";
@@ -336,7 +336,7 @@ std::string MetricRegistry::RenderJson() const {
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [key, entry] : entries_) {
     switch (entry.kind) {
       case Kind::kCounter:
@@ -353,7 +353,7 @@ void MetricRegistry::ResetAll() {
 }
 
 int64_t MetricRegistry::num_metrics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return static_cast<int64_t>(entries_.size());
 }
 

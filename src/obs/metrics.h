@@ -26,10 +26,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace rps::obs {
 
@@ -186,9 +188,9 @@ class MetricRegistry {
 
   Entry& GetEntry(Kind kind, const std::string& name, const Labels& labels);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"MetricRegistry.mutex"};
   // Keyed by `name{labels}` so families sort together for rendering.
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace rps::obs

@@ -23,7 +23,7 @@ TraceBuffer& TraceBuffer::Global() {
 }
 
 void TraceBuffer::Record(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (static_cast<int64_t>(events_.size()) < capacity_) {
     events_.push_back(event);
   } else {
@@ -34,7 +34,7 @@ void TraceBuffer::Record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceBuffer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (static_cast<int64_t>(events_.size()) < capacity_) {
     return events_;  // not yet wrapped: already oldest-first
   }
@@ -47,12 +47,12 @@ std::vector<TraceEvent> TraceBuffer::Snapshot() const {
 }
 
 int64_t TraceBuffer::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return total_;
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   events_.clear();
   next_ = 0;
   total_ = 0;

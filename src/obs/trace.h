@@ -17,10 +17,11 @@
 #define RPS_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace rps::obs {
@@ -62,10 +63,11 @@ class TraceBuffer {
 
  private:
   const int64_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;  // ring storage, size <= capacity_
-  int64_t next_ = 0;                // ring write position
-  int64_t total_ = 0;
+  mutable Mutex mutex_{"TraceBuffer.mutex"};
+  // Ring storage, size <= capacity_.
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
+  int64_t next_ GUARDED_BY(mutex_) = 0;  // ring write position
+  int64_t total_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Nanoseconds since the process trace epoch (first use).

@@ -9,14 +9,14 @@
 #ifndef RPS_OLAP_CONCURRENT_ENGINE_H_
 #define RPS_OLAP_CONCURRENT_ENGINE_H_
 
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "olap/engine.h"
 #include "olap/group_by.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace rps {
@@ -37,16 +37,21 @@ class ConcurrentOlapEngine {
         &registry.GetHistogram("rps_concurrent_engine_insert_seconds", labels);
   }
 
-  const Schema& schema() const { return engine_.schema(); }
+  const Schema& schema() const {
+    // The schema is immutable after construction, but the engine it
+    // lives in is guarded; a reader lock keeps the proof airtight.
+    ReaderLock lock(&mutex_);
+    return engine_.schema();
+  }
 
   IngestReport Load(const std::vector<OlapRecord>& records) {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(&mutex_);
     return engine_.Load(records);
   }
 
   Status Insert(const OlapRecord& record) {
     const Stopwatch watch;  // includes writer-lock wait
-    std::unique_lock lock(mutex_);
+    WriterLock lock(&mutex_);
     const Status status = engine_.Insert(record);
     insert_seconds_->ObserveNanos(watch.ElapsedNanos());
     return status;
@@ -54,7 +59,7 @@ class ConcurrentOlapEngine {
 
   Result<double> Sum(const RangeQuery& query) const {
     const Stopwatch watch;  // includes reader-lock wait
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(&mutex_);
     Result<double> result = engine_.Sum(query);
     query_seconds_->ObserveNanos(watch.ElapsedNanos());
     return result;
@@ -62,7 +67,7 @@ class ConcurrentOlapEngine {
 
   Result<int64_t> Count(const RangeQuery& query) const {
     const Stopwatch watch;
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(&mutex_);
     Result<int64_t> result = engine_.Count(query);
     query_seconds_->ObserveNanos(watch.ElapsedNanos());
     return result;
@@ -70,7 +75,7 @@ class ConcurrentOlapEngine {
 
   Result<double> Average(const RangeQuery& query) const {
     const Stopwatch watch;
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(&mutex_);
     Result<double> result = engine_.Average(query);
     query_seconds_->ObserveNanos(watch.ElapsedNanos());
     return result;
@@ -80,7 +85,7 @@ class ConcurrentOlapEngine {
                                          const std::string& dimension,
                                          int64_t window) const {
     const Stopwatch watch;
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(&mutex_);
     Result<std::vector<double>> result =
         engine_.RollingSum(query, dimension, window);
     query_seconds_->ObserveNanos(watch.ElapsedNanos());
@@ -90,15 +95,15 @@ class ConcurrentOlapEngine {
   Result<std::vector<GroupRow>> GroupBySlots(
       const RangeQuery& query, const std::string& dimension) const {
     const Stopwatch watch;
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(&mutex_);
     Result<std::vector<GroupRow>> result = GroupBy(engine_, query, dimension);
     query_seconds_->ObserveNanos(watch.ElapsedNanos());
     return result;
   }
 
  private:
-  mutable std::shared_mutex mutex_;
-  OlapEngine engine_;
+  mutable SharedMutex mutex_{"ConcurrentOlapEngine.mutex"};
+  OlapEngine engine_ GUARDED_BY(mutex_);
   // Facade-level latency, lock wait included (labels:
   // method="<EngineMethodName>"). The wrapped OlapEngine separately
   // reports lock-free rps_engine_* timings.

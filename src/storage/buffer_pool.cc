@@ -76,6 +76,7 @@ BufferPool::~BufferPool() {
 }
 
 Result<PinnedPage> BufferPool::Pin(PageId id) {
+  MutexLock lock(&mutex_);
   if (auto it = page_to_frame_.find(id); it != page_to_frame_.end()) {
     Frame& frame = frames_[static_cast<size_t>(it->second)];
     ++frame.pins;
@@ -99,6 +100,11 @@ Result<PinnedPage> BufferPool::Pin(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock lock(&mutex_);
+  return FlushAllLocked();
+}
+
+Status BufferPool::FlushAllLocked() {
   for (int64_t frame_id = 0; frame_id < capacity_; ++frame_id) {
     Frame& frame = frames_[static_cast<size_t>(frame_id)];
     if (frame.page >= 0 && frame.dirty) {
@@ -112,13 +118,30 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::Unpin(int64_t frame_id) {
+  MutexLock lock(&mutex_);
   Frame& frame = frames_[static_cast<size_t>(frame_id)];
   RPS_CHECK(frame.pins > 0);
   --frame.pins;
 }
 
 void BufferPool::MarkDirty(int64_t frame_id) {
+  MutexLock lock(&mutex_);
   frames_[static_cast<size_t>(frame_id)].dirty = true;
+}
+
+int64_t BufferPool::pages_resident() const {
+  MutexLock lock(&mutex_);
+  return static_cast<int64_t>(page_to_frame_.size());
+}
+
+BufferPoolStats BufferPool::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  MutexLock lock(&mutex_);
+  stats_ = BufferPoolStats{};
 }
 
 Result<int64_t> BufferPool::AcquireFrame() {

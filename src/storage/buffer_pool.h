@@ -1,4 +1,4 @@
-// LRU buffer pool over a Pager.
+// Thread-safe LRU buffer pool over a Pager.
 //
 // Holds up to `capacity` pages in memory frames. Pages are fetched
 // with Pin() (loading on miss, evicting the least recently used
@@ -7,6 +7,14 @@
 // FlushAll(). Hit/miss/eviction counters feed the Section 4.4
 // experiments: a well-chosen overlay box size makes query and update
 // touch a constant number of pages.
+//
+// Concurrency: every pool operation locks one internal Mutex (the
+// capability annotations below are enforced at compile time by the
+// `tsa` preset). Frame *data* is protected by the pin, not the lock:
+// a pinned frame is never evicted or reused, so reading/writing
+// through a PinnedPage needs no pool lock. Two threads that pin the
+// same page share the frame bytes; coordinating writes to one page is
+// the caller's job, exactly like a page latch in a real DBMS.
 
 #ifndef RPS_STORAGE_BUFFER_POOL_H_
 #define RPS_STORAGE_BUFFER_POOL_H_
@@ -18,6 +26,8 @@
 #include <vector>
 
 #include "storage/pager.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rps {
@@ -72,17 +82,16 @@ class BufferPool {
 
   /// Pins page `id`, loading it on a miss. Fails if the page does not
   /// exist, the load fails, or every frame is pinned.
-  Result<PinnedPage> Pin(PageId id);
+  Result<PinnedPage> Pin(PageId id) EXCLUDES(mutex_);
 
   /// Writes back all dirty frames.
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mutex_);
 
   int64_t capacity() const { return capacity_; }
-  int64_t pages_resident() const {
-    return static_cast<int64_t>(page_to_frame_.size());
-  }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  int64_t pages_resident() const EXCLUDES(mutex_);
+  /// Snapshot of the per-pool counters (exact: taken under the lock).
+  BufferPoolStats stats() const EXCLUDES(mutex_);
+  void ResetStats() EXCLUDES(mutex_);
 
   Pager* pager() { return pager_; }
 
@@ -96,22 +105,28 @@ class BufferPool {
     std::vector<std::byte> data;
   };
 
-  void Unpin(int64_t frame_id);
-  void MarkDirty(int64_t frame_id);
+  void Unpin(int64_t frame_id) EXCLUDES(mutex_);
+  void MarkDirty(int64_t frame_id) EXCLUDES(mutex_);
   // Picks a frame to (re)use: a free frame, else evicts the LRU
   // unpinned one.
-  Result<int64_t> AcquireFrame();
-  void TouchLru(int64_t frame_id);
+  Result<int64_t> AcquireFrame() REQUIRES(mutex_);
+  void TouchLru(int64_t frame_id) REQUIRES(mutex_);
+  Status FlushAllLocked() REQUIRES(mutex_);
 
-  Pager* pager_;
-  int64_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, int64_t> page_to_frame_;
+  Pager* const pager_;
+  const int64_t capacity_;
+
+  mutable Mutex mutex_{"BufferPool.mutex"};
+  // Frame metadata is guarded; the page bytes inside Frame::data are
+  // protected by the frame's pin count (see header comment).
+  std::vector<Frame> frames_ GUARDED_BY(mutex_);
+  std::unordered_map<PageId, int64_t> page_to_frame_ GUARDED_BY(mutex_);
   // LRU order of frames (front = least recent). Only unpinned frames
   // are eligible for eviction, but all resident frames are tracked.
-  std::list<int64_t> lru_;
-  std::unordered_map<int64_t, std::list<int64_t>::iterator> lru_pos_;
-  BufferPoolStats stats_;
+  std::list<int64_t> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<int64_t, std::list<int64_t>::iterator> lru_pos_
+      GUARDED_BY(mutex_);
+  BufferPoolStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace rps

@@ -10,11 +10,25 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace rps::fault_env {
 namespace {
 
 std::atomic<bool> g_simulated_crash{false};
+
+// Which site "killed the machine". Guarded state (a std::string can't
+// be atomic); the fast SimulatedCrashActive() check stays lock-free.
+struct CrashRecord {
+  Mutex mu{"FaultEnv.CrashRecord.mu"};
+  std::string last_site GUARDED_BY(mu);
+};
+
+CrashRecord& GetCrashRecord() {
+  static CrashRecord* const record = new CrashRecord;
+  return *record;
+}
 
 Status CrashedStatus() {
   return Status::Unavailable("simulated crash active; process is 'dead'");
@@ -37,13 +51,27 @@ bool SimulatedCrashActive() {
 
 void ClearSimulatedCrash() {
   g_simulated_crash.store(false, std::memory_order_release);
+  CrashRecord& record = GetCrashRecord();
+  MutexLock lock(&record.mu);
+  record.last_site.clear();
 }
 
 void TriggerSimulatedCrash(const std::string& site) {
+  {
+    CrashRecord& record = GetCrashRecord();
+    MutexLock lock(&record.mu);
+    record.last_site = site;
+  }
   g_simulated_crash.store(true, std::memory_order_release);
   obs::MetricRegistry::Global()
       .GetCounter("rps_simulated_crashes_total", {{"site", site}})
       .Increment();
+}
+
+std::string LastCrashSite() {
+  CrashRecord& record = GetCrashRecord();
+  MutexLock lock(&record.mu);
+  return record.last_site;
 }
 
 Result<File> File::Open(const std::string& path, const char* mode,

@@ -50,6 +50,11 @@ void ClearSimulatedCrash();
 /// fault sites themselves).
 void TriggerSimulatedCrash(const std::string& site);
 
+/// The failpoint site that triggered the active (or most recent)
+/// simulated crash; empty if none fired since the last
+/// ClearSimulatedCrash(). For test assertions and crash reports.
+std::string LastCrashSite();
+
 /// Checksummed stdio wrapper with fault sites. Move-only.
 class File {
  public:

@@ -322,8 +322,8 @@ class PagedRps {
 
   /// Physical page accesses since the last reset (buffer pool misses
   /// cause reads; evictions and flushes cause writes).
-  const PagerStats& page_io() const { return pager_->stats(); }
-  const BufferPoolStats& pool_stats() const { return pool_.stats(); }
+  PagerStats page_io() const { return pager_->stats(); }
+  BufferPoolStats pool_stats() const { return pool_.stats(); }
   void ResetCounters() {
     pager_->ResetStats();
     pool_.ResetStats();

@@ -36,9 +36,15 @@ MemPager::MemPager(int64_t page_size) : page_size_(page_size) {
   RPS_CHECK(page_size >= 8);
 }
 
+int64_t MemPager::num_pages() const {
+  MutexLock lock(&mutex_);
+  return static_cast<int64_t>(pages_.size());
+}
+
 Status MemPager::Grow(int64_t count) {
   if (count < 0) return Status::InvalidArgument("negative page count");
-  while (num_pages() < count) {
+  MutexLock lock(&mutex_);
+  while (static_cast<int64_t>(pages_.size()) < count) {
     pages_.emplace_back(static_cast<size_t>(page_size_), std::byte{0});
     ++stats_.allocations;
     PagerMetrics::Get().allocations.Increment();
@@ -47,7 +53,8 @@ Status MemPager::Grow(int64_t count) {
 }
 
 Status MemPager::ReadPage(PageId id, std::byte* out) {
-  if (id < 0 || id >= num_pages()) {
+  MutexLock lock(&mutex_);
+  if (id < 0 || id >= static_cast<int64_t>(pages_.size())) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
   }
@@ -59,7 +66,8 @@ Status MemPager::ReadPage(PageId id, std::byte* out) {
 }
 
 Status MemPager::WritePage(PageId id, const std::byte* data) {
-  if (id < 0 || id >= num_pages()) {
+  MutexLock lock(&mutex_);
+  if (id < 0 || id >= static_cast<int64_t>(pages_.size())) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
   }
@@ -76,7 +84,7 @@ Result<std::unique_ptr<FilePager>> FilePager::Create(const std::string& path,
   RPS_ASSIGN_OR_RETURN(fault_env::File file,
                        fault_env::File::Open(path, "w+b", "pager"));
   return std::unique_ptr<FilePager>(
-      new FilePager(path, std::move(file), page_size));
+      new FilePager(path, std::move(file), page_size, /*num_pages=*/0));
 }
 
 Result<std::unique_ptr<FilePager>> FilePager::OpenExisting(
@@ -89,13 +97,17 @@ Result<std::unique_ptr<FilePager>> FilePager::OpenExisting(
     return Status::IoError("file size is not a whole number of pages: " +
                            path);
   }
-  auto pager = std::unique_ptr<FilePager>(
-      new FilePager(path, std::move(file), page_size));
-  pager->num_pages_ = size / page_size;
-  return pager;
+  return std::unique_ptr<FilePager>(
+      new FilePager(path, std::move(file), page_size, size / page_size));
+}
+
+int64_t FilePager::num_pages() const {
+  MutexLock lock(&mutex_);
+  return num_pages_;
 }
 
 Status FilePager::Close() {
+  MutexLock lock(&mutex_);
   if (!file_.has_value()) return Status::FailedPrecondition("already closed");
   fault_env::File file = std::move(*file_);
   file_.reset();
@@ -103,8 +115,9 @@ Status FilePager::Close() {
 }
 
 Status FilePager::Grow(int64_t count) {
-  if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (count < 0) return Status::InvalidArgument("negative page count");
+  MutexLock lock(&mutex_);
+  if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (count <= num_pages_) return Status::Ok();
   // Extend by writing a zero page at the new end; intermediate bytes
   // become a hole (or zeros) per stdio semantics.
@@ -121,6 +134,7 @@ Status FilePager::Grow(int64_t count) {
 }
 
 Status FilePager::ReadPage(PageId id, std::byte* out) {
+  MutexLock lock(&mutex_);
   if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (id < 0 || id >= num_pages_) {
     return Status::OutOfRange("read of unallocated page " +
@@ -134,6 +148,7 @@ Status FilePager::ReadPage(PageId id, std::byte* out) {
 }
 
 Status FilePager::WritePage(PageId id, const std::byte* data) {
+  MutexLock lock(&mutex_);
   if (!file_.has_value()) return Status::FailedPrecondition("pager closed");
   if (id < 0 || id >= num_pages_) {
     return Status::OutOfRange("write of unallocated page " +

@@ -7,6 +7,12 @@
 // used by the benchmarks -- see DESIGN.md Section 4 on substitutions),
 // FilePager (a real file), and FaultInjectionPager (wraps another
 // pager and fails selected operations, for failure-path tests).
+//
+// Concurrency: every pager carries one Mutex (from the capability-
+// annotated locking layer) guarding its stats and backing state, so a
+// pager can be shared by a thread-safe BufferPool without extra
+// coordination. FilePager serializes whole seek+transfer pairs under
+// the lock, which is also what keeps its file-position state sane.
 
 #ifndef RPS_STORAGE_PAGER_H_
 #define RPS_STORAGE_PAGER_H_
@@ -19,6 +25,8 @@
 #include <vector>
 
 #include "storage/fault_env.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rps {
@@ -51,11 +59,19 @@ class Pager {
   /// Writes page `id` from `data` (page_size() bytes).
   virtual Status WritePage(PageId id, const std::byte* data) = 0;
 
-  const PagerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PagerStats{}; }
+  /// Snapshot of the access counters (exact: taken under the lock).
+  PagerStats stats() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return stats_;
+  }
+  void ResetStats() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    stats_ = PagerStats{};
+  }
 
  protected:
-  PagerStats stats_;
+  mutable Mutex mutex_{"Pager.mutex"};
+  PagerStats stats_ GUARDED_BY(mutex_);
 };
 
 /// Pager backed by process memory. Gives the disk experiments a
@@ -65,16 +81,15 @@ class MemPager final : public Pager {
   explicit MemPager(int64_t page_size = kDefaultPageSize);
 
   int64_t page_size() const override { return page_size_; }
-  int64_t num_pages() const override {
-    return static_cast<int64_t>(pages_.size());
-  }
-  Status Grow(int64_t count) override;
-  Status ReadPage(PageId id, std::byte* out) override;
-  Status WritePage(PageId id, const std::byte* data) override;
+  int64_t num_pages() const override EXCLUDES(mutex_);
+  Status Grow(int64_t count) override EXCLUDES(mutex_);
+  Status ReadPage(PageId id, std::byte* out) override EXCLUDES(mutex_);
+  Status WritePage(PageId id, const std::byte* data) override
+      EXCLUDES(mutex_);
 
  private:
-  int64_t page_size_;
-  std::vector<std::vector<std::byte>> pages_;
+  const int64_t page_size_;
+  std::vector<std::vector<std::byte>> pages_ GUARDED_BY(mutex_);
 };
 
 /// Pager backed by a real file. I/O goes through the fault-injecting
@@ -93,25 +108,27 @@ class FilePager final : public Pager {
       const std::string& path, int64_t page_size = kDefaultPageSize);
 
   int64_t page_size() const override { return page_size_; }
-  int64_t num_pages() const override { return num_pages_; }
-  Status Grow(int64_t count) override;
-  Status ReadPage(PageId id, std::byte* out) override;
-  Status WritePage(PageId id, const std::byte* data) override;
+  int64_t num_pages() const override EXCLUDES(mutex_);
+  Status Grow(int64_t count) override EXCLUDES(mutex_);
+  Status ReadPage(PageId id, std::byte* out) override EXCLUDES(mutex_);
+  Status WritePage(PageId id, const std::byte* data) override
+      EXCLUDES(mutex_);
 
   /// Flushes and closes the file; further operations fail.
-  Status Close();
+  Status Close() EXCLUDES(mutex_);
 
   const std::string& path() const { return path_; }
 
  private:
-  FilePager(std::string path, fault_env::File file, int64_t page_size)
+  FilePager(std::string path, fault_env::File file, int64_t page_size,
+            int64_t num_pages)
       : path_(std::move(path)), file_(std::move(file)),
-        page_size_(page_size) {}
+        page_size_(page_size), num_pages_(num_pages) {}
 
-  std::string path_;
-  std::optional<fault_env::File> file_;
-  int64_t page_size_;
-  int64_t num_pages_ = 0;
+  const std::string path_;
+  std::optional<fault_env::File> file_ GUARDED_BY(mutex_);
+  const int64_t page_size_;
+  int64_t num_pages_ GUARDED_BY(mutex_);
 };
 
 /// Wraps a pager and injects IO_ERROR failures: the N-th upcoming
@@ -121,36 +138,50 @@ class FaultInjectionPager final : public Pager {
   explicit FaultInjectionPager(Pager* base) : base_(base) {}
 
   /// Fail the n-th read from now (n >= 1); 0 cancels.
-  void FailReadAfter(int64_t n) { fail_read_in_ = n; }
+  void FailReadAfter(int64_t n) EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    fail_read_in_ = n;
+  }
   /// Fail the n-th write from now (n >= 1); 0 cancels.
-  void FailWriteAfter(int64_t n) { fail_write_in_ = n; }
+  void FailWriteAfter(int64_t n) EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    fail_write_in_ = n;
+  }
 
   int64_t page_size() const override { return base_->page_size(); }
   int64_t num_pages() const override { return base_->num_pages(); }
   Status Grow(int64_t count) override { return base_->Grow(count); }
 
-  Status ReadPage(PageId id, std::byte* out) override {
-    if (fail_read_in_ > 0 && --fail_read_in_ == 0) {
-      return Status::IoError("injected read fault at page " +
-                             std::to_string(id));
+  Status ReadPage(PageId id, std::byte* out) override EXCLUDES(mutex_) {
+    {
+      MutexLock lock(&mutex_);
+      if (fail_read_in_ > 0 && --fail_read_in_ == 0) {
+        return Status::IoError("injected read fault at page " +
+                               std::to_string(id));
+      }
+      ++stats_.page_reads;
     }
-    ++stats_.page_reads;
+    // Delegate outside the lock: the base pager takes its own.
     return base_->ReadPage(id, out);
   }
 
-  Status WritePage(PageId id, const std::byte* data) override {
-    if (fail_write_in_ > 0 && --fail_write_in_ == 0) {
-      return Status::IoError("injected write fault at page " +
-                             std::to_string(id));
+  Status WritePage(PageId id, const std::byte* data) override
+      EXCLUDES(mutex_) {
+    {
+      MutexLock lock(&mutex_);
+      if (fail_write_in_ > 0 && --fail_write_in_ == 0) {
+        return Status::IoError("injected write fault at page " +
+                               std::to_string(id));
+      }
+      ++stats_.page_writes;
     }
-    ++stats_.page_writes;
     return base_->WritePage(id, data);
   }
 
  private:
-  Pager* base_;
-  int64_t fail_read_in_ = 0;
-  int64_t fail_write_in_ = 0;
+  Pager* const base_;
+  int64_t fail_read_in_ GUARDED_BY(mutex_) = 0;
+  int64_t fail_write_in_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rps

@@ -1,0 +1,110 @@
+// Clang thread-safety (capability) analysis annotations.
+//
+// These macros attach Clang's `-Wthread-safety` attributes to types,
+// members and functions so the locking discipline of the concurrent
+// layers is proven at compile time: a field declared GUARDED_BY(mu)
+// cannot be read or written unless the compiler can see that `mu` is
+// held, and a function declared REQUIRES(mu) cannot be called without
+// it. On non-Clang compilers (the dev container builds with GCC)
+// every macro expands to nothing, so the annotations are free
+// documentation there and a hard contract under the `tsa` CMake
+// preset (clang + -Werror=thread-safety -Werror=thread-safety-beta).
+//
+// Cheat sheet (see docs/TOOLING.md "Capability annotations & locking
+// rules" for the full guide):
+//
+//   GUARDED_BY(mu)    on a data member: all accesses need `mu` held
+//   REQUIRES(mu)      on a function: caller must already hold `mu`
+//   EXCLUDES(mu)      on a function: caller must NOT hold `mu`
+//                     (the function acquires it itself)
+//   ACQUIRE/RELEASE   on lock/unlock-shaped functions
+//   SCOPED_CAPABILITY on RAII guard classes (MutexLock et al.)
+//
+// The vocabulary and spellings follow the Clang documentation and
+// Abseil's thread_annotations.h so diagnostics read like the upstream
+// examples.
+
+#ifndef RPS_UTIL_ANNOTATIONS_H_
+#define RPS_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define RPS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RPS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable) type. The string names
+/// the capability kind in diagnostics ("mutex", "shared mutex").
+#define CAPABILITY(x) RPS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY RPS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member may only be accessed while holding the given
+/// capability.
+#define GUARDED_BY(x) RPS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member: the *pointed-to* data is protected by the given
+/// capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) RPS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Documents (and statically checks) a required acquisition order
+/// between capabilities.
+#define ACQUIRED_BEFORE(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on
+/// entry, and does not release it.
+#define REQUIRES(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds
+/// it on return.
+#define ACQUIRE(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either).
+#define RELEASE(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; the first argument is
+/// the return value meaning success.
+#define TRY_ACQUIRE(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability: the function acquires it
+/// internally (self-deadlock guard).
+#define EXCLUDES(...) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// static analysis cannot follow).
+#define ASSERT_CAPABILITY(x) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability (accessor
+/// pattern).
+#define RETURN_CAPABILITY(x) \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use
+/// needs a comment explaining why the analysis cannot see the truth.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RPS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // RPS_UTIL_ANNOTATIONS_H_

@@ -73,14 +73,14 @@ Result<TriggerPolicy> TriggerPolicy::Parse(const std::string& text) {
 Failpoint::Failpoint(std::string name) : name_(std::move(name)) {}
 
 void Failpoint::Arm(const TriggerPolicy& policy) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   policy_ = policy;
   rng_state_ = policy.seed;
   armed_.store(policy.kind != TriggerKind::kOff, std::memory_order_relaxed);
 }
 
 void Failpoint::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   policy_ = TriggerPolicy::Off();
   armed_.store(false, std::memory_order_relaxed);
 }
@@ -89,7 +89,7 @@ bool Failpoint::Fires() {
   if (!armed_.load(std::memory_order_relaxed)) return false;
   bool fired = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (policy_.kind == TriggerKind::kOff) return false;
     ++evaluations_;
     switch (policy_.kind) {
@@ -128,12 +128,12 @@ bool Failpoint::Fires() {
 }
 
 int64_t Failpoint::evaluations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return evaluations_;
 }
 
 int64_t Failpoint::fires() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return fires_;
 }
 
@@ -154,7 +154,7 @@ FailpointRegistry& FailpointRegistry::Global() {
 }
 
 Failpoint& FailpointRegistry::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = sites_.find(name);
   if (it == sites_.end()) {
     it = sites_.emplace(name, std::make_unique<Failpoint>(name)).first;
@@ -183,12 +183,12 @@ Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [name, site] : sites_) site->Disarm();
 }
 
 std::vector<std::string> FailpointRegistry::ArmedNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> names;
   for (const auto& [name, site] : sites_) {
     if (site->armed()) names.push_back(name);

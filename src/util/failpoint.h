@@ -33,10 +33,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rps::fail {
@@ -101,11 +102,12 @@ class Failpoint {
   const std::string name_;
   std::atomic<bool> armed_{false};
 
-  mutable std::mutex mutex_;            // guards everything below
-  TriggerPolicy policy_;
-  int64_t evaluations_ = 0;
-  int64_t fires_ = 0;
-  uint64_t rng_state_ = 0;              // SplitMix64 for kProbability
+  mutable Mutex mutex_{"Failpoint.mutex"};
+  TriggerPolicy policy_ GUARDED_BY(mutex_);
+  int64_t evaluations_ GUARDED_BY(mutex_) = 0;
+  int64_t fires_ GUARDED_BY(mutex_) = 0;
+  // SplitMix64 state for kProbability.
+  uint64_t rng_state_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Owns every failpoint by name.
@@ -134,8 +136,8 @@ class FailpointRegistry {
   std::vector<std::string> ArmedNames() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Failpoint>> sites_;
+  mutable Mutex mutex_{"FailpointRegistry.mutex"};
+  std::map<std::string, std::unique_ptr<Failpoint>> sites_ GUARDED_BY(mutex_);
 };
 
 }  // namespace rps::fail

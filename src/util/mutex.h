@@ -1,0 +1,436 @@
+// Capability-annotated mutex wrappers with a debug lock-order checker.
+//
+// This header is the ONLY place in the repo allowed to name the raw
+// standard-library synchronization primitives (enforced by
+// scripts/check_guards.py). Everything else uses these wrappers:
+//
+//   Mutex        annotated exclusive lock (wraps std::mutex)
+//   SharedMutex  annotated reader/writer lock (wraps std::shared_mutex)
+//   MutexLock    RAII exclusive guard for Mutex
+//   ReaderLock   RAII shared guard for SharedMutex
+//   WriterLock   RAII exclusive guard for SharedMutex
+//   CondVar      condition variable bound to Mutex
+//
+// Two enforcement layers ride on the wrappers:
+//
+//   1. Compile time: the annotations from util/annotations.h let
+//      Clang's -Wthread-safety prove that every GUARDED_BY field is
+//      only touched with its mutex held (the `tsa` CMake preset turns
+//      the proof into -Werror).
+//   2. Debug runtime: when RPS_LOCK_ORDER_CHECK is 1 (any !NDEBUG
+//      build, which includes the asan-ubsan and tsan presets), every
+//      acquisition is recorded in a per-thread held-locks list and a
+//      process-wide lock-order graph. Acquiring A while holding B
+//      inserts the edge B->A; if A can already reach B through
+//      recorded edges, the two acquisition orders can deadlock, and
+//      the process aborts printing BOTH stacks -- the current one and
+//      the stack captured when the reverse edge was first recorded.
+//      Release builds compile all of this out: a release Mutex is a
+//      std::mutex plus a name pointer.
+//
+// The checker's bookkeeping uses the raw std::mutex (never a wrapped
+// Mutex), so it can never recurse into itself, and all counters and
+// containers are ordinary data under that lock -- the checker is
+// TSan-clean by construction.
+
+#ifndef RPS_UTIL_MUTEX_H_
+#define RPS_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/annotations.h"
+
+#if !defined(NDEBUG) && !defined(RPS_NO_LOCK_ORDER_CHECK)
+#define RPS_LOCK_ORDER_CHECK 1
+#else
+#define RPS_LOCK_ORDER_CHECK 0
+#endif
+
+#if RPS_LOCK_ORDER_CHECK
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#define RPS_LOCK_ORDER_HAVE_BACKTRACE 1
+#include <execinfo.h>
+#endif
+#endif
+#ifndef RPS_LOCK_ORDER_HAVE_BACKTRACE
+#define RPS_LOCK_ORDER_HAVE_BACKTRACE 0
+#endif
+
+namespace rps::lockorder {
+
+inline constexpr int kMaxStackFrames = 24;
+inline constexpr int kMaxHeldLocks = 32;
+
+/// A backtrace captured when a lock-order edge was first recorded.
+struct EdgeStack {
+  void* frames[kMaxStackFrames];
+  int depth = 0;
+};
+
+/// Graph node: one live mutex, with edges to every mutex that has
+/// been acquired while this one was held.
+struct Node {
+  const char* name = "?";
+  std::unordered_map<uint64_t, EdgeStack> successors;
+};
+
+/// The process-wide lock-order graph. Guarded by its own raw
+/// std::mutex so checker bookkeeping never feeds back into the
+/// checker. Leaked on purpose (like the metric/failpoint registries)
+/// so static destructors can still lock wrapped mutexes.
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<uint64_t, Node> nodes;
+};
+
+inline Graph& GlobalGraph() {
+  static Graph* const graph = new Graph();
+  return *graph;
+}
+
+/// Per-thread list of currently held wrapped locks. Deliberately a
+/// trivially-destructible POD so it stays valid even when static
+/// destructors run after thread_local cleanup.
+struct HeldList {
+  struct Entry {
+    uint64_t id;
+    const char* name;
+  };
+  Entry entries[kMaxHeldLocks];
+  int depth;
+};
+
+inline HeldList& HeldLocks() {
+  thread_local HeldList held{{}, 0};
+  return held;
+}
+
+inline uint64_t NewLockId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline int CaptureStack(void** frames, int max_frames) {
+#if RPS_LOCK_ORDER_HAVE_BACKTRACE
+  return backtrace(frames, max_frames);
+#else
+  (void)frames;
+  (void)max_frames;
+  return 0;
+#endif
+}
+
+inline void PrintStack(void* const* frames, int depth) {
+#if RPS_LOCK_ORDER_HAVE_BACKTRACE
+  if (depth > 0) {
+    backtrace_symbols_fd(frames, depth, /*fd=*/2);
+    return;
+  }
+#endif
+  (void)frames;
+  (void)depth;
+  std::fprintf(stderr, "  (no stack available on this platform)\n");
+}
+
+/// Depth-first search: is `target` reachable from `from`? On success
+/// returns the stack of the FIRST edge of the discovered path (the
+/// acquisition that established the reverse order). Caller holds
+/// Graph::mu.
+inline const EdgeStack* FindPath(const Graph& graph, uint64_t from,
+                                 uint64_t target,
+                                 std::unordered_set<uint64_t>& visited) {
+  const auto it = graph.nodes.find(from);
+  if (it == graph.nodes.end()) return nullptr;
+  for (const auto& [succ_id, stack] : it->second.successors) {
+    if (succ_id == target) return &stack;
+    if (visited.insert(succ_id).second &&
+        FindPath(graph, succ_id, target, visited) != nullptr) {
+      return &stack;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] inline void AbortOnCycle(const char* acquiring_name,
+                                      uint64_t acquiring_id,
+                                      const char* held_name, uint64_t held_id,
+                                      const EdgeStack& reverse_stack) {
+  std::fprintf(stderr,
+               "FATAL: lock order cycle detected: acquiring mutex '%s' (#%llu)"
+               " while holding '%s' (#%llu), but '%s' has previously been"
+               " held while acquiring '%s'.\n",
+               acquiring_name,
+               static_cast<unsigned long long>(acquiring_id), held_name,
+               static_cast<unsigned long long>(held_id), acquiring_name,
+               held_name);
+  std::fprintf(stderr, "--- current acquisition stack ('%s' -> '%s'):\n",
+               held_name, acquiring_name);
+  void* current[kMaxStackFrames];
+  const int current_depth = CaptureStack(current, kMaxStackFrames);
+  PrintStack(current, current_depth);
+  std::fprintf(stderr, "--- previously recorded acquisition stack"
+                       " ('%s' -> ...):\n",
+               acquiring_name);
+  PrintStack(reverse_stack.frames, reverse_stack.depth);
+  std::abort();
+}
+
+/// Called before blocking on a lock: records the edge (top-of-held ->
+/// id) and aborts if the reverse order is already on file.
+inline void OnLockAttempt(uint64_t id, const char* name) {
+  const HeldList& held = HeldLocks();
+  if (held.depth <= 0 || held.depth > kMaxHeldLocks) return;
+  const HeldList::Entry& prev = held.entries[held.depth - 1];
+  if (prev.id == id) return;  // relocking self deadlocks regardless of order
+  Graph& graph = GlobalGraph();
+  std::lock_guard<std::mutex> graph_lock(graph.mu);
+  Node& prev_node = graph.nodes[prev.id];
+  prev_node.name = prev.name;
+  if (prev_node.successors.find(id) != prev_node.successors.end()) {
+    return;  // known-consistent order
+  }
+  std::unordered_set<uint64_t> visited;
+  if (const EdgeStack* reverse = FindPath(graph, id, prev.id, visited)) {
+    AbortOnCycle(name, id, prev.name, prev.id, *reverse);
+  }
+  graph.nodes[id].name = name;  // ensure the target node carries a name
+  EdgeStack& stack = graph.nodes[prev.id].successors[id];
+  stack.depth = CaptureStack(stack.frames, kMaxStackFrames);
+}
+
+inline void OnAcquired(uint64_t id, const char* name) {
+  HeldList& held = HeldLocks();
+  if (held.depth < kMaxHeldLocks) {
+    held.entries[held.depth] = {id, name};
+  }
+  ++held.depth;  // beyond kMaxHeldLocks: counted but not recorded
+}
+
+inline void OnReleased(uint64_t id) {
+  HeldList& held = HeldLocks();
+  if (held.depth > kMaxHeldLocks) {
+    --held.depth;  // unrecorded overflow entry
+    return;
+  }
+  // Locks may be released out of LIFO order; drop the newest match.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.entries[i].id == id) {
+      for (int j = i; j + 1 < held.depth; ++j) {
+        held.entries[j] = held.entries[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+}
+
+/// Forgets a destroyed mutex so ids of short-lived mutexes (for
+/// example ParallelFor's per-call state) do not grow the graph
+/// without bound.
+inline void OnDestroyed(uint64_t id) {
+  Graph& graph = GlobalGraph();
+  std::lock_guard<std::mutex> graph_lock(graph.mu);
+  graph.nodes.erase(id);
+  for (auto& [node_id, node] : graph.nodes) {
+    node.successors.erase(id);
+  }
+}
+
+}  // namespace rps::lockorder
+
+#endif  // RPS_LOCK_ORDER_CHECK
+
+namespace rps {
+
+/// Annotated exclusive mutex. Prefer the MutexLock RAII guard over
+/// calling Lock/Unlock directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// `name` must have static storage duration (a string literal); it
+  /// appears in lock-order-cycle reports.
+  explicit Mutex(const char* name) : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+#if RPS_LOCK_ORDER_CHECK
+  ~Mutex() { lockorder::OnDestroyed(id_); }
+#else
+  ~Mutex() = default;
+#endif
+
+  void Lock() ACQUIRE() {
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnLockAttempt(id_, name_);
+#endif
+    mu_.lock();
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnAcquired(id_, name_);
+#endif
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnReleased(id_);
+#endif
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnAcquired(id_, name_);
+#endif
+    return true;
+  }
+
+  const char* name() const { return name_; }
+
+  // BasicLockable spellings so CondVar's condition_variable_any can
+  // release/reacquire through the tracked path.
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+
+ private:
+  std::mutex mu_;
+  const char* name_ = "Mutex";
+#if RPS_LOCK_ORDER_CHECK
+  const uint64_t id_ = lockorder::NewLockId();
+#endif
+};
+
+/// Annotated reader/writer mutex. Prefer ReaderLock / WriterLock.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+#if RPS_LOCK_ORDER_CHECK
+  ~SharedMutex() { lockorder::OnDestroyed(id_); }
+#else
+  ~SharedMutex() = default;
+#endif
+
+  void Lock() ACQUIRE() {
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnLockAttempt(id_, name_);
+#endif
+    mu_.lock();
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnAcquired(id_, name_);
+#endif
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnReleased(id_);
+#endif
+  }
+
+  /// Shared acquisitions participate in lock-order tracking too: a
+  /// reader-then-writer inversion deadlocks exactly like an exclusive
+  /// one.
+  void LockShared() ACQUIRE_SHARED() {
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnLockAttempt(id_, name_);
+#endif
+    mu_.lock_shared();
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnAcquired(id_, name_);
+#endif
+  }
+
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if RPS_LOCK_ORDER_CHECK
+    lockorder::OnReleased(id_);
+#endif
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_ = "SharedMutex";
+#if RPS_LOCK_ORDER_CHECK
+  const uint64_t id_ = lockorder::NewLockId();
+#endif
+};
+
+/// RAII exclusive guard for Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) guard for SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) guard for SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to Mutex. Always wrap Wait in an explicit
+/// predicate loop -- the re-check inside the calling function is what
+/// keeps the thread-safety analysis able to see the guarded reads:
+///
+///   MutexLock lock(&mu_);
+///   while (queue_.empty() && !shutting_down_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and re-acquires before
+  /// returning. The release/reacquire runs through Mutex's tracked
+  /// lock()/unlock(), so the lock-order bookkeeping stays exact.
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_MUTEX_H_

@@ -35,10 +35,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   // Tasks still queued at destruction run on the destroying thread so
   // Submit keeps its "will eventually run" contract.
@@ -50,20 +50,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   RPS_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     RPS_CHECK_MSG(!shutting_down_, "submit on a shutting-down pool");
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
   tasks_total_->Increment();
   queue_depth_->Set(static_cast<double>(depth));
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 bool ThreadPool::RunOnePendingTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -82,9 +82,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      // Explicit predicate loop (not a lambda) so the thread-safety
+      // analysis sees the guarded reads under the held lock.
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) return;  // shutting down, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -119,9 +120,9 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     int64_t end;
     int64_t grain;
     const std::function<void(int64_t, int64_t)>* body;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    int active_helpers = 0;
+    Mutex mu{"ThreadPool.ParallelFor.mu"};
+    CondVar done_cv;
+    int active_helpers GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<SharedState>();
   state->next.store(begin, std::memory_order_relaxed);
@@ -141,17 +142,17 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int helpers = static_cast<int>(std::min<int64_t>(
       static_cast<int64_t>(workers_.size()), num_chunks - 1));
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->active_helpers = helpers;
   }
   for (int i = 0; i < helpers; ++i) {
     Submit([state, run_chunks] {
       run_chunks(*state);
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         --state->active_helpers;
       }
-      state->done_cv.notify_all();
+      state->done_cv.NotifyAll();
     });
   }
 
@@ -161,8 +162,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   t_inside_pool_work = true;
   run_chunks(*state);
   t_inside_pool_work = false;
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->active_helpers == 0; });
+  MutexLock lock(&state->mu);
+  while (state->active_helpers != 0) state->done_cv.Wait(state->mu);
 }
 
 int ThreadPool::DefaultThreads() {

@@ -29,13 +29,14 @@
 #ifndef RPS_UTIL_THREAD_POOL_H_
 #define RPS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace rps {
 
@@ -85,10 +86,12 @@ class ThreadPool {
   /// queue was empty.
   bool RunOnePendingTask();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mutex_{"ThreadPool.mutex"};
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
+  // Written only by the constructor, joined by the destructor; never
+  // mutated while workers run, so it needs no guard.
   std::vector<std::thread> workers_;
 
   // Registry-owned metrics (stable pointers for the pool's lifetime).

@@ -1,8 +1,8 @@
 #include "workload/driver.h"
 
-#include <atomic>
-
 #include "obs/metrics.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace rps {
@@ -89,7 +89,13 @@ WorkloadReport RunParallelQueryWorkload(const QueryMethod<int64_t>& method,
   obs::Histogram& query_hist = obs::MetricRegistry::Global().GetHistogram(
       "rps_workload_query_seconds", {{"method", std::string(method.name())}});
 
-  std::atomic<int64_t> checksum{0};
+  // Workers fold per-chunk sums into one guarded accumulator; the
+  // annotations make the sharing discipline checkable (GUARDED_BY
+  // attaches to members, so the accumulator lives in a local struct).
+  struct Shared {
+    Mutex mu{"RunParallelQueryWorkload.mu"};
+    int64_t checksum GUARDED_BY(mu) = 0;
+  } shared;
   const int64_t total = static_cast<int64_t>(ranges.size());
   auto run_range = [&](int64_t lo, int64_t hi) {
     int64_t local = 0;
@@ -98,7 +104,8 @@ WorkloadReport RunParallelQueryWorkload(const QueryMethod<int64_t>& method,
       local += method.RangeSum(ranges[static_cast<size_t>(i)]);
       query_hist.ObserveNanos(op_watch.ElapsedNanos());
     }
-    checksum.fetch_add(local, std::memory_order_relaxed);
+    MutexLock lock(&shared.mu);
+    shared.checksum += local;
   };
 
   const Stopwatch watch;
@@ -111,7 +118,10 @@ WorkloadReport RunParallelQueryWorkload(const QueryMethod<int64_t>& method,
   }
   report.query_seconds = static_cast<double>(watch.ElapsedNanos()) * 1e-9;
   report.queries = total;
-  report.query_checksum = checksum.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(&shared.mu);
+    report.query_checksum = shared.checksum;
+  }
   return report;
 }
 

@@ -1,0 +1,27 @@
+// Negative fixture: calling a REQUIRES(mu) function without holding
+// `mu` must be rejected under -Werror=thread-safety (see
+// thread_safety_compile_test.cmake, EXPECT=FAIL).
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace {
+
+class Ledger {
+ public:
+  long total() const REQUIRES(mu_) { return total_; }
+
+  rps::Mutex mu_;
+
+ private:
+  long total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  // The precondition (caller holds mu_) is not met; the analysis must
+  // reject the call site.
+  return static_cast<int>(ledger.total());
+}

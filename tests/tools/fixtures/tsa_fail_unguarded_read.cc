@@ -1,0 +1,22 @@
+// Negative fixture: reading a GUARDED_BY member without holding its
+// mutex must be rejected under -Werror=thread-safety (see
+// thread_safety_compile_test.cmake, EXPECT=FAIL).
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace {
+
+struct Account {
+  rps::Mutex mu;
+  long balance GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  // Unsynchronized read of guarded data: the whole point of the
+  // annotations is that this line does not compile.
+  return static_cast<int>(account.balance);
+}

@@ -1,0 +1,63 @@
+// Positive fixture: idiomatic use of every wrapper must compile clean
+// under -Werror=thread-safety (see thread_safety_compile_test.cmake,
+// EXPECT=PASS). If this fails, the wrappers themselves regressed, and
+// the FAIL fixtures' rejections prove nothing.
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace {
+
+class Channel {
+ public:
+  void Put(long value) EXCLUDES(mu_) {
+    {
+      rps::MutexLock lock(&mu_);
+      payload_ = value;
+      ready_ = true;
+    }
+    cv_.NotifyOne();
+  }
+
+  long Take() EXCLUDES(mu_) {
+    rps::MutexLock lock(&mu_);
+    while (!ready_) cv_.Wait(mu_);
+    ready_ = false;
+    return payload_;
+  }
+
+ private:
+  rps::Mutex mu_;
+  rps::CondVar cv_;
+  bool ready_ GUARDED_BY(mu_) = false;
+  long payload_ GUARDED_BY(mu_) = 0;
+};
+
+class Snapshotted {
+ public:
+  void Set(long value) EXCLUDES(mu_) {
+    rps::WriterLock lock(&mu_);
+    value_ = value;
+  }
+
+  long Get() const EXCLUDES(mu_) {
+    rps::ReaderLock lock(&mu_);
+    return value_;
+  }
+
+  long GetLocked() const REQUIRES(mu_) { return value_; }
+
+ private:
+  mutable rps::SharedMutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Channel channel;
+  channel.Put(7);
+  Snapshotted snap;
+  snap.Set(channel.Take());
+  return static_cast<int>(snap.Get() - 7);
+}

@@ -1,0 +1,49 @@
+# Negative-compile harness for the thread-safety annotations.
+#
+# Compiles one fixture with the same flags the `tsa` preset applies to
+# the whole tree and asserts the outcome:
+#
+#   EXPECT=FAIL  the fixture must be rejected, and specifically by a
+#                thread-safety diagnostic (any other error means the
+#                fixture rotted and proves nothing)
+#   EXPECT=PASS  the fixture must compile clean
+#
+# Invoked by ctest (label `tsa`, clang only):
+#   cmake -DCOMPILER=<clang++> -DFIXTURE=<file> -DEXPECT=PASS|FAIL
+#         -DINCLUDE_DIR=<repo>/src -P thread_safety_compile_test.cmake
+
+foreach(required COMPILER FIXTURE EXPECT INCLUDE_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "missing -D${required}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${COMPILER}" -std=c++20 "-I${INCLUDE_DIR}" -fsyntax-only
+          -Werror=thread-safety -Werror=thread-safety-beta "${FIXTURE}"
+  RESULT_VARIABLE compile_result
+  OUTPUT_VARIABLE compile_stdout
+  ERROR_VARIABLE compile_stderr)
+
+if(EXPECT STREQUAL "FAIL")
+  if(compile_result EQUAL 0)
+    message(FATAL_ERROR
+        "${FIXTURE}: expected a thread-safety error but it compiled "
+        "clean -- the annotation this fixture guards has stopped "
+        "being enforced")
+  endif()
+  if(NOT compile_stderr MATCHES "thread-safety")
+    message(FATAL_ERROR
+        "${FIXTURE}: failed to compile, but not with a thread-safety "
+        "diagnostic; the fixture is broken:\n${compile_stderr}")
+  endif()
+  message(STATUS "${FIXTURE}: rejected by the analysis, as expected")
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT compile_result EQUAL 0)
+    message(FATAL_ERROR
+        "${FIXTURE}: expected a clean compile:\n${compile_stderr}")
+  endif()
+  message(STATUS "${FIXTURE}: compiled clean, as expected")
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL, got '${EXPECT}'")
+endif()

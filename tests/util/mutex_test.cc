@@ -1,0 +1,294 @@
+// Tests for the capability-annotated locking layer (util/mutex.h):
+// wrapper behavior, CondVar wakeups, and the debug lock-order
+// checker. The inversion tests are death tests -- the checker's whole
+// contract is "abort before the deadlock, printing both stacks" --
+// and skip themselves in builds where NDEBUG compiles the checker
+// out (the release preset); the asan-ubsan and tsan presets build
+// with -UNDEBUG and exercise them for real.
+
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/thread_pool.h"
+
+// TSan detection, both spellings (gcc defines __SANITIZE_THREAD__,
+// clang answers __has_feature).
+#if defined(__SANITIZE_THREAD__)
+#define RPS_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RPS_TEST_UNDER_TSAN 1
+#endif
+#endif
+#ifndef RPS_TEST_UNDER_TSAN
+#define RPS_TEST_UNDER_TSAN 0
+#endif
+
+namespace rps {
+namespace {
+
+struct GuardedCounter {
+  Mutex mu{"GuardedCounter.mu"};
+  int64_t value GUARDED_BY(mu) = 0;
+};
+
+TEST(MutexTest, LockUnlockAndTryLock) {
+  Mutex mu("MutexTest.basic");
+  EXPECT_STREQ(mu.name(), "MutexTest.basic");
+  mu.Lock();
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu("MutexTest.trylock");
+  mu.Lock();
+  bool other_acquired = true;
+  std::thread other([&] {
+    if (mu.TryLock()) {
+      mu.Unlock();
+    } else {
+      other_acquired = false;
+    }
+  });
+  other.join();
+  mu.Unlock();
+  EXPECT_FALSE(other_acquired);
+}
+
+TEST(MutexTest, MutexLockSerializesIncrements) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&counter.mu);
+        ++counter.value;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  MutexLock lock(&counter.mu);
+  EXPECT_EQ(counter.value, kThreads * kIncrements);
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  struct Shared {
+    SharedMutex mu{"SharedMutexTest.mu"};
+    int64_t value GUARDED_BY(mu) = 0;
+  } shared;
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&shared] {
+      for (int i = 0; i < kOps; ++i) {
+        WriterLock lock(&shared.mu);
+        ++shared.value;
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&shared] {
+      int64_t last = 0;
+      for (int i = 0; i < kOps; ++i) {
+        ReaderLock lock(&shared.mu);
+        // Monotone under concurrent increments; a torn read would
+        // regress (and trip TSan).
+        EXPECT_GE(shared.value, last);
+        last = shared.value;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  WriterLock lock(&shared.mu);
+  EXPECT_EQ(shared.value, kWriters * kOps);
+}
+
+TEST(CondVarTest, WaitWakesOnPredicate) {
+  struct Channel {
+    Mutex mu{"CondVarTest.mu"};
+    CondVar cv;
+    bool ready GUARDED_BY(mu) = false;
+    int payload GUARDED_BY(mu) = 0;
+  } channel;
+
+  std::thread consumer([&channel] {
+    MutexLock lock(&channel.mu);
+    while (!channel.ready) channel.cv.Wait(channel.mu);
+    EXPECT_EQ(channel.payload, 42);
+  });
+  {
+    MutexLock lock(&channel.mu);
+    channel.payload = 42;
+    channel.ready = true;
+  }
+  channel.cv.NotifyAll();
+  consumer.join();
+}
+
+// ---------------------------------------------------------------------
+// Lock-order checker.
+
+#if RPS_LOCK_ORDER_CHECK
+
+// Establishes A->B on one code path, then acquires B->A: the checker
+// must abort on the second path *before* any thread can deadlock,
+// printing both acquisition stacks.
+TEST(LockOrderDeathTest, InvertedAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a("order.a");
+        Mutex b("order.b");
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);
+        }
+        {
+          MutexLock lb(&b);
+          MutexLock la(&a);  // inversion: aborts here
+        }
+      },
+      "lock order cycle");
+}
+
+// The report must carry both sides: the current acquisition and the
+// previously recorded reverse edge.
+TEST(LockOrderDeathTest, ReportNamesBothMutexesAndStacks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex first("order.first");
+        Mutex second("order.second");
+        {
+          MutexLock lock_first(&first);
+          MutexLock lock_second(&second);
+        }
+        {
+          MutexLock lock_second(&second);
+          MutexLock lock_first(&first);
+        }
+      },
+      // `.` does not match newlines in the death-test regex, so match
+      // the second header line; the first ("current acquisition
+      // stack") always precedes it in AbortOnCycle.
+      "previously recorded acquisition stack");
+}
+
+// A->B->C recorded transitively, then C->A: the cycle spans more than
+// one edge, which exercises the reachability search rather than the
+// direct-edge shortcut.
+TEST(LockOrderDeathTest, TransitiveCycleAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a("order.ta");
+        Mutex b("order.tb");
+        Mutex c("order.tc");
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);
+        }
+        {
+          MutexLock lb(&b);
+          MutexLock lc(&c);
+        }
+        {
+          MutexLock lc(&c);
+          MutexLock la(&a);  // closes the A->B->C->A cycle
+        }
+      },
+      "lock order cycle");
+}
+
+#else  // !RPS_LOCK_ORDER_CHECK
+
+TEST(LockOrderDeathTest, SkippedWithoutChecker) {
+  GTEST_SKIP() << "lock-order checker compiled out (NDEBUG build); "
+                  "run under the asan-ubsan or tsan preset";
+}
+
+#endif  // RPS_LOCK_ORDER_CHECK
+
+// Consistent ordering must never trip the checker, including under
+// real contention from a thread pool (whose own internal locks join
+// the same order graph). Runs in every build; with the checker off it
+// is still a useful TSan workout.
+TEST(LockOrderTest, ConsistentOrderUnderThreadPoolIsClean) {
+  struct TwoLevel {
+    Mutex outer{"clean.outer"};
+    Mutex inner{"clean.inner"};
+    int64_t outer_ops GUARDED_BY(outer) = 0;
+    int64_t inner_ops GUARDED_BY(inner) = 0;
+  } state;
+
+  ThreadPool pool(4);
+  constexpr int64_t kTasks = 64;
+  pool.ParallelFor(0, kTasks, /*grain=*/1, [&state](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Always outer -> inner; also touch each alone.
+      {
+        MutexLock outer_lock(&state.outer);
+        ++state.outer_ops;
+        MutexLock inner_lock(&state.inner);
+        ++state.inner_ops;
+      }
+      {
+        MutexLock inner_lock(&state.inner);
+        ++state.inner_ops;
+      }
+    }
+  });
+
+  MutexLock outer_lock(&state.outer);
+  MutexLock inner_lock(&state.inner);
+  EXPECT_EQ(state.outer_ops, kTasks);
+  EXPECT_EQ(state.inner_ops, 2 * kTasks);
+}
+
+// Destroying a mutex must prune its lock-order node: a fresh mutex at
+// a recycled address with the opposite ordering is a different lock,
+// not an inversion. (Exercised heavily by per-call mutexes like
+// ThreadPool::ParallelFor's SharedState.)
+TEST(LockOrderTest, DestroyedMutexDoesNotPoisonNewOrder) {
+#if RPS_TEST_UNDER_TSAN
+  // TSan's own deadlock detector keys lock identity on the mutex
+  // *address*; the transient below reuses one stack slot across
+  // generations, so TSan conflates them and reports a false
+  // inversion. Our checker identifies locks by a unique id precisely
+  // so that destruction prunes the graph -- which is what this test
+  // proves in the non-TSan configurations.
+  GTEST_SKIP() << "address-keyed TSan deadlock detection conflates "
+                  "recreated stack mutexes";
+#else
+  Mutex anchor("prune.anchor");
+  for (int round = 0; round < 16; ++round) {
+    Mutex transient("prune.transient");
+    MutexLock anchor_lock(&anchor);
+    MutexLock transient_lock(&transient);
+  }
+  // Reverse direction against fresh transients: must not abort.
+  for (int round = 0; round < 16; ++round) {
+    Mutex transient("prune.transient2");
+    MutexLock transient_lock(&transient);
+    MutexLock anchor_lock(&anchor);
+  }
+  SUCCEED();
+#endif  // RPS_TEST_UNDER_TSAN
+}
+
+}  // namespace
+}  // namespace rps
