@@ -5,15 +5,22 @@ docs/TOOLING.md. Exits nonzero with a message on the first violation,
 including structurally valid but empty output.
 
 Usage: check_metrics_schema.py [--structure-only] <metrics.json>
+       check_metrics_schema.py [--structure-only] --url <http://host:port/metrics.json>
 
 By default the required-metrics lists below are enforced -- they match
 what `rps_tool metrics` must produce. Pass --structure-only for JSON
 from other producers (e.g. `--metrics-json` on a filtered benchmark
-run), which is schema-checked without the coverage requirement.
+run, or a live scrape of a serving process whose workload does not
+touch every subsystem), which is schema-checked without the coverage
+requirement. --url scrapes the exposition server's /metrics.json
+endpoint (docs/OBSERVABILITY.md) instead of reading a file;
+scripts/check_expo.sh uses this against a live `rps_tool serve`.
 """
 
 import json
 import sys
+import urllib.error
+import urllib.request
 
 # Metrics the built-in `rps_tool metrics` workload must produce; their
 # absence means an instrumentation path broke.
@@ -51,17 +58,42 @@ def check_common(entry, section):
     return name
 
 
+def load_document(args):
+    """Returns the parsed JSON document from a file path or --url."""
+    if args and args[0] == "--url":
+        if len(args) != 2:
+            fail("usage: check_metrics_schema.py --url <http://.../metrics.json>")
+        url = args[1]
+        if not url.startswith("http://"):
+            fail(f"--url expects an http:// URL, got {url!r}")
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                if response.status != 200:
+                    fail(f"{url}: HTTP {response.status}")
+                body = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as error:
+            fail(f"cannot scrape {url}: {error}")
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as error:
+            fail(f"{url}: response is not JSON: {error}")
+    if len(args) != 1:
+        fail(
+            "usage: check_metrics_schema.py [--structure-only]"
+            " (<metrics.json> | --url <http://...>)"
+        )
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {args[0]}: {error}")
+
+
 def main():
     args = sys.argv[1:]
     structure_only = "--structure-only" in args
     args = [a for a in args if a != "--structure-only"]
-    if len(args) != 1:
-        fail("usage: check_metrics_schema.py [--structure-only] <metrics.json>")
-    try:
-        with open(args[0], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as error:
-        fail(f"cannot parse {args[0]}: {error}")
+    doc = load_document(args)
 
     if not isinstance(doc, dict) or set(doc) != {
         "counters",

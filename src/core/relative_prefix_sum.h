@@ -30,6 +30,7 @@
 #include "core/overlay.h"
 #include "core/stats.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "cube/box.h"
 #include "cube/nd_array.h"
 #include "cube/prefix.h"
@@ -481,6 +482,9 @@ T RelativePrefixSum<T>::RangeSum(const Box& range) const {
   static obs::Counter& queries =
       obs::MetricRegistry::Global().GetCounter("rps_core_rps_queries_total");
   queries.Increment();
+  // Tree node for slow-query capture: one thread-local load when no
+  // collector is active, so the always-on cost stays flat.
+  obs::CollectorSpan span("core.rps.range_sum");
   const Shape& shape = rp_.shape();
   RPS_CHECK(range.Within(shape));
   const int d = shape.dims();
@@ -543,6 +547,7 @@ T RelativePrefixSum<T>::ValueAt(const CellIndex& cell) const {
 
 template <typename T>
 UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
+  obs::CollectorSpan span("core.rps.add");
   const OverlayGeometry& geo = overlay_.geometry();
   const Shape& shape = rp_.shape();
   RPS_CHECK(shape.Contains(cell));
@@ -568,6 +573,7 @@ UpdateStats RelativePrefixSum<T>::Add(const CellIndex& cell, T delta) {
       "rps_core_rps_update_cells_total");
   updates.Increment();
   cells.Increment(stats.total());
+  span.SetCells(stats.primary_cells, stats.aux_cells);
   return stats;
 }
 

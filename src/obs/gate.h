@@ -1,0 +1,53 @@
+// Process-wide observability kill switch.
+//
+// Serving instrumentation (wide events, trace spans, latency
+// histograms) must cost so little that it can stay on in production;
+// the obs_overhead benchmark proves the budget by comparing the
+// instrumented hot paths against the same paths with observability
+// off. This header is the switch the comparison flips: `Enabled()` is
+// one relaxed atomic load, initialised from the RPS_OBS_OFF
+// environment variable (set to anything but "0" to start dark) and
+// flippable at runtime for benchmarks and tests.
+//
+// Metric *registration* is never gated -- a scrape of a dark process
+// still shows every metric name, just with frozen values -- only the
+// per-operation work (observations, span capture, event emission) is.
+
+#ifndef RPS_OBS_GATE_H_
+#define RPS_OBS_GATE_H_
+
+#include <atomic>
+#include <cstdlib>
+
+namespace rps::obs {
+
+namespace gate_internal {
+
+inline bool InitialEnabled() {
+  const char* off = std::getenv("RPS_OBS_OFF");
+  return off == nullptr || off[0] == '\0' ||
+         (off[0] == '0' && off[1] == '\0');
+}
+
+inline std::atomic<bool>& Flag() {
+  static std::atomic<bool> enabled{InitialEnabled()};
+  return enabled;
+}
+
+}  // namespace gate_internal
+
+/// Whether per-operation instrumentation should run. Hot paths check
+/// this once per operation (not per cell).
+inline bool Enabled() {
+  return gate_internal::Flag().load(std::memory_order_relaxed);
+}
+
+/// Runtime override (benchmarks, tests). Affects only work performed
+/// after the call; in-flight operations finish under the old setting.
+inline void SetEnabled(bool enabled) {
+  gate_internal::Flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace rps::obs
+
+#endif  // RPS_OBS_GATE_H_

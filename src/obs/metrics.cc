@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -116,14 +117,28 @@ double Histogram::Percentile(double q) const {
       cumulative += in_bucket;
       continue;
     }
+    // When the rank bucket holds every observation, the true quantile
+    // is knowable exactly from the sum: all samples share the bucket,
+    // so their mean (clamped to the bucket) IS the constant value.
+    // Plain interpolation would report up to the bucket's upper bound
+    // -- a 2x over-report for a constant sample at a bucket boundary.
+    const bool all_here = in_bucket == count;
+    const double mean = all_here ? static_cast<double>(sum_nanos_.Load()) /
+                                       static_cast<double>(count)
+                                 : 0.0;
     if (i == kNumFiniteBuckets) {
-      // Overflow: report its lower bound, the best defensible claim.
-      return static_cast<double>(BucketBoundNanos(kNumFiniteBuckets - 1)) *
-             1e-9;
+      // Overflow: its lower bound is the best defensible claim, unless
+      // every sample landed here and the (higher) mean speaks exactly.
+      const double lower =
+          static_cast<double>(BucketBoundNanos(kNumFiniteBuckets - 1));
+      return (all_here ? std::max(lower, mean) : lower) * 1e-9;
     }
     const double lo =
         i == 0 ? 0.0 : static_cast<double>(BucketBoundNanos(i - 1));
     const double hi = static_cast<double>(BucketBoundNanos(i));
+    if (all_here) {
+      return std::min(hi, std::max(lo, mean)) * 1e-9;
+    }
     const double fraction = static_cast<double>(rank - cumulative) /
                             static_cast<double>(in_bucket);
     return (lo + fraction * (hi - lo)) * 1e-9;

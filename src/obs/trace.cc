@@ -2,7 +2,18 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "util/check.h"
+
 namespace rps::obs {
+namespace {
+
+SpanCollector*& CurrentCollectorSlot() {
+  thread_local SpanCollector* current = nullptr;
+  return current;
+}
+
+}  // namespace
 
 int64_t TraceNowNanos() {
   using Clock = std::chrono::steady_clock;
@@ -13,7 +24,9 @@ int64_t TraceNowNanos() {
 }
 
 TraceBuffer::TraceBuffer(int64_t capacity)
-    : capacity_(capacity < 1 ? 1 : capacity) {
+    : capacity_(capacity < 1 ? 1 : capacity),
+      dropped_spans_metric_(
+          &MetricRegistry::Global().GetCounter("rps_trace_dropped_spans")) {
   events_.reserve(static_cast<size_t>(capacity_));
 }
 
@@ -28,6 +41,8 @@ void TraceBuffer::Record(const TraceEvent& event) {
     events_.push_back(event);
   } else {
     events_[static_cast<size_t>(next_)] = event;
+    ++dropped_;
+    dropped_spans_metric_->Increment();
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
@@ -51,11 +66,17 @@ int64_t TraceBuffer::total_recorded() const {
   return total_;
 }
 
+int64_t TraceBuffer::dropped() const {
+  MutexLock lock(&mutex_);
+  return dropped_;
+}
+
 void TraceBuffer::Clear() {
   MutexLock lock(&mutex_);
   events_.clear();
   next_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 std::string TraceBuffer::RenderJson() const {
@@ -78,6 +99,37 @@ std::string TraceBuffer::RenderJson() const {
   }
   out += ']';
   return out;
+}
+
+SpanCollector::SpanCollector() : previous_(CurrentCollectorSlot()) {
+  CurrentCollectorSlot() = this;
+}
+
+SpanCollector::~SpanCollector() { CurrentCollectorSlot() = previous_; }
+
+SpanCollector* SpanCollector::Current() { return CurrentCollectorSlot(); }
+
+int SpanCollector::OnSpanStart(const char* op, int64_t start_nanos) {
+  const int index = static_cast<int>(spans_.size());
+  CollectedSpan span;
+  span.op = op;
+  span.parent = open_;
+  span.start_nanos = start_nanos;
+  spans_.push_back(span);
+  open_ = static_cast<int32_t>(index);
+  return index;
+}
+
+void SpanCollector::OnSpanEnd(int index, int64_t duration_nanos,
+                              int64_t primary_cells, int64_t aux_cells) {
+  RPS_DCHECK(index >= 0 && index < static_cast<int>(spans_.size()));
+  CollectedSpan& span = spans_[static_cast<size_t>(index)];
+  span.duration_nanos = duration_nanos;
+  span.primary_cells = primary_cells;
+  span.aux_cells = aux_cells;
+  // Spans close innermost-first, so the parent of the closing span is
+  // the new innermost open one.
+  if (open_ == index) open_ = span.parent;
 }
 
 }  // namespace rps::obs

@@ -6,12 +6,25 @@
 // destruction appends one TraceEvent to a TraceBuffer. The buffer is
 // a fixed-capacity ring -- the newest events overwrite the oldest, so
 // tracing is always on without unbounded memory, and a snapshot after
-// an incident shows the most recent operations.
+// an incident shows the most recent operations. Overwrites are not
+// silent: every evicted event increments the process-wide
+// `rps_trace_dropped_spans` counter, so a scrape shows when the ring
+// is too small for the operation rate.
 //
 // Spans record at operation granularity (microseconds and up), not
 // per cell lookup, so the buffer's mutex is uncontended-cheap
 // relative to the work being traced; the hot cell paths stick to the
 // relaxed counters in obs/metrics.h.
+//
+// Span trees. While a SpanCollector is installed on a thread (the
+// slow-query log in obs/event_log.h does this for requests it may
+// need to explain), every TraceSpan and CollectorSpan that opens on
+// that thread also records into the collector, with parent indices
+// reconstructing the nesting. CollectorSpan is the cheap variant for
+// interior structure (one thread-local load when no collector is
+// active, and it never touches the TraceBuffer), so hot paths like
+// the core range-sum can expose themselves to slow-query capture
+// without paying the ring's mutex per operation.
 
 #ifndef RPS_OBS_TRACE_H_
 #define RPS_OBS_TRACE_H_
@@ -26,6 +39,8 @@
 
 namespace rps::obs {
 
+class Counter;
+
 /// One completed operation. `op` must point at a string with static
 /// storage duration (a literal); events store the pointer only.
 struct TraceEvent {
@@ -37,7 +52,8 @@ struct TraceEvent {
 };
 
 /// Bounded MPMC ring of TraceEvents. Thread-safe; Record overwrites
-/// the oldest event once `capacity` is reached.
+/// the oldest event once `capacity` is reached (counted in
+/// `rps_trace_dropped_spans` and dropped()).
 class TraceBuffer {
  public:
   static constexpr int64_t kDefaultCapacity = 4096;
@@ -54,6 +70,10 @@ class TraceBuffer {
 
   /// Events ever recorded (>= retained when the ring has wrapped).
   int64_t total_recorded() const;
+
+  /// Events overwritten before anyone could snapshot them.
+  int64_t dropped() const;
+
   int64_t capacity() const { return capacity_; }
 
   void Clear();
@@ -63,25 +83,79 @@ class TraceBuffer {
 
  private:
   const int64_t capacity_;
+  // All TraceBuffer instances feed the one process-wide drop counter;
+  // per-instance exactness lives in dropped().
+  Counter* const dropped_spans_metric_;
   mutable Mutex mutex_{"TraceBuffer.mutex"};
   // Ring storage, size <= capacity_.
   std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
   int64_t next_ GUARDED_BY(mutex_) = 0;  // ring write position
   int64_t total_ GUARDED_BY(mutex_) = 0;
+  int64_t dropped_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Nanoseconds since the process trace epoch (first use).
 int64_t TraceNowNanos();
 
+/// One span inside a collected tree. `parent` indexes into the same
+/// vector; -1 marks the root.
+struct CollectedSpan {
+  const char* op = "";
+  int32_t parent = -1;
+  int64_t start_nanos = 0;
+  int64_t duration_nanos = 0;
+  int64_t primary_cells = 0;
+  int64_t aux_cells = 0;
+};
+
+/// Gathers the spans of one request into a tree. Install-by-
+/// construction: the constructor makes this the calling thread's
+/// current collector (nesting saves the previous one), the destructor
+/// restores it. Single-threaded by design -- spans running on pool
+/// workers belong to the worker's collector (normally none), which
+/// keeps capture race-free without any locking.
+class SpanCollector {
+ public:
+  SpanCollector();
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+  ~SpanCollector();
+
+  /// The calling thread's innermost active collector, or null.
+  static SpanCollector* Current();
+
+  /// Opens a span; returns its index. The innermost open span becomes
+  /// the parent.
+  int OnSpanStart(const char* op, int64_t start_nanos);
+
+  /// Closes the span `index` (spans close innermost-first).
+  void OnSpanEnd(int index, int64_t duration_nanos, int64_t primary_cells,
+                 int64_t aux_cells);
+
+  const std::vector<CollectedSpan>& spans() const { return spans_; }
+  std::vector<CollectedSpan> TakeSpans() { return std::move(spans_); }
+
+ private:
+  std::vector<CollectedSpan> spans_;
+  int32_t open_ = -1;  // innermost open span, -1 at the root
+  SpanCollector* previous_ = nullptr;
+};
+
 /// RAII span: times construction-to-destruction and records one
-/// event. Move-free and copy-free by design; create one per
+/// event (and, when a SpanCollector is active on this thread, one
+/// tree node). Move-free and copy-free by design; create one per
 /// operation on the stack.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* op, TraceBuffer* buffer = nullptr)
       : op_(op),
         buffer_(buffer != nullptr ? buffer : &TraceBuffer::Global()),
-        start_nanos_(TraceNowNanos()) {}
+        collector_(SpanCollector::Current()),
+        start_nanos_(TraceNowNanos()) {
+    if (collector_ != nullptr) {
+      index_ = collector_->OnSpanStart(op_, start_nanos_);
+    }
+  }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
@@ -99,13 +173,55 @@ class TraceSpan {
     event.primary_cells = primary_cells_;
     event.aux_cells = aux_cells_;
     buffer_->Record(event);
+    if (collector_ != nullptr) {
+      collector_->OnSpanEnd(index_, event.duration_nanos, primary_cells_,
+                            aux_cells_);
+    }
   }
 
  private:
   const char* op_;
   TraceBuffer* buffer_;
+  SpanCollector* collector_;
+  int index_ = -1;
   int64_t start_nanos_;
   Stopwatch watch_;
+  int64_t primary_cells_ = 0;
+  int64_t aux_cells_ = 0;
+};
+
+/// Collector-only span: records a tree node when (and only when) a
+/// SpanCollector is active on this thread; otherwise costs one
+/// thread-local load. For interior operations too hot for the
+/// TraceBuffer mutex.
+class CollectorSpan {
+ public:
+  explicit CollectorSpan(const char* op)
+      : collector_(SpanCollector::Current()) {
+    if (collector_ != nullptr) {
+      start_nanos_ = TraceNowNanos();
+      index_ = collector_->OnSpanStart(op, start_nanos_);
+    }
+  }
+  CollectorSpan(const CollectorSpan&) = delete;
+  CollectorSpan& operator=(const CollectorSpan&) = delete;
+
+  void SetCells(int64_t primary, int64_t aux) {
+    primary_cells_ = primary;
+    aux_cells_ = aux;
+  }
+
+  ~CollectorSpan() {
+    if (collector_ != nullptr) {
+      collector_->OnSpanEnd(index_, TraceNowNanos() - start_nanos_,
+                            primary_cells_, aux_cells_);
+    }
+  }
+
+ private:
+  SpanCollector* const collector_;
+  int index_ = -1;
+  int64_t start_nanos_ = 0;
   int64_t primary_cells_ = 0;
   int64_t aux_cells_ = 0;
 };

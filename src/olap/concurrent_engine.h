@@ -92,6 +92,13 @@ class ConcurrentOlapEngine {
     return result;
   }
 
+  /// Health-source payload for the exposition server; takes a reader
+  /// lock so it is safe against concurrent writers.
+  std::string HealthJson() const {
+    ReaderLock lock(&mutex_);
+    return engine_.HealthJson();
+  }
+
   Result<std::vector<GroupRow>> GroupBySlots(
       const RangeQuery& query, const std::string& dimension) const {
     const Stopwatch watch;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/hierarchical_rps.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
 
@@ -100,6 +101,8 @@ IngestReport OlapEngine::Load(const std::vector<OlapRecord>& records) {
 
 Status OlapEngine::Insert(const OlapRecord& record) {
   RPS_ASSIGN_OR_RETURN(const CellIndex cell, schema_.CellOf(record.values));
+  obs::RequestScope request(obs::WideEventKind::kUpdate, "engine.insert",
+                            EngineMethodName(method_));
   obs::TraceSpan span("engine.insert");
   const Stopwatch watch;
   const UpdateStats sum_stats = sums_->Add(cell, record.measure);
@@ -107,13 +110,18 @@ Status OlapEngine::Insert(const OlapRecord& record) {
   update_cells_ += sum_stats.total() + count_stats.total();
   insert_seconds_->ObserveNanos(watch.ElapsedNanos());
   inserts_total_->Increment();
-  span.SetCells(sum_stats.primary_cells + count_stats.primary_cells,
-                sum_stats.aux_cells + count_stats.aux_cells);
+  const int64_t primary = sum_stats.primary_cells + count_stats.primary_cells;
+  const int64_t aux = sum_stats.aux_cells + count_stats.aux_cells;
+  span.SetCells(primary, aux);
+  request.set_cells(primary, aux);
   return Status::Ok();
 }
 
 Result<double> OlapEngine::Sum(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  obs::RequestScope request(obs::WideEventKind::kQuery, "engine.sum",
+                            EngineMethodName(method_));
+  request.set_box_volume(range.NumCells());
   obs::TraceSpan span("engine.sum");
   const Stopwatch watch;
   const double sum = sums_->RangeSum(range);
@@ -124,6 +132,9 @@ Result<double> OlapEngine::Sum(const RangeQuery& query) const {
 
 Result<int64_t> OlapEngine::Count(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  obs::RequestScope request(obs::WideEventKind::kQuery, "engine.count",
+                            EngineMethodName(method_));
+  request.set_box_volume(range.NumCells());
   obs::TraceSpan span("engine.count");
   const Stopwatch watch;
   const int64_t count = counts_->RangeSum(range);
@@ -134,6 +145,9 @@ Result<int64_t> OlapEngine::Count(const RangeQuery& query) const {
 
 Result<double> OlapEngine::Average(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  obs::RequestScope request(obs::WideEventKind::kQuery, "engine.average",
+                            EngineMethodName(method_));
+  request.set_box_volume(range.NumCells());
   obs::TraceSpan span("engine.average");
   const Stopwatch watch;
   const int64_t count = counts_->RangeSum(range);
@@ -153,6 +167,9 @@ Result<std::vector<double>> OlapEngine::RollingSum(
   RPS_ASSIGN_OR_RETURN(const int j, schema_.DimensionIndex(dimension));
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
 
+  obs::RequestScope request(obs::WideEventKind::kQuery, "engine.rolling_sum",
+                            EngineMethodName(method_));
+  request.set_box_volume(range.NumCells());
   obs::TraceSpan span("engine.rolling_sum");
   const Stopwatch watch;
   std::vector<double> out;
@@ -166,6 +183,19 @@ Result<std::vector<double>> OlapEngine::RollingSum(
   }
   query_seconds_->ObserveNanos(watch.ElapsedNanos());
   queries_total_->Increment();
+  return out;
+}
+
+std::string OlapEngine::HealthJson() const {
+  std::string out = "{\"method\":\"";
+  out += EngineMethodName(method_);
+  out += "\",\"dims\":";
+  out += std::to_string(schema_.CubeShape().dims());
+  out += ",\"cube_cells\":";
+  out += std::to_string(schema_.CubeShape().num_cells());
+  out += ",\"update_cells\":";
+  out += std::to_string(update_cells_);
+  out += '}';
   return out;
 }
 

@@ -112,6 +112,10 @@ class OlapEngine {
                                              const std::string& dimension,
                                              int64_t window) const;
 
+  /// One JSON object describing the engine for /healthz health
+  /// sources (obs/expo_server.h): method, cube size, update volume.
+  std::string HealthJson() const;
+
   /// Lower-level access for composed operators (GROUP BY, cross-tabs):
   /// resolve a query to a cell Box and aggregate over explicit boxes.
   Result<Box> ResolveQuery(const RangeQuery& query) const;

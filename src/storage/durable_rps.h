@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "core/snapshot.h"
+#include "obs/event_log.h"
 #include "storage/fault_env.h"
 #include "storage/wal.h"
 #include "util/retry.h"
@@ -160,9 +161,19 @@ class DurableRps {
   /// Logged point update: WAL append first (retrying transient
   /// failures), then the in-memory structure.
   Result<UpdateStats> Add(const CellIndex& cell, T delta) {
-    RPS_RETURN_IF_ERROR(RetryWithBackoff(
-        retry_policy_, [&] { return wal_->Append(cell, &delta); }));
-    return rps_->Add(cell, delta);
+    obs::RequestScope request(obs::WideEventKind::kUpdate, "durable.add",
+                              "relative_prefix_sum");
+    const int64_t wal_before = wal_->committed_size();
+    const Status appended = RetryWithBackoff(
+        retry_policy_, [&] { return wal_->Append(cell, &delta); });
+    if (!appended.ok()) {
+      request.set_ok(false);
+      return appended;
+    }
+    request.add_wal_bytes(wal_->committed_size() - wal_before);
+    const UpdateStats stats = rps_->Add(cell, delta);
+    request.set_cells(stats.primary_cells, stats.aux_cells);
+    return stats;
   }
 
   T RangeSum(const Box& range) const { return rps_->RangeSum(range); }
@@ -192,6 +203,29 @@ class DurableRps {
   /// best-effort. If this fails, the live generation is unchanged and
   /// the handle remains usable (when the failure was not a crash).
   Status Checkpoint() {
+    obs::RequestScope request(obs::WideEventKind::kCheckpoint,
+                              "durable.checkpoint", "relative_prefix_sum");
+    request.add_wal_bytes(wal_->committed_size());
+    const Status status = CheckpointImpl();
+    request.set_ok(status.ok());
+    return status;
+  }
+
+  /// Health-source payload for the exposition server: the live
+  /// generation and how much log has accumulated since it committed.
+  std::string HealthJson() const {
+    std::string out = "{\"generation\":";
+    out += std::to_string(generation_);
+    out += ",\"wal_records\":";
+    out += std::to_string(wal_->appended());
+    out += ",\"wal_bytes\":";
+    out += std::to_string(wal_->committed_size());
+    out += '}';
+    return out;
+  }
+
+ private:
+  Status CheckpointImpl() {
     const int64_t next = generation_ + 1;
     const std::string next_snapshot = SnapshotPathFor(directory_, next);
     const std::string next_wal = WalPathFor(directory_, next);

@@ -1,5 +1,6 @@
 #include "workload/driver.h"
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -29,6 +30,9 @@ WorkloadReport RunWorkloadImpl(QueryMethod<int64_t>& method, QueryGen& queries,
 
   auto do_query = [&] {
     const Box range = queries.Next();
+    obs::RequestScope request(obs::WideEventKind::kQuery, "workload.query",
+                              method.name());
+    request.set_box_volume(range.NumCells());
     Stopwatch watch;
     const int64_t sum = method.RangeSum(range);
     const int64_t nanos = watch.ElapsedNanos();
@@ -39,12 +43,15 @@ WorkloadReport RunWorkloadImpl(QueryMethod<int64_t>& method, QueryGen& queries,
   };
   auto do_update = [&] {
     const UpdateOp op = updates.Next();
+    obs::RequestScope request(obs::WideEventKind::kUpdate, "workload.update",
+                              method.name());
     Stopwatch watch;
     const UpdateStats stats = method.Add(op.cell, op.delta);
     const int64_t nanos = watch.ElapsedNanos();
     report.update_seconds += static_cast<double>(nanos) * 1e-9;
     report.update_cells += stats.total();
     ++report.updates;
+    request.set_cells(stats.primary_cells, stats.aux_cells);
     update_hist.ObserveNanos(nanos);
   };
 

@@ -1,0 +1,171 @@
+// Concurrency tests (tsan-targeted) for the wide-event MPSC ring and
+// the EventLog drainer pipeline: many producers against one consumer,
+// no event corrupted, none duplicated, per-producer order preserved.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/event_log.h"
+
+namespace rps::obs {
+namespace {
+
+constexpr int kProducers = 4;
+constexpr int kEventsPerProducer = 20000;
+
+// Encode (producer, sequence) into the event so the consumer can
+// verify integrity: every popped event must be internally consistent
+// and arrive in per-producer FIFO order.
+WideEvent MakeEvent(int producer, int64_t sequence) {
+  WideEvent event;
+  event.kind = WideEventKind::kQuery;
+  event.op = "concurrency.test";
+  event.trace_id = static_cast<uint64_t>(producer);
+  event.start_nanos = sequence;
+  event.box_volume = sequence * 2 + producer;  // consistency check
+  return event;
+}
+
+TEST(EventRingConcurrencyTest, ManyProducersOneConsumerNoLossNoTearing) {
+  EventRing ring(1024);
+  std::atomic<int64_t> pushed{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int64_t i = 0; i < kEventsPerProducer; ++i) {
+        const WideEvent event = MakeEvent(p, i);
+        // Spin until accepted: this test verifies delivery, so no
+        // event may be dropped on the floor.
+        while (!ring.TryPush(event)) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  int64_t popped = 0;
+  int64_t torn = 0;
+  std::vector<int64_t> next_sequence(kProducers, 0);
+  std::thread consumer([&] {
+    WideEvent out;
+    for (;;) {
+      if (ring.TryPop(&out)) {
+        ++popped;
+        const int producer = static_cast<int>(out.trace_id);
+        ASSERT_LT(producer, kProducers);
+        if (out.box_volume != out.start_nanos * 2 + producer) ++torn;
+        // Per-producer FIFO: each producer's sequence numbers must
+        // come out strictly in order.
+        EXPECT_EQ(out.start_nanos, next_sequence[static_cast<size_t>(producer)])
+            << "producer " << producer;
+        next_sequence[static_cast<size_t>(producer)] = out.start_nanos + 1;
+      } else if (done.load(std::memory_order_acquire)) {
+        if (!ring.TryPop(&out)) break;  // truly drained
+        ++popped;
+        const int producer = static_cast<int>(out.trace_id);
+        next_sequence[static_cast<size_t>(producer)] = out.start_nanos + 1;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(pushed.load(), int64_t{kProducers} * kEventsPerProducer);
+  EXPECT_EQ(popped, int64_t{kProducers} * kEventsPerProducer);
+  EXPECT_EQ(torn, 0) << "an event was observed half-written";
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_sequence[static_cast<size_t>(p)], kEventsPerProducer)
+        << "producer " << p;
+  }
+}
+
+TEST(EventLogConcurrencyTest, ParallelEmittersDrainToFileWithoutLoss) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("rps_event_log_concurrency_" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  EventLog log(/*ring_capacity=*/4096);
+  ASSERT_TRUE(log.Open(path).ok());
+
+  std::vector<std::thread> emitters;
+  emitters.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    emitters.emplace_back([&, p] {
+      for (int64_t i = 0; i < kEventsPerProducer; ++i) {
+        log.Emit(MakeEvent(p, i));
+      }
+    });
+  }
+  for (auto& t : emitters) t.join();
+  log.Close();
+
+  // Every accepted event reaches the file; drops (ring momentarily
+  // full) are counted, never silent.
+  EXPECT_EQ(log.emitted() + log.dropped(),
+            int64_t{kProducers} * kEventsPerProducer);
+  EXPECT_EQ(log.written(), log.emitted());
+
+  std::ifstream in(path);
+  int64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}') << "interleaved or torn JSONL line";
+  }
+  EXPECT_EQ(lines, log.written());
+  std::remove(path.c_str());
+}
+
+TEST(EventLogConcurrencyTest, EmitRacesWithCloseSafely) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("rps_event_log_close_race_" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  EventLog log(/*ring_capacity=*/256);
+  ASSERT_TRUE(log.Open(path).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int p = 0; p < 2; ++p) {
+    emitters.emplace_back([&, p] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        log.Emit(MakeEvent(p, i++));
+      }
+    });
+  }
+  // Close mid-traffic: emitters must degrade to no-ops, not crash or
+  // write to a closed file.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  log.Close();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : emitters) t.join();
+
+  EXPECT_GE(log.written(), 0);
+  EXPECT_LE(log.written(), log.emitted());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rps::obs

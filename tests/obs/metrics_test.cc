@@ -90,19 +90,39 @@ TEST(HistogramTest, ObserveFillsBucketsCountAndSum) {
   EXPECT_DOUBLE_EQ(hist.SumSeconds(), 0.0);
 }
 
-TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+TEST(HistogramTest, PercentileExactForConstantSamples) {
   Histogram hist;
-  // 4 observations, all in bucket 2 (range (2, 4] ns).
+  // 4 observations, all in bucket 2 (range (2, 4] ns). With every
+  // sample in the rank bucket the quantile is knowable exactly: the
+  // bucket mean IS the constant value. Interpolation would report up
+  // to the bucket's upper bound (4 ns for a 3 ns constant).
   for (int i = 0; i < 4; ++i) hist.ObserveNanos(3);
 
-  // rank = ceil(q * 4); fraction = rank / 4 within the bucket, lo = 2,
-  // hi = 4.
-  EXPECT_NEAR(hist.Percentile(0.25), (2 + 0.25 * 2) * 1e-9, 1e-15);
-  EXPECT_NEAR(hist.Percentile(0.50), (2 + 0.50 * 2) * 1e-9, 1e-15);
-  EXPECT_NEAR(hist.Percentile(1.00), 4e-9, 1e-15);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.25), 3e-9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.50), 3e-9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.95), 3e-9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 3e-9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.00), 3e-9);
   // Out-of-range q clamps.
   EXPECT_NEAR(hist.Percentile(-1.0), hist.Percentile(0.0), 1e-15);
   EXPECT_NEAR(hist.Percentile(2.0), hist.Percentile(1.0), 1e-15);
+}
+
+TEST(HistogramTest, PercentileExactAtBucketBoundary) {
+  Histogram hist;
+  // A constant sample sitting exactly on a bucket bound (1024 ns =
+  // 2^10, the upper edge of bucket 10) must report 1024 ns, not the
+  // interpolated (1022, 1024] midpoint-or-worse.
+  for (int i = 0; i < 100; ++i) hist.ObserveNanos(1024);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.50), 1024e-9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.95), 1024e-9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 1024e-9);
+
+  // The mean stays clamped to the rank bucket once samples spread
+  // out: one outlier in a higher bucket must not drag p50 above the
+  // p50 bucket's upper bound.
+  hist.ObserveNanos(1'000'000);
+  EXPECT_LE(hist.Percentile(0.50), 1024e-9);
 }
 
 TEST(HistogramTest, PercentileSpansBuckets) {
@@ -125,9 +145,17 @@ TEST(HistogramTest, PercentileEmptyAndOverflow) {
 
   hist.ObserveNanos(INT64_MAX);  // overflow bucket
   EXPECT_EQ(hist.BucketCount(Histogram::kNumFiniteBuckets), 1);
-  // Overflow reports the last finite bound.
+  // All samples in overflow: the mean is exact and above the last
+  // finite bound, so it wins.
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5),
+                   static_cast<double>(INT64_MAX) * 1e-9);
+
+  // With other samples present the overflow bucket's lower bound is
+  // the best defensible claim.
+  hist.ObserveNanos(1);
+  hist.ObserveNanos(1);
   EXPECT_NEAR(
-      hist.Percentile(0.5),
+      hist.Percentile(0.99),
       static_cast<double>(
           Histogram::BucketBoundNanos(Histogram::kNumFiniteBuckets - 1)) *
           1e-9,

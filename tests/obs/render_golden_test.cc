@@ -76,6 +76,25 @@ TEST(RenderGoldenTest, Json) {
   EXPECT_EQ(PopulatedRegistry().RenderJson(), expected);
 }
 
+TEST(RenderGoldenTest, ConstantSampleHistogramJson) {
+  // Constant-valued samples (1000 ns each) land on one log2 bucket;
+  // the rendered quantiles must be the exact constant (1e-06 s), not
+  // the bucket's upper bound (1.024e-06 s). Pins the all-mass-in-one-
+  // bucket percentile rule.
+  MetricRegistry registry;
+  Histogram& hist = registry.GetHistogram("rps_demo_constant_seconds");
+  for (int i = 0; i < 5; ++i) hist.ObserveNanos(1000);
+  const std::string expected =
+      "{\"counters\":[],\"gauges\":[],\"histograms\":["
+      "{\"name\":\"rps_demo_constant_seconds\",\"labels\":{},"
+      "\"count\":5,\"sum_seconds\":5e-06,"
+      "\"p50\":1e-06,\"p95\":1e-06,\"p99\":1e-06,"
+      "\"buckets\":[{\"le_seconds\":1.024e-06,\"count\":5}],"
+      "\"overflow\":0}"
+      "]}";
+  EXPECT_EQ(registry.RenderJson(), expected);
+}
+
 TEST(RenderGoldenTest, EmptyRegistry) {
   MetricRegistry registry;
   EXPECT_EQ(registry.RenderText(), "");

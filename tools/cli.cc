@@ -2,10 +2,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string_view>
+#include <thread>
 
 #include "core/cost_model.h"
 #include "core/fenwick_method.h"
@@ -14,11 +18,17 @@
 #include "core/prefix_sum_method.h"
 #include "core/snapshot.h"
 #include "cube/cube_io.h"
+#include "obs/event_log.h"
+#include "obs/expo_server.h"
 #include "obs/metrics.h"
+#include "olap/concurrent_engine.h"
 #include "storage/buffer_pool.h"
+#include "storage/durable_rps.h"
 #include "storage/pager.h"
 #include "storage/recovery_torture.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
+#include "util/random.h"
 #include "workload/data_gen.h"
 #include "workload/driver.h"
 #include "workload/trace.h"
@@ -258,6 +268,186 @@ Status CmdAudit(const ParsedArgs& args) {
   return Status::Ok();
 }
 
+// Applies the shared telemetry flags: --slow-query-us arms the
+// slow-query log, --event-log opens the wide-event JSONL sink.
+Status ApplyObsFlags(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const int64_t slow_us,
+                       IntOptionOr(args, "slow-query-us", 0));
+  if (slow_us > 0) {
+    obs::SlowQueryLog::Global().set_threshold_nanos(slow_us * 1000);
+  }
+  if (auto it = args.options.find("event-log"); it != args.options.end()) {
+    RPS_RETURN_IF_ERROR(obs::EventLog::Global().Open(it->second));
+  }
+  return Status::Ok();
+}
+
+// Serving stack for live observability: a ConcurrentOlapEngine under
+// synthetic reader/writer load and a DurableRps taking periodic
+// checkpoints, exposed on the exposition server for the run's
+// duration. This is what CI scrapes and what an operator points a
+// browser at to watch the paper's query/update trade-off live.
+Status CmdServe(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const Shape shape,
+                       ParseShape(OptionOr(args, "shape", "64x64")));
+  RPS_ASSIGN_OR_RETURN(const int64_t port, IntOptionOr(args, "port", 0));
+  RPS_ASSIGN_OR_RETURN(const int64_t duration_s,
+                       IntOptionOr(args, "duration-s", 5));
+  RPS_ASSIGN_OR_RETURN(const int64_t readers, IntOptionOr(args, "readers", 2));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  RPS_ASSIGN_OR_RETURN(const int64_t checkpoint_every,
+                       IntOptionOr(args, "checkpoint-every", 256));
+  if (duration_s < 1) return Status::InvalidArgument("--duration-s must be >= 1");
+  if (readers < 1) return Status::InvalidArgument("--readers must be >= 1");
+  if (checkpoint_every < 1) {
+    return Status::InvalidArgument("--checkpoint-every must be >= 1");
+  }
+  RPS_RETURN_IF_ERROR(ApplyObsFlags(args));
+
+  // Engine over an Integer schema matching --shape (dimensions d0,
+  // d1, ...), queried and updated concurrently below.
+  std::vector<Dimension> dimensions;
+  for (int j = 0; j < shape.dims(); ++j) {
+    dimensions.push_back(Dimension::Integer("d" + std::to_string(j), 0,
+                                            shape.extent(j)));
+  }
+  ConcurrentOlapEngine engine(Schema("MEASURE", std::move(dimensions)),
+                              EngineMethod::kRelativePrefixSum);
+
+  // Durable structure in a scratch dir: gives /healthz a real
+  // generation number that advances as the writer checkpoints.
+  std::string directory = OptionOr(args, "dir", "");
+  const bool own_directory = directory.empty();
+  if (own_directory) {
+    directory = (std::filesystem::temp_directory_path() /
+                 ("rps_serve_" + std::to_string(::getpid())))
+                    .string();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IoError("cannot create scratch dir " + directory);
+  const NdArray<int64_t> zero(shape, 0);
+  RPS_ASSIGN_OR_RETURN(DurableRps<int64_t> initial,
+                       DurableRps<int64_t>::Create(
+                           zero, RecommendedBoxSize(shape), directory));
+  struct DurableShared {
+    explicit DurableShared(DurableRps<int64_t> d) : durable(std::move(d)) {}
+    Mutex mu{"CmdServe.durable"};
+    DurableRps<int64_t> durable GUARDED_BY(mu);
+    int64_t adds GUARDED_BY(mu) = 0;
+    int64_t checkpoints GUARDED_BY(mu) = 0;
+  } shared(std::move(initial));
+
+  std::atomic<int64_t> queries{0};
+  std::atomic<int64_t> updates{0};
+  std::atomic<int64_t> failures{0};
+
+  obs::ExpoServer::Options options;
+  options.port = static_cast<int>(port);
+  obs::ExpoServer server(options);
+  server.AddHealthSource("engine",
+                         [&engine] { return engine.HealthJson(); });
+  server.AddHealthSource("durable", [&shared] {
+    MutexLock lock(&shared.mu);
+    return shared.durable.HealthJson();
+  });
+  server.AddVarzSource("serve", [&] {
+    std::string out = "{\"queries\":";
+    out += std::to_string(queries.load(std::memory_order_relaxed));
+    out += ",\"updates\":";
+    out += std::to_string(updates.load(std::memory_order_relaxed));
+    out += ",\"failures\":";
+    out += std::to_string(failures.load(std::memory_order_relaxed));
+    out += '}';
+    return out;
+  });
+  RPS_RETURN_IF_ERROR(server.Start());
+  std::printf("serving on http://127.0.0.1:%d for %llds "
+              "(/metrics /metrics.json /healthz /varz /debug/slow)\n",
+              server.port(), static_cast<long long>(duration_s));
+  std::fflush(stdout);
+  if (auto it = args.options.find("port-file"); it != args.options.end()) {
+    RPS_RETURN_IF_ERROR(
+        WriteTextFile(it->second, std::to_string(server.port()) + "\n"));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int64_t i = 0; i < readers; ++i) {
+    workers.emplace_back([&, i] {
+      Rng rng(static_cast<uint64_t>(seed) * 1000 + static_cast<uint64_t>(i));
+      while (!stop.load(std::memory_order_relaxed)) {
+        RangeQuery query;
+        for (int j = 0; j < shape.dims(); ++j) {
+          const int64_t a = rng.UniformInt(0, shape.extent(j) - 1);
+          const int64_t b = rng.UniformInt(0, shape.extent(j) - 1);
+          query.WhereIntBetween("d" + std::to_string(j), std::min(a, b),
+                                std::max(a, b));
+        }
+        if (engine.Sum(query).ok()) {
+          queries.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    Rng rng(static_cast<uint64_t>(seed) + 99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      OlapRecord record;
+      CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+      for (int j = 0; j < shape.dims(); ++j) {
+        cell[j] = rng.UniformInt(0, shape.extent(j) - 1);
+        record.values.emplace_back(cell[j]);
+      }
+      record.measure = static_cast<double>(rng.UniformInt(0, 9));
+      if (engine.Insert(record).ok()) {
+        updates.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      MutexLock lock(&shared.mu);
+      if (!shared.durable.Add(cell, 1).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (++shared.adds % checkpoint_every == 0) {
+        if (shared.durable.Checkpoint().ok()) ++shared.checkpoints;
+      }
+    }
+  });
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+  server.Stop();
+  obs::EventLog::Global().Close();
+
+  int64_t checkpoints = 0;
+  int64_t generation = 0;
+  {
+    MutexLock lock(&shared.mu);
+    checkpoints = shared.checkpoints;
+    generation = shared.durable.generation();
+  }
+  std::printf("served %lld queries, %lld updates (%lld failures); "
+              "%lld checkpoints, final generation %lld\n",
+              static_cast<long long>(queries.load()),
+              static_cast<long long>(updates.load()),
+              static_cast<long long>(failures.load()),
+              static_cast<long long>(checkpoints),
+              static_cast<long long>(generation));
+  if (failures.load() != 0) {
+    return Status::Internal("serve workload had failures");
+  }
+  if (own_directory) std::filesystem::remove_all(directory, ec);
+  return Status::Ok();
+}
+
 Status CmdBench(const ParsedArgs& args) {
   RPS_ASSIGN_OR_RETURN(const std::string cube_path, Require(args, "cube"));
   RPS_ASSIGN_OR_RETURN(NdArray<int64_t> cube, LoadCube<int64_t>(cube_path));
@@ -291,6 +481,20 @@ Status CmdBench(const ParsedArgs& args) {
     return Status::InvalidArgument("unknown --method '" + method_name + "'");
   }
 
+  // Optional live telemetry while the bench runs: an exposition
+  // server to scrape, a slow-query threshold, a wide-event sink.
+  RPS_RETURN_IF_ERROR(ApplyObsFlags(args));
+  std::optional<obs::ExpoServer> expo;
+  if (auto it = args.options.find("expo-port"); it != args.options.end()) {
+    RPS_ASSIGN_OR_RETURN(const int64_t expo_port, ParseInt64(it->second));
+    obs::ExpoServer::Options options;
+    options.port = static_cast<int>(expo_port);
+    expo.emplace(options);
+    RPS_RETURN_IF_ERROR(expo->Start());
+    std::printf("exposition server on http://127.0.0.1:%d\n", expo->port());
+    std::fflush(stdout);
+  }
+
   std::printf("%-22s %14s %14s %18s\n", "method", "avg query us",
               "avg update us", "avg cells/update");
   for (auto& method : methods) {
@@ -310,6 +514,101 @@ Status CmdBench(const ParsedArgs& args) {
         it->second, obs::MetricRegistry::Global().RenderJson() + "\n"));
     std::printf("wrote metrics JSON to %s\n", it->second.c_str());
   }
+  obs::EventLog::Global().Close();
+  return Status::Ok();
+}
+
+// Extracts counter name{labels} -> value pairs from a /metrics.json
+// payload. A purpose-built scanner, not a JSON parser: the format is
+// ours (MetricRegistry::RenderJson, golden-pinned), label objects
+// never nest, and counter values are integers.
+std::map<std::string, int64_t> ParseCounterValues(const std::string& json) {
+  std::map<std::string, int64_t> out;
+  const size_t begin = json.find("\"counters\":[");
+  if (begin == std::string::npos) return out;
+  const size_t end = json.find("],\"gauges\"", begin);
+  const std::string_view section =
+      std::string_view(json).substr(begin, end == std::string::npos
+                                               ? std::string::npos
+                                               : end - begin);
+  size_t pos = 0;
+  for (;;) {
+    size_t name_at = section.find("{\"name\":\"", pos);
+    if (name_at == std::string_view::npos) break;
+    name_at += 9;
+    const size_t name_end = section.find('"', name_at);
+    size_t labels_at = section.find("\"labels\":{", name_end);
+    if (labels_at == std::string_view::npos) break;
+    labels_at += 9;
+    const size_t labels_end = section.find('}', labels_at);
+    size_t value_at = section.find("\"value\":", labels_end);
+    if (value_at == std::string_view::npos) break;
+    value_at += 8;
+    size_t value_end = value_at;
+    while (value_end < section.size() &&
+           (section[value_end] == '-' || (section[value_end] >= '0' &&
+                                          section[value_end] <= '9'))) {
+      ++value_end;
+    }
+    const Result<int64_t> value =
+        ParseInt64(section.substr(value_at, value_end - value_at));
+    if (value.ok()) {
+      std::string key(section.substr(name_at, name_end - name_at));
+      const std::string_view labels =
+          section.substr(labels_at, labels_end + 1 - labels_at);
+      if (labels != "{}") key += std::string(labels);
+      out[key] = value.value();
+    }
+    pos = value_end;
+  }
+  return out;
+}
+
+// Delta mode: scrapes /metrics.json from a live exposition server
+// every --watch seconds and prints each counter's rate of change.
+Status CmdMetricsWatch(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const int64_t interval, IntOptionOr(args, "watch", 2));
+  if (interval < 1) return Status::InvalidArgument("--watch must be >= 1");
+  RPS_ASSIGN_OR_RETURN(const std::string port_text, Require(args, "port"));
+  RPS_ASSIGN_OR_RETURN(const int64_t port, ParseInt64(port_text));
+  const std::string host = OptionOr(args, "host", "127.0.0.1");
+  // 0 watches until interrupted; tests and CI pass a finite count.
+  RPS_ASSIGN_OR_RETURN(const int64_t rounds, IntOptionOr(args, "rounds", 0));
+
+  std::map<std::string, int64_t> previous;
+  for (int64_t round = 0; rounds == 0 || round < rounds; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(interval));
+    }
+    RPS_ASSIGN_OR_RETURN(
+        const std::string body,
+        obs::HttpGet(host, static_cast<int>(port), "/metrics.json"));
+    const std::map<std::string, int64_t> current = ParseCounterValues(body);
+    if (round == 0) {
+      std::printf("watching %zu counters on %s:%lld every %llds\n",
+                  current.size(), host.c_str(),
+                  static_cast<long long>(port),
+                  static_cast<long long>(interval));
+    } else {
+      std::printf("-- t+%llds\n",
+                  static_cast<long long>(round * interval));
+      bool any = false;
+      for (const auto& [key, value] : current) {
+        const auto it = previous.find(key);
+        const int64_t delta = value - (it == previous.end() ? 0 : it->second);
+        if (delta == 0) continue;
+        any = true;
+        std::printf("%-60s %12lld %+10lld (%.1f/s)\n", key.c_str(),
+                    static_cast<long long>(value),
+                    static_cast<long long>(delta),
+                    static_cast<double>(delta) /
+                        static_cast<double>(interval));
+      }
+      if (!any) std::printf("(no counter movement)\n");
+    }
+    std::fflush(stdout);
+    previous = current;
+  }
   return Status::Ok();
 }
 
@@ -317,6 +616,7 @@ Status CmdBench(const ParsedArgs& args) {
 // subsystem (core structures, buffer pool, pager, WAL) has samples,
 // then renders the process-wide registry.
 Status CmdMetrics(const ParsedArgs& args) {
+  if (args.options.count("watch") != 0) return CmdMetricsWatch(args);
   RPS_ASSIGN_OR_RETURN(const Shape shape,
                        ParseShape(OptionOr(args, "shape", "32x32")));
   RPS_ASSIGN_OR_RETURN(const int64_t queries,
@@ -546,9 +846,14 @@ void PrintUsage() {
       "  bench   --cube cube.bin [--method all|naive|prefix_sum|\n"
       "          relative_prefix_sum|hierarchical_rps|fenwick]\n"
       "          [--queries N --updates N --seed N]\n"
-      "          [--metrics-json metrics.json]\n"
+      "          [--metrics-json metrics.json] [--expo-port N]\n"
+      "          [--slow-query-us N] [--event-log events.jsonl]\n"
+      "  serve   [--port N --port-file f --duration-s N --shape AxB]\n"
+      "          [--readers N --checkpoint-every N --seed N --dir d]\n"
+      "          [--slow-query-us N] [--event-log events.jsonl]\n"
       "  metrics [--shape AxB --queries N --updates N --seed N]\n"
       "          [--format text|json|both] [--json out.json]\n"
+      "  metrics --watch N --port N [--host H --rounds N]\n"
       "  torture [--cycles N --shape AxB --box AxB --seed N]\n"
       "          [--ops N --queries N --dir scratch/]\n"
       "  trace-record --shape AxB [--queries N --updates N --seed N]\n"
@@ -647,6 +952,8 @@ int RunCli(const std::vector<std::string>& args) {
     status = CmdAudit(parsed.value());
   } else if (command == "bench") {
     status = CmdBench(parsed.value());
+  } else if (command == "serve") {
+    status = CmdServe(parsed.value());
   } else if (command == "metrics") {
     status = CmdMetrics(parsed.value());
   } else if (command == "torture") {

@@ -11,11 +11,19 @@
 //   verify  --cube cube.bin --snap structure.snap
 //   audit   --snap structure.snap [--samples N] [--seed N]
 //   torture [--cycles N] [--shape AxB --box AxB] [--seed N]
+//   serve   [--port N] [--port-file f] [--duration-s N] [--shape AxB]
+//           [--readers N] [--checkpoint-every N] [--slow-query-us N]
+//           [--event-log events.jsonl]
+//   metrics --watch N --port N [--host H] [--rounds N]
 //
 // `verify` needs the original cube; `audit` is the self-contained
 // invariant audit (RelativePrefixSum::CheckInvariants): it re-derives
 // sampled RP/overlay cells of the snapshot from first principles and
-// fails on the first inconsistency.
+// fails on the first inconsistency. `serve` stands up a concurrent
+// engine + durable storage under load behind the exposition server
+// (docs/OBSERVABILITY.md); `metrics --watch` scrapes a live server
+// and prints counter rates of change. `bench` accepts --expo-port /
+// --slow-query-us / --event-log to expose a run while it happens.
 //
 // Cell values are int64. Shapes/boxes parse as "AxBxC", cells as
 // "a,b,c", ranges as "a,b:c,d" (inclusive).
