@@ -1,0 +1,114 @@
+// Row-kernel microbenchmarks: every backend compiled into this binary
+// and supported by the host CPU, for each kernel x value type x row
+// length. Benchmarks are registered dynamically (the supported set is
+// a runtime property), named
+//   BM_Kernel/<backend>/<kernel>/<type>/<len>
+// so runs on different hardware stay comparable per-backend. Bytes
+// processed counts the row payload once per iteration, giving the
+// familiar GB/s readout.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_metrics_main.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/kernels/kernels.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+constexpr int64_t kLengths[] = {64, 256, 1024, 16384};
+
+template <typename T>
+std::vector<T> RandomRow(int64_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> row(static_cast<size_t>(len));
+  for (T& v : row) v = static_cast<T>(rng.UniformInt(-1000, 1000));
+  return row;
+}
+
+template <typename T>
+void RunKernelCase(benchmark::State& state, const kernels::KernelSet<T>& set,
+                   const std::string& kernel, int64_t len) {
+  std::vector<T> row = RandomRow<T>(len, 11);
+  const std::vector<T> src = RandomRow<T>(len, 13);
+  const int64_t k = 16;  // segment size for the segmented scan
+  if (kernel == "add_to_row") {
+    for (auto _ : state) {
+      set.add_to_row(row.data(), len, T{3});
+      benchmark::DoNotOptimize(row.data());
+    }
+  } else if (kernel == "add_row_into") {
+    for (auto _ : state) {
+      set.add_row_into(row.data(), src.data(), len);
+      benchmark::DoNotOptimize(row.data());
+    }
+  } else if (kernel == "reduce_row") {
+    T checksum{};
+    for (auto _ : state) {
+      checksum += set.reduce_row(row.data(), len);
+    }
+    benchmark::DoNotOptimize(checksum);
+  } else if (kernel == "prefix_scan_row") {
+    // Re-randomize nothing: repeated scans over the same buffer keep
+    // growing the values, which is fine for throughput (int overflow
+    // wraps; double loses precision but stays finite long enough).
+    for (auto _ : state) {
+      set.prefix_scan_row(row.data(), len);
+      benchmark::DoNotOptimize(row.data());
+    }
+  } else {  // segmented_prefix_scan_row
+    for (auto _ : state) {
+      set.segmented_prefix_scan_row(row.data(), len, k);
+      benchmark::DoNotOptimize(row.data());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * len *
+                          static_cast<int64_t>(sizeof(T)));
+}
+
+template <typename T>
+void RegisterForType(kernels::Backend backend, const char* type_name) {
+  const kernels::KernelSet<T>& set =
+      kernels::SelectSet<T>(kernels::TablesFor(backend));
+  static const char* const kKernels[] = {
+      "add_to_row", "add_row_into", "reduce_row", "prefix_scan_row",
+      "segmented_prefix_scan_row"};
+  for (const char* kernel : kKernels) {
+    for (const int64_t len : kLengths) {
+      const std::string name = std::string("BM_Kernel/") +
+                               kernels::BackendName(backend) + "/" + kernel +
+                               "/" + type_name + "/" + std::to_string(len);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&set, kernel = std::string(kernel), len](benchmark::State& state) {
+            RunKernelCase<T>(state, set, kernel, len);
+          });
+    }
+  }
+}
+
+void RegisterAll() {
+  for (int b = 0; b < kernels::kNumBackends; ++b) {
+    const kernels::Backend backend = static_cast<kernels::Backend>(b);
+    if (!kernels::BackendSupported(backend)) continue;
+    RegisterForType<int32_t>(backend, "int32");
+    RegisterForType<int64_t>(backend, "int64");
+    RegisterForType<double>(backend, "double");
+  }
+}
+
+}  // namespace
+}  // namespace rps
+
+int main(int argc, char** argv) {
+  // Resolve the dispatcher up front so the rps_kernel_backend info
+  // gauge lands in the --metrics-json dump alongside the results.
+  (void)rps::kernels::ActiveBackend();
+  rps::RegisterAll();
+  return rps::bench::RunBenchmarksWithMetrics(argc, argv);
+}

@@ -15,7 +15,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
   name=$(basename "$b")
   case "$name" in
-    bench_query_scaling|bench_update_scaling)
+    bench_query_scaling|bench_update_scaling|bench_kernels)
       "$b" --metrics-json "BENCH_${name#bench_}.json" ;;
     *)
       "$b" ;;

@@ -31,8 +31,10 @@
 #ifndef RPS_CORE_HIERARCHICAL_RPS_H_
 #define RPS_CORE_HIERARCHICAL_RPS_H_
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -231,6 +233,33 @@ class HierarchicalRps final : public QueryMethod<T> {
       }
     }
     return total;
+  }
+
+  /// Batched range sums: queries expand to signed prefix-sum targets,
+  /// sorted and deduplicated so every distinct target runs its (2^d
+  /// inner structures) assembly exactly once -- adjacent or repeated
+  /// queries share whole assemblies. Large batches run chunks of
+  /// queries on the pool with size-only chunk boundaries, so results
+  /// are deterministic (bit-exact for integral T).
+  void RangeSumBatch(std::span<const Box> ranges,
+                     std::span<T> results) const override {
+    RPS_CHECK(ranges.size() == results.size());
+    const int64_t n = static_cast<int64_t>(ranges.size());
+    if (n == 0) return;
+    static obs::Counter& queries = obs::MetricRegistry::Global().GetCounter(
+        "rps_core_hier_queries_total");
+    queries.Increment(n);
+    const int d = shape_.dims();
+    const int shift = std::min(2 * d, 20);
+    if (pool_ != nullptr && (n << shift) >= policy_.min_parallel_cells) {
+      const int64_t grain =
+          std::max<int64_t>(1, policy_.min_parallel_cells >> shift);
+      pool_->ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        EvalBatchChunk(ranges, results, lo, hi);
+      });
+    } else {
+      EvalBatchChunk(ranges, results, 0, n);
+    }
   }
 
   UpdateStats Add(const CellIndex& cell, T delta) override {
@@ -438,6 +467,75 @@ class HierarchicalRps final : public QueryMethod<T> {
         grid_shape_(MakeGridShape(shape, box_size)),
         rp_(shape),
         pool_(pool) {}
+
+  // One signed prefix-sum target of a batched query. The target's
+  // CellIndex lives in a side vector (referenced by `corner`) so the
+  // walk never pays Delinearize's per-dimension division.
+  struct PrefixJob {
+    int64_t cell_linear;  // target, cube-linearized (sort key)
+    int32_t corner;       // index into the chunk's corner-cell vector
+    int32_t query;        // index into ranges/results
+    int8_t sign;          // +1 or -1 (inclusion-exclusion parity)
+  };
+
+  // Evaluates queries [lo, hi) of a batch into results (disjoint
+  // writes per chunk, safe to run concurrently on disjoint ranges).
+  void EvalBatchChunk(std::span<const Box> ranges, std::span<T> results,
+                      int64_t lo, int64_t hi) const {
+    const int d = shape_.dims();
+    std::vector<PrefixJob> jobs;
+    std::vector<CellIndex> corners;
+    jobs.reserve(static_cast<size_t>(hi - lo) << d);
+    corners.reserve(static_cast<size_t>(hi - lo) << d);
+    CellIndex corner = CellIndex::Filled(d, 0);
+    for (int64_t q = lo; q < hi; ++q) {
+      const Box& range = ranges[static_cast<size_t>(q)];
+      RPS_CHECK(range.Within(shape_));
+      results[static_cast<size_t>(q)] = T{};
+      for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+        bool skip = false;
+        int low_picks = 0;
+        for (int j = 0; j < d; ++j) {
+          if (mask & (1u << j)) {
+            ++low_picks;
+            if (range.lo()[j] == 0) {
+              skip = true;
+              break;
+            }
+            corner[j] = range.lo()[j] - 1;
+          } else {
+            corner[j] = range.hi()[j];
+          }
+        }
+        if (skip) continue;
+        jobs.push_back(PrefixJob{shape_.Linearize(corner),
+                                 static_cast<int32_t>(corners.size()),
+                                 static_cast<int32_t>(q),
+                                 static_cast<int8_t>(low_picks % 2 ? -1 : 1)});
+        corners.push_back(corner);
+      }
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const PrefixJob& a, const PrefixJob& b) {
+                return a.cell_linear < b.cell_linear;
+              });
+    // Each distinct target is assembled once; duplicates (shared
+    // query corners) reuse the value with their own sign.
+    size_t i = 0;
+    while (i < jobs.size()) {
+      const int64_t cell_linear = jobs[i].cell_linear;
+      const T value =
+          PrefixSum(corners[static_cast<size_t>(jobs[i].corner)]);
+      for (; i < jobs.size() && jobs[i].cell_linear == cell_linear; ++i) {
+        T& out = results[static_cast<size_t>(jobs[i].query)];
+        if (jobs[i].sign > 0) {
+          out += value;
+        } else {
+          out -= value;
+        }
+      }
+    }
+  }
 
   static Shape MakeGridShape(const Shape& shape, const CellIndex& box_size) {
     RPS_CHECK(box_size.dims() == shape.dims());

@@ -8,10 +8,12 @@
 #ifndef RPS_CORE_METHOD_H_
 #define RPS_CORE_METHOD_H_
 
+#include <span>
 #include <string>
 
 #include "core/stats.h"
 #include "cube/nd_array.h"
+#include "util/check.h"
 
 namespace rps {
 
@@ -38,6 +40,20 @@ class QueryMethod {
   /// Sum of the cube cells inside `range` (inclusive bounds). The
   /// range must lie within shape().
   virtual T RangeSum(const Box& range) const = 0;
+
+  /// Answers many range sums in one call: results[i] becomes
+  /// RangeSum(ranges[i]). `results` must have exactly ranges.size()
+  /// entries. The base implementation loops; structures override it
+  /// to share per-block work between queries hitting the same region
+  /// (and may answer large batches in parallel), so batch results for
+  /// floating T can differ from the serial loop in the last bits.
+  virtual void RangeSumBatch(std::span<const Box> ranges,
+                             std::span<T> results) const {
+    RPS_CHECK(ranges.size() == results.size());
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      results[i] = RangeSum(ranges[i]);
+    }
+  }
 
   /// Adds `delta` to one cell. Returns exact touched-cell counts.
   virtual UpdateStats Add(const CellIndex& cell, T delta) = 0;

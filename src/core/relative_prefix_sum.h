@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -207,6 +208,19 @@ class RelativePrefixSum final : public QueryMethod<T> {
 
   T RangeSum(const Box& range) const override;
 
+  /// Batched range sums (Section 4.1 costs, amortized): each query
+  /// expands to its signed prefix-sum corners, the corners are sorted
+  /// by covering box, and every box group reads its anchor value once
+  /// and assembles each distinct corner once -- queries hitting the
+  /// same box share the anchor read, duplicated corners (adjacent or
+  /// identical queries) share the whole border walk. Batches whose
+  /// estimated cell reads clear ParallelPolicy::min_parallel_cells
+  /// run chunks of queries on the pool; chunk boundaries depend only
+  /// on the batch size, so results are deterministic (and bit-exact
+  /// for integral T).
+  void RangeSumBatch(std::span<const Box> ranges,
+                     std::span<T> results) const override;
+
   UpdateStats Add(const CellIndex& cell, T delta) override;
 
   /// One delta of a batch update.
@@ -295,6 +309,30 @@ class RelativePrefixSum final : public QueryMethod<T> {
   // Computes the stored values of box `box_index` from the full
   // prefix array (build step; boxes are independent of each other).
   void FillOverlayBox(const NdArray<T>& prefix, const CellIndex& box_index);
+
+  // Sum of the border values of the projections of `target` onto the
+  // anchor faces of its box -- the PrefixSum assembly minus the
+  // anchor value and the RP cell. Adds the overlay cells read to
+  // *overlay_reads (callers batch the counter updates).
+  T SumBorders(const CellIndex& box_index, const CellIndex& anchor,
+               const CellIndex& target, int64_t* overlay_reads) const;
+
+  // One signed prefix-sum corner of a batched query. The corner's
+  // CellIndex lives in a side vector (referenced by `corner`) so the
+  // job stays 32 bytes and the walk never re-derives coordinates by
+  // division.
+  struct CornerJob {
+    int64_t box_linear;   // covering box, grid-linearized (sort key 1)
+    int64_t cell_linear;  // corner cell, cube-linearized (sort key 2)
+    int32_t corner;       // index into the chunk's corner-cell vector
+    int32_t query;        // index into ranges/results
+    int8_t sign;          // +1 or -1 (inclusion-exclusion parity)
+  };
+
+  // Evaluates queries [lo, hi) of a batch into results (disjoint
+  // writes per chunk, safe to run concurrently on disjoint ranges).
+  void EvalBatchChunk(std::span<const Box> ranges, std::span<T> results,
+                      int64_t lo, int64_t hi) const;
 
   // Adds `delta` to every RP cell of `affected` (the tail of the
   // covering box dominating the updated cell), one row kernel per
@@ -435,26 +473,36 @@ void RelativePrefixSum<T>::FillOverlayBox(const NdArray<T>& prefix,
 template <typename T>
 T RelativePrefixSum<T>::PrefixSum(const CellIndex& target) const {
   const OverlayGeometry& geo = overlay_.geometry();
-  const Shape& shape = rp_.shape();
-  RPS_DCHECK(shape.Contains(target));
-  const int d = shape.dims();
+  RPS_DCHECK(rp_.shape().Contains(target));
 
   const CellIndex box_index = geo.BoxIndexOf(target);
   const CellIndex anchor = geo.AnchorOf(box_index);
 
-  // Anchor value + RP cell.
+  // Anchor value + RP cell + border values. The cell-read counters
+  // are accumulated locally and published with one relaxed add each,
+  // keeping the hot path at two atomic ops per assembly.
+  int64_t overlay_reads = 1;
   T total = overlay_.at_slot(geo.AnchorSlotOf(box_index)) + rp_.at(target);
-  lookups_.overlay_reads.Increment();
+  total += SumBorders(box_index, anchor, target, &overlay_reads);
+  lookups_.overlay_reads.Increment(overlay_reads);
   lookups_.rp_reads.Increment();
+  return total;
+}
 
-  // Border values of the projections of `target` onto the anchor
-  // faces: one per nonempty proper subset of the dimensions where the
-  // target exceeds the anchor.
+template <typename T>
+T RelativePrefixSum<T>::SumBorders(const CellIndex& box_index,
+                                   const CellIndex& anchor,
+                                   const CellIndex& target,
+                                   int64_t* overlay_reads) const {
+  const int d = rp_.dims();
+  // One border value per nonempty proper subset of the dimensions
+  // where the target exceeds the anchor.
   int above[kMaxDims];
   int num_above = 0;
   for (int j = 0; j < d; ++j) {
     if (target[j] > anchor[j]) above[num_above++] = j;
   }
+  T total{};
   if (num_above == 0) return total;
 
   const uint32_t full = 1u << num_above;
@@ -469,7 +517,7 @@ T RelativePrefixSum<T>::PrefixSum(const CellIndex& target) const {
       }
     }
     total += overlay_.at(box_index, offsets);
-    lookups_.overlay_reads.Increment();
+    ++*overlay_reads;
   }
   return total;
 }
@@ -513,6 +561,119 @@ T RelativePrefixSum<T>::RangeSum(const Box& range) const {
     }
   }
   return total;
+}
+
+template <typename T>
+void RelativePrefixSum<T>::RangeSumBatch(std::span<const Box> ranges,
+                                         std::span<T> results) const {
+  RPS_CHECK(ranges.size() == results.size());
+  const int64_t n = static_cast<int64_t>(ranges.size());
+  if (n == 0) return;
+  static obs::Counter& queries =
+      obs::MetricRegistry::Global().GetCounter("rps_core_rps_queries_total");
+  queries.Increment(n);
+  obs::CollectorSpan span("core.rps.range_sum_batch");
+
+  // Estimated cell reads: 2^d corners with roughly 2^d reads each.
+  const int d = rp_.dims();
+  const int shift = std::min(2 * d, 20);
+  if (pool_ != nullptr && (n << shift) >= policy_.min_parallel_cells) {
+    const int64_t grain =
+        std::max<int64_t>(1, policy_.min_parallel_cells >> shift);
+    pool_->ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      EvalBatchChunk(ranges, results, lo, hi);
+    });
+  } else {
+    EvalBatchChunk(ranges, results, 0, n);
+  }
+}
+
+template <typename T>
+void RelativePrefixSum<T>::EvalBatchChunk(std::span<const Box> ranges,
+                                          std::span<T> results, int64_t lo,
+                                          int64_t hi) const {
+  const OverlayGeometry& geo = overlay_.geometry();
+  const Shape& shape = rp_.shape();
+  const Shape& grid = geo.grid_shape();
+  const int d = shape.dims();
+
+  // Expand every query into its signed prefix-sum corners. The
+  // coordinates computed here are kept (not re-derived from the
+  // linear keys later): Delinearize costs a division per dimension,
+  // which dominated the walk in profiling.
+  std::vector<CornerJob> jobs;
+  std::vector<CellIndex> corners;
+  jobs.reserve(static_cast<size_t>(hi - lo) << d);
+  corners.reserve(static_cast<size_t>(hi - lo) << d);
+  CellIndex corner = CellIndex::Filled(d, 0);
+  for (int64_t q = lo; q < hi; ++q) {
+    const Box& range = ranges[static_cast<size_t>(q)];
+    RPS_CHECK(range.Within(shape));
+    results[static_cast<size_t>(q)] = T{};
+    for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+      bool skip = false;
+      int low_picks = 0;
+      for (int j = 0; j < d; ++j) {
+        if (mask & (1u << j)) {
+          ++low_picks;
+          if (range.lo()[j] == 0) {
+            skip = true;  // empty prefix below index 0
+            break;
+          }
+          corner[j] = range.lo()[j] - 1;
+        } else {
+          corner[j] = range.hi()[j];
+        }
+      }
+      if (skip) continue;
+      jobs.push_back(CornerJob{grid.Linearize(geo.BoxIndexOf(corner)),
+                               shape.Linearize(corner),
+                               static_cast<int32_t>(corners.size()),
+                               static_cast<int32_t>(q),
+                               static_cast<int8_t>(low_picks % 2 ? -1 : 1)});
+      corners.push_back(corner);
+    }
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const CornerJob& a, const CornerJob& b) {
+              if (a.box_linear != b.box_linear) {
+                return a.box_linear < b.box_linear;
+              }
+              return a.cell_linear < b.cell_linear;
+            });
+
+  // Walk box groups: one anchor read per box, one full assembly per
+  // distinct corner cell, one signed scatter per job.
+  int64_t overlay_reads = 0;
+  int64_t rp_reads = 0;
+  size_t i = 0;
+  while (i < jobs.size()) {
+    const int64_t box_linear = jobs[i].box_linear;
+    const CellIndex box_index =
+        geo.BoxIndexOf(corners[static_cast<size_t>(jobs[i].corner)]);
+    const CellIndex anchor = geo.AnchorOf(box_index);
+    const T anchor_value = overlay_.at_slot(geo.AnchorSlotOf(box_index));
+    ++overlay_reads;
+    while (i < jobs.size() && jobs[i].box_linear == box_linear) {
+      const int64_t cell_linear = jobs[i].cell_linear;
+      const CellIndex& target = corners[static_cast<size_t>(jobs[i].corner)];
+      T value = anchor_value + rp_.at_linear(cell_linear);
+      ++rp_reads;
+      value += SumBorders(box_index, anchor, target, &overlay_reads);
+      for (; i < jobs.size() && jobs[i].box_linear == box_linear &&
+             jobs[i].cell_linear == cell_linear;
+           ++i) {
+        T& out = results[static_cast<size_t>(jobs[i].query)];
+        if (jobs[i].sign > 0) {
+          out += value;
+        } else {
+          out -= value;
+        }
+      }
+    }
+  }
+  lookups_.overlay_reads.Increment(overlay_reads);
+  lookups_.rp_reads.Increment(rp_reads);
 }
 
 template <typename T>
@@ -608,6 +769,35 @@ int64_t RelativePrefixSum<T>::ScatterBoxUpdate(const CellIndex& box_index,
   }
   const Box offsets_box(off_lo, off_hi);
   const int64_t row_len = offsets_box.Extent(d - 1);
+  if (d >= 2 && row_len == 1 && off_hi[d - 1] == 0 && off_lo[d - 2] >= 1) {
+    // The innermost offset is pinned at 0 but dimension d-2 varies
+    // from >= 1 (the box shares cell's innermost coordinate plane).
+    // Per-innermost-row spans would all have length 1; but BorderRank
+    // orders each first-zero group row-major, so when every offset
+    // outside d-2 is fixed (outers >= 1, innermost 0) the cells along
+    // d-2 sit in consecutive slots -- one span per row along d-2
+    // instead of one SlotOf per cell.
+    bool spannable = true;
+    for (int j = 0; j + 2 < d; ++j) spannable = spannable && off_lo[j] >= 1;
+    if (spannable) {
+      CellIndex span_hi = off_hi;
+      span_hi[d - 2] = off_lo[d - 2];
+      const Box reduced(off_lo, span_hi);
+      const int64_t span_len = off_hi[d - 2] - off_lo[d - 2] + 1;
+      ForEachRowStart(reduced, [&](const CellIndex& offsets) {
+        const int64_t slot = geo.SlotOf(box_index, offsets);
+#if !defined(NDEBUG)
+        {
+          CellIndex last = offsets;
+          last[d - 2] = off_hi[d - 2];
+          RPS_DCHECK(geo.SlotOf(box_index, last) == slot + span_len - 1);
+        }
+#endif
+        AddToRow(overlay_.slot_span(slot, span_len), span_len, delta);
+      });
+      return offsets_box.NumCells();
+    }
+  }
   ForEachRowStart(offsets_box, [&](const CellIndex& offsets) {
     const int64_t slot = geo.SlotOf(box_index, offsets);
 #if !defined(NDEBUG)

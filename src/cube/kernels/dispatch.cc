@@ -1,0 +1,180 @@
+// Backend selection: CPUID-probed, RPS_KERNELS-overridable, resolved
+// once per process. The decision is exported as an
+// rps_kernel_backend{backend=...} info gauge (value 1) in the metric
+// registry and as InfoJson() for /varz sources.
+
+#include "cube/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace rps {
+namespace kernels {
+namespace {
+
+bool CpuHas(Backend backend) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0;
+  }
+  return false;
+#else
+  return backend == Backend::kScalar;
+#endif
+}
+
+struct Dispatch {
+  Backend backend = Backend::kScalar;
+  const KernelTables* tables = nullptr;
+  // The raw RPS_KERNELS value ("" when unset), recorded for InfoJson.
+  std::string override_value;
+};
+
+Dispatch Resolve() {
+  Dispatch dispatch;
+
+  Backend best = Backend::kScalar;
+  for (int b = 0; b < kNumBackends; ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    if (BackendSupported(backend)) best = backend;
+  }
+  dispatch.backend = best;
+
+  if (const char* env = std::getenv("RPS_KERNELS")) {
+    dispatch.override_value = env;
+    Backend requested = Backend::kScalar;
+    if (!ParseBackendName(env, &requested)) {
+      std::fprintf(stderr,
+                   "rps: ignoring unknown RPS_KERNELS=%s "
+                   "(want scalar|sse2|avx2|avx512)\n",
+                   env);
+    } else if (BackendSupported(requested)) {
+      dispatch.backend = requested;
+    } else {
+      // Clamp down to the best supported level at or below the
+      // request; never up (running unsupported vector code would
+      // fault).
+      Backend clamped = Backend::kScalar;
+      for (int b = 0; b <= static_cast<int>(requested); ++b) {
+        const Backend backend = static_cast<Backend>(b);
+        if (BackendSupported(backend)) clamped = backend;
+      }
+      std::fprintf(stderr,
+                   "rps: RPS_KERNELS=%s not supported on this "
+                   "CPU/build; using %s\n",
+                   env, BackendName(clamped));
+      dispatch.backend = clamped;
+    }
+  }
+
+  dispatch.tables = &TablesFor(dispatch.backend);
+  obs::MetricRegistry::Global()
+      .GetGauge("rps_kernel_backend",
+                {{"backend", BackendName(dispatch.backend)}})
+      .Set(1.0);
+  return dispatch;
+}
+
+const Dispatch& GetDispatch() {
+  static const Dispatch dispatch = Resolve();
+  return dispatch;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool ParseBackendName(std::string_view name, Backend* out) {
+  for (int b = 0; b < kNumBackends; ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    if (name == BackendName(backend)) {
+      *out = backend;
+      return true;
+    }
+  }
+  return false;
+}
+
+const KernelTables& TablesFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return internal::ScalarTables();
+    case Backend::kSse2:
+      return internal::Sse2Tables();
+    case Backend::kAvx2:
+      return internal::Avx2Tables();
+    case Backend::kAvx512:
+      return internal::Avx512Tables();
+  }
+  return internal::ScalarTables();
+}
+
+bool BackendCompiled(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return internal::Sse2Compiled();
+    case Backend::kAvx2:
+      return internal::Avx2Compiled();
+    case Backend::kAvx512:
+      return internal::Avx512Compiled();
+  }
+  return false;
+}
+
+bool BackendSupported(Backend backend) {
+  return BackendCompiled(backend) && CpuHas(backend);
+}
+
+Backend ActiveBackend() { return GetDispatch().backend; }
+
+const KernelTables& ActiveTables() { return *GetDispatch().tables; }
+
+std::string InfoJson() {
+  const Dispatch& dispatch = GetDispatch();
+  std::string out = "{\"backend\":\"";
+  out += BackendName(dispatch.backend);
+  out += "\",\"override\":\"";
+  out += dispatch.override_value;
+  out += "\",\"supported\":[";
+  bool first = true;
+  for (int b = 0; b < kNumBackends; ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    if (!BackendSupported(backend)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += BackendName(backend);
+    out += '"';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace kernels
+}  // namespace rps

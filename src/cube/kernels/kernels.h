@@ -1,0 +1,161 @@
+// Runtime-dispatched row-kernel backends.
+//
+// The row kernels of cube/row_kernels.h are the innermost loops of
+// every RPS hot path (box-local scans, update scatters, face-cube
+// aggregation). This subsystem provides hand-vectorized
+// implementations of those five primitives for the cell types the
+// structures actually store (int32_t, int64_t, double), compiled as
+// one translation unit per ISA level with the matching -m flags:
+//
+//   scalar   portable C++ (two-accumulator unrolled reduce);
+//   sse2     the x86-64 baseline, 128-bit vectors;
+//   avx2     256-bit vectors (+FMA-capable machines);
+//   avx512   512-bit vectors (F/DQ/BW/VL), compiled only when the
+//            toolchain supports the flags.
+//
+// The prefix scans break the loop-carried dependence with in-register
+// shift-and-add (log2(width) vector adds per block plus a broadcast
+// carry), which is what makes a serial recurrence vectorizable at
+// all; the scalar reduce splits the chain over four accumulators.
+//
+// One backend is selected per process on first use: the best level
+// the CPU reports (CPUID via __builtin_cpu_supports), overridable
+// with RPS_KERNELS=scalar|sse2|avx2|avx512 (clamped down, never up,
+// when the request exceeds the hardware). The choice is exported as
+// an rps_kernel_backend info gauge and as InfoJson() for /varz
+// sources.
+//
+// Floating-point note: vector/unrolled reduce and scan reassociate
+// additions, so double results may differ from the serial loop in the
+// last bits. Integral kernels are bit-exact. This mirrors the
+// parallel-build contract (see internal_audit::CellsEqual).
+
+#ifndef RPS_CUBE_KERNELS_KERNELS_H_
+#define RPS_CUBE_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace rps {
+namespace kernels {
+
+/// ISA levels, ordered weakest to strongest; dispatch picks the
+/// strongest supported one, and env-override clamping relies on the
+/// ordering.
+enum class Backend : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+inline constexpr int kNumBackends = 4;
+
+/// Stable lowercase name ("scalar", "sse2", "avx2", "avx512"), used
+/// for RPS_KERNELS parsing, metric labels and bench names.
+const char* BackendName(Backend backend);
+
+/// Parses a BackendName string; returns false on unknown names.
+bool ParseBackendName(std::string_view name, Backend* out);
+
+/// The five row primitives as function pointers -- one set per
+/// (backend, type). Semantics match the templates in
+/// cube/row_kernels.h exactly (up to floating-point reassociation).
+template <typename T>
+struct KernelSet {
+  void (*add_to_row)(T* row, int64_t len, T delta);
+  void (*add_row_into)(T* dst, const T* src, int64_t len);
+  T (*reduce_row)(const T* row, int64_t len);
+  void (*prefix_scan_row)(T* row, int64_t len);
+  void (*segmented_prefix_scan_row)(T* row, int64_t len, int64_t k);
+};
+
+/// All typed sets of one backend.
+struct KernelTables {
+  KernelSet<int32_t> i32;
+  KernelSet<int64_t> i64;
+  KernelSet<double> f64;
+};
+
+/// True for the types that have dispatched kernels; other value types
+/// keep the generic loops.
+template <typename T>
+inline constexpr bool kHasKernels = std::is_same_v<T, int32_t> ||
+                                    std::is_same_v<T, int64_t> ||
+                                    std::is_same_v<T, double>;
+
+/// Rows shorter than this stay on the caller's inlined generic loop:
+/// below ~two vector widths the indirect call costs more than SIMD
+/// saves.
+inline constexpr int64_t kDispatchMinLen = 16;
+
+namespace internal {
+
+// Per-ISA tables, each defined in its own translation unit. A backend
+// whose ISA the translation unit was not compiled with (non-x86
+// target, or a toolchain without the -m flags -- see
+// src/cube/kernels/CMakeLists.txt) aliases the scalar tables and
+// reports Compiled() == false.
+const KernelTables& ScalarTables();
+const KernelTables& Sse2Tables();
+bool Sse2Compiled();
+const KernelTables& Avx2Tables();
+bool Avx2Compiled();
+const KernelTables& Avx512Tables();
+bool Avx512Compiled();
+
+}  // namespace internal
+
+/// The tables of `backend` regardless of CPU support (equivalence
+/// tests iterate these; calling into a backend the CPU lacks is
+/// undefined -- check BackendSupported first).
+const KernelTables& TablesFor(Backend backend);
+
+/// True when the backend's translation unit was compiled with its ISA
+/// enabled.
+bool BackendCompiled(Backend backend);
+
+/// True when the backend is compiled in AND the running CPU reports
+/// the ISA (scalar is always supported).
+bool BackendSupported(Backend backend);
+
+/// The backend selected for this process (resolved once, thread-safe;
+/// reads RPS_KERNELS on first call and registers the
+/// rps_kernel_backend info gauge).
+Backend ActiveBackend();
+
+/// The tables of ActiveBackend().
+const KernelTables& ActiveTables();
+
+/// One JSON object describing the dispatch decision, e.g.
+///   {"backend":"avx2","override":"","supported":["scalar","sse2",
+///    "avx2"]}
+/// -- wired into /varz via ExpoServer::AddVarzSource by the tools.
+std::string InfoJson();
+
+template <typename T>
+inline const KernelSet<T>& SelectSet(const KernelTables& tables) {
+  static_assert(kHasKernels<T>, "no dispatched kernels for this type");
+  if constexpr (std::is_same_v<T, int32_t>) {
+    return tables.i32;
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return tables.i64;
+  } else {
+    return tables.f64;
+  }
+}
+
+/// The active kernel set for T. One static-init guard plus a load
+/// after the first call; hot paths cache nothing further.
+template <typename T>
+inline const KernelSet<T>& Active() {
+  static const KernelSet<T>& set = SelectSet<T>(ActiveTables());
+  return set;
+}
+
+}  // namespace kernels
+}  // namespace rps
+
+#endif  // RPS_CUBE_KERNELS_KERNELS_H_

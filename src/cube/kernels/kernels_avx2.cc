@@ -1,0 +1,287 @@
+// AVX2 backend, compiled with -mavx2 (see CMakeLists.txt). Without
+// that flag (plain lint syntax passes, non-x86 targets, toolchains
+// lacking the flag) the tables alias the scalar backend.
+//
+// Scans: shift-and-add inside each 128-bit lane, one cross-lane
+// permute to carry the low lane's total into the high lane, then a
+// broadcast of the block's last lane carries into the next block --
+// log2(lanes) + 1 vector adds per block instead of a serial chain.
+
+#include "cube/kernels/kernels.h"
+#include "cube/kernels/scalar_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace rps {
+namespace kernels {
+namespace {
+
+inline __m256i LoadU(const int32_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline __m256i LoadU(const int64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void StoreU(int32_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+inline void StoreU(int64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+inline int32_t HorizontalSum32(__m256i v) {
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+inline int64_t HorizontalSum64(__m256i v) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// [0, a.lo]: carries the low 128-bit lane into the high lane.
+inline __m256i CrossLane(__m256i a) {
+  return _mm256_permute2x128_si256(a, a, 0x08);
+}
+inline __m256d CrossLanePd(__m256d a) {
+  return _mm256_permute2f128_pd(a, a, 0x08);
+}
+
+// ---- int32_t -------------------------------------------------------
+
+void AddToRow32(int32_t* row, int64_t len, int32_t delta) {
+  const __m256i v = _mm256_set1_epi32(delta);
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    StoreU(row + i, _mm256_add_epi32(LoadU(row + i), v));
+    StoreU(row + i + 8, _mm256_add_epi32(LoadU(row + i + 8), v));
+  }
+  for (; i + 8 <= len; i += 8) {
+    StoreU(row + i, _mm256_add_epi32(LoadU(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowInto32(int32_t* dst, const int32_t* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    StoreU(dst + i, _mm256_add_epi32(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+int32_t ReduceRow32(const int32_t* row, int64_t len) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    acc0 = _mm256_add_epi32(acc0, LoadU(row + i));
+    acc1 = _mm256_add_epi32(acc1, LoadU(row + i + 8));
+  }
+  for (; i + 8 <= len; i += 8) {
+    acc0 = _mm256_add_epi32(acc0, LoadU(row + i));
+  }
+  int32_t total = HorizontalSum32(_mm256_add_epi32(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRow32(int32_t* row, int64_t len) {
+  if (len < 16) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  __m256i carry = _mm256_setzero_si256();
+  const __m256i last_lane = _mm256_set1_epi32(7);
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    __m256i x = LoadU(row + i);
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    // Within-lane totals done; add the low lane's last element to the
+    // whole high lane.
+    const __m256i low_last = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+    x = _mm256_add_epi32(x, CrossLane(low_last));
+    x = _mm256_add_epi32(x, carry);
+    StoreU(row + i, x);
+    carry = _mm256_permutevar8x32_epi32(x, last_lane);
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- int64_t -------------------------------------------------------
+
+void AddToRow64(int64_t* row, int64_t len, int64_t delta) {
+  const __m256i v = _mm256_set1_epi64x(delta);
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    StoreU(row + i, _mm256_add_epi64(LoadU(row + i), v));
+    StoreU(row + i + 4, _mm256_add_epi64(LoadU(row + i + 4), v));
+  }
+  for (; i + 4 <= len; i += 4) {
+    StoreU(row + i, _mm256_add_epi64(LoadU(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowInto64(int64_t* dst, const int64_t* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    StoreU(dst + i, _mm256_add_epi64(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+int64_t ReduceRow64(const int64_t* row, int64_t len) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    acc0 = _mm256_add_epi64(acc0, LoadU(row + i));
+    acc1 = _mm256_add_epi64(acc1, LoadU(row + i + 4));
+  }
+  for (; i + 4 <= len; i += 4) {
+    acc0 = _mm256_add_epi64(acc0, LoadU(row + i));
+  }
+  int64_t total = HorizontalSum64(_mm256_add_epi64(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRow64(int64_t* row, int64_t len) {
+  if (len < 8) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  __m256i carry = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    __m256i x = LoadU(row + i);
+    x = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));
+    const __m256i low_last = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 2, 3, 2));
+    x = _mm256_add_epi64(x, CrossLane(low_last));
+    x = _mm256_add_epi64(x, carry);
+    StoreU(row + i, x);
+    carry = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- double --------------------------------------------------------
+
+void AddToRowF64(double* row, int64_t len, double delta) {
+  const __m256d v = _mm256_set1_pd(delta);
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm256_storeu_pd(row + i, _mm256_add_pd(_mm256_loadu_pd(row + i), v));
+    _mm256_storeu_pd(row + i + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(row + i + 4), v));
+  }
+  for (; i + 4 <= len; i += 4) {
+    _mm256_storeu_pd(row + i, _mm256_add_pd(_mm256_loadu_pd(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowIntoF64(double* dst, const double* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+double ReduceRowF64(const double* row, int64_t len) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(row + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(row + i + 4));
+  }
+  for (; i + 4 <= len; i += 4) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(row + i));
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRowF64(double* row, int64_t len) {
+  if (len < 8) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  __m256d carry = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    __m256d x = _mm256_loadu_pd(row + i);
+    // Shift one lane up within each 128-bit half; the vacated lanes
+    // are +0.0, an additive identity up to -0.0 normalization.
+    x = _mm256_add_pd(x, _mm256_castsi256_pd(_mm256_slli_si256(
+                             _mm256_castpd_si256(x), 8)));
+    const __m256d low_last = _mm256_permute_pd(x, 0xF);
+    x = _mm256_add_pd(x, CrossLanePd(low_last));
+    x = _mm256_add_pd(x, carry);
+    _mm256_storeu_pd(row + i, x);
+    carry = _mm256_permute4x64_pd(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- segmented scans (shared shape) --------------------------------
+
+template <typename T, void (*Scan)(T*, int64_t)>
+void SegmentedScan(T* row, int64_t len, int64_t k) {
+  for (int64_t seg = 0; seg < len; seg += k) {
+    const int64_t seg_len = (seg + k < len) ? k : len - seg;
+    Scan(row + seg, seg_len);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTables& Avx2Tables() {
+  static const KernelTables tables{
+      KernelSet<int32_t>{&AddToRow32, &AddRowInto32, &ReduceRow32,
+                         &PrefixScanRow32,
+                         &SegmentedScan<int32_t, &PrefixScanRow32>},
+      KernelSet<int64_t>{&AddToRow64, &AddRowInto64, &ReduceRow64,
+                         &PrefixScanRow64,
+                         &SegmentedScan<int64_t, &PrefixScanRow64>},
+      KernelSet<double>{&AddToRowF64, &AddRowIntoF64, &ReduceRowF64,
+                        &PrefixScanRowF64,
+                        &SegmentedScan<double, &PrefixScanRowF64>}};
+  return tables;
+}
+
+bool Avx2Compiled() { return true; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#else  // !defined(__AVX2__)
+
+namespace rps {
+namespace kernels {
+namespace internal {
+
+const KernelTables& Avx2Tables() { return ScalarTables(); }
+bool Avx2Compiled() { return false; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#endif  // defined(__AVX2__)

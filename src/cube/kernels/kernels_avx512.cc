@@ -1,0 +1,270 @@
+// AVX-512 backend (F/DQ/BW/VL), compiled with the matching -m flags
+// when the toolchain has them (see CMakeLists.txt); otherwise the
+// tables alias the scalar backend and dispatch never selects it.
+//
+// Scans: zero-feeding element shifts via valignd/valignq break the
+// loop-carried dependence -- x += (x << k lanes) for k = 1, 2, 4, (8)
+// builds the in-register inclusive prefix, one permutexvar broadcasts
+// the block total into the next block's carry.
+
+#include "cube/kernels/kernels.h"
+#include "cube/kernels/scalar_impl.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && \
+    defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace rps {
+namespace kernels {
+namespace {
+
+// ---- int32_t -------------------------------------------------------
+
+void AddToRow32(int32_t* row, int64_t len, int32_t delta) {
+  const __m512i v = _mm512_set1_epi32(delta);
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    _mm512_storeu_si512(row + i,
+                        _mm512_add_epi32(_mm512_loadu_si512(row + i), v));
+  }
+  if (i < len) {
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << static_cast<unsigned>(len - i)) - 1u);
+    const __m512i x = _mm512_maskz_loadu_epi32(tail, row + i);
+    _mm512_mask_storeu_epi32(row + i, tail, _mm512_add_epi32(x, v));
+  }
+}
+
+void AddRowInto32(int32_t* dst, const int32_t* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_add_epi32(_mm512_loadu_si512(dst + i),
+                                         _mm512_loadu_si512(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+int32_t ReduceRow32(const int32_t* row, int64_t len) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  int64_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    acc0 = _mm512_add_epi32(acc0, _mm512_loadu_si512(row + i));
+    acc1 = _mm512_add_epi32(acc1, _mm512_loadu_si512(row + i + 16));
+  }
+  for (; i + 16 <= len; i += 16) {
+    acc0 = _mm512_add_epi32(acc0, _mm512_loadu_si512(row + i));
+  }
+  int32_t total = _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRow32(int32_t* row, int64_t len) {
+  if (len < 32) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i last_lane = _mm512_set1_epi32(15);
+  __m512i carry = zero;
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m512i x = _mm512_loadu_si512(row + i);
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 15));
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 14));
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 12));
+    x = _mm512_add_epi32(x, _mm512_alignr_epi32(x, zero, 8));
+    x = _mm512_add_epi32(x, carry);
+    _mm512_storeu_si512(row + i, x);
+    carry = _mm512_permutexvar_epi32(last_lane, x);
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- int64_t -------------------------------------------------------
+
+void AddToRow64(int64_t* row, int64_t len, int64_t delta) {
+  const __m512i v = _mm512_set1_epi64(delta);
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm512_storeu_si512(row + i,
+                        _mm512_add_epi64(_mm512_loadu_si512(row + i), v));
+  }
+  if (i < len) {
+    const __mmask8 tail =
+        static_cast<__mmask8>((1u << static_cast<unsigned>(len - i)) - 1u);
+    const __m512i x = _mm512_maskz_loadu_epi64(tail, row + i);
+    _mm512_mask_storeu_epi64(row + i, tail, _mm512_add_epi64(x, v));
+  }
+}
+
+void AddRowInto64(int64_t* dst, const int64_t* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_add_epi64(_mm512_loadu_si512(dst + i),
+                                         _mm512_loadu_si512(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+int64_t ReduceRow64(const int64_t* row, int64_t len) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    acc0 = _mm512_add_epi64(acc0, _mm512_loadu_si512(row + i));
+    acc1 = _mm512_add_epi64(acc1, _mm512_loadu_si512(row + i + 8));
+  }
+  for (; i + 8 <= len; i += 8) {
+    acc0 = _mm512_add_epi64(acc0, _mm512_loadu_si512(row + i));
+  }
+  int64_t total = _mm512_reduce_add_epi64(_mm512_add_epi64(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRow64(int64_t* row, int64_t len) {
+  if (len < 16) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i last_lane = _mm512_set1_epi64(7);
+  __m512i carry = zero;
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    __m512i x = _mm512_loadu_si512(row + i);
+    x = _mm512_add_epi64(x, _mm512_alignr_epi64(x, zero, 7));
+    x = _mm512_add_epi64(x, _mm512_alignr_epi64(x, zero, 6));
+    x = _mm512_add_epi64(x, _mm512_alignr_epi64(x, zero, 4));
+    x = _mm512_add_epi64(x, carry);
+    _mm512_storeu_si512(row + i, x);
+    carry = _mm512_permutexvar_epi64(last_lane, x);
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- double --------------------------------------------------------
+
+void AddToRowF64(double* row, int64_t len, double delta) {
+  const __m512d v = _mm512_set1_pd(delta);
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm512_storeu_pd(row + i, _mm512_add_pd(_mm512_loadu_pd(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowIntoF64(double* dst, const double* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm512_storeu_pd(dst + i, _mm512_add_pd(_mm512_loadu_pd(dst + i),
+                                            _mm512_loadu_pd(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+double ReduceRowF64(const double* row, int64_t len) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  int64_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(row + i));
+    acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(row + i + 8));
+  }
+  for (; i + 8 <= len; i += 8) {
+    acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(row + i));
+  }
+  double total = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+// Zero-feeding element shift on doubles via the integer alignr.
+inline __m512d ShiftUpPd(__m512d x, int lanes) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i xi = _mm512_castpd_si512(x);
+  switch (lanes) {
+    case 1:
+      return _mm512_castsi512_pd(_mm512_alignr_epi64(xi, zero, 7));
+    case 2:
+      return _mm512_castsi512_pd(_mm512_alignr_epi64(xi, zero, 6));
+    default:
+      return _mm512_castsi512_pd(_mm512_alignr_epi64(xi, zero, 4));
+  }
+}
+
+void PrefixScanRowF64(double* row, int64_t len) {
+  if (len < 16) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  const __m512i last_lane = _mm512_set1_epi64(7);
+  __m512d carry = _mm512_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    __m512d x = _mm512_loadu_pd(row + i);
+    // Shifted-in lanes are +0.0, an additive identity up to -0.0
+    // normalization.
+    x = _mm512_add_pd(x, ShiftUpPd(x, 1));
+    x = _mm512_add_pd(x, ShiftUpPd(x, 2));
+    x = _mm512_add_pd(x, ShiftUpPd(x, 4));
+    x = _mm512_add_pd(x, carry);
+    _mm512_storeu_pd(row + i, x);
+    carry = _mm512_permutexvar_pd(last_lane, x);
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- segmented scans (shared shape) --------------------------------
+
+template <typename T, void (*Scan)(T*, int64_t)>
+void SegmentedScan(T* row, int64_t len, int64_t k) {
+  for (int64_t seg = 0; seg < len; seg += k) {
+    const int64_t seg_len = (seg + k < len) ? k : len - seg;
+    Scan(row + seg, seg_len);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTables& Avx512Tables() {
+  static const KernelTables tables{
+      KernelSet<int32_t>{&AddToRow32, &AddRowInto32, &ReduceRow32,
+                         &PrefixScanRow32,
+                         &SegmentedScan<int32_t, &PrefixScanRow32>},
+      KernelSet<int64_t>{&AddToRow64, &AddRowInto64, &ReduceRow64,
+                         &PrefixScanRow64,
+                         &SegmentedScan<int64_t, &PrefixScanRow64>},
+      KernelSet<double>{&AddToRowF64, &AddRowIntoF64, &ReduceRowF64,
+                        &PrefixScanRowF64,
+                        &SegmentedScan<double, &PrefixScanRowF64>}};
+  return tables;
+}
+
+bool Avx512Compiled() { return true; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#else  // AVX-512 not enabled for this translation unit
+
+namespace rps {
+namespace kernels {
+namespace internal {
+
+const KernelTables& Avx512Tables() { return ScalarTables(); }
+bool Avx512Compiled() { return false; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#endif

@@ -1,0 +1,55 @@
+// Scalar backend: the portable implementations of scalar_impl.h,
+// packaged as the baseline KernelTables every other backend falls
+// back to.
+
+#include "cube/kernels/kernels.h"
+#include "cube/kernels/scalar_impl.h"
+
+namespace rps {
+namespace kernels {
+namespace {
+
+template <typename T>
+void AddToRowImpl(T* row, int64_t len, T delta) {
+  internal::ScalarAddToRow(row, len, delta);
+}
+
+template <typename T>
+void AddRowIntoImpl(T* dst, const T* src, int64_t len) {
+  internal::ScalarAddRowInto(dst, src, len);
+}
+
+template <typename T>
+T ReduceRowImpl(const T* row, int64_t len) {
+  return internal::ScalarReduceRow(row, len);
+}
+
+template <typename T>
+void PrefixScanRowImpl(T* row, int64_t len) {
+  internal::ScalarPrefixScanRow(row, len);
+}
+
+template <typename T>
+void SegmentedPrefixScanRowImpl(T* row, int64_t len, int64_t k) {
+  internal::ScalarSegmentedPrefixScanRow(row, len, k);
+}
+
+template <typename T>
+constexpr KernelSet<T> MakeSet() {
+  return KernelSet<T>{&AddToRowImpl<T>, &AddRowIntoImpl<T>, &ReduceRowImpl<T>,
+                      &PrefixScanRowImpl<T>, &SegmentedPrefixScanRowImpl<T>};
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTables& ScalarTables() {
+  static const KernelTables tables{MakeSet<int32_t>(), MakeSet<int64_t>(),
+                                   MakeSet<double>()};
+  return tables;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps

@@ -1,0 +1,258 @@
+// SSE2 backend -- the x86-64 baseline, so this translation unit needs
+// no extra compile flags there. On targets without SSE2 the tables
+// alias the scalar backend (lint syntax-only passes on other arches
+// take the same branch).
+//
+// Prefix scans break the loop-carried dependence in-register:
+// shift-and-add within each 128-bit block (log2(lanes) adds), then a
+// broadcast of the block's last lane carries into the next block.
+
+#include "cube/kernels/kernels.h"
+#include "cube/kernels/scalar_impl.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace rps {
+namespace kernels {
+namespace {
+
+inline __m128i LoadU(const int32_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline __m128i LoadU(const int64_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline void StoreU(int32_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+inline void StoreU(int64_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+inline int32_t HorizontalSum32(__m128i v) {
+  alignas(16) int32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), v);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+inline int64_t HorizontalSum64(__m128i v) {
+  alignas(16) int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), v);
+  return lanes[0] + lanes[1];
+}
+
+// ---- int32_t -------------------------------------------------------
+
+void AddToRow32(int32_t* row, int64_t len, int32_t delta) {
+  const __m128i v = _mm_set1_epi32(delta);
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    StoreU(row + i, _mm_add_epi32(LoadU(row + i), v));
+    StoreU(row + i + 4, _mm_add_epi32(LoadU(row + i + 4), v));
+  }
+  for (; i + 4 <= len; i += 4) {
+    StoreU(row + i, _mm_add_epi32(LoadU(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowInto32(int32_t* dst, const int32_t* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    StoreU(dst + i, _mm_add_epi32(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+int32_t ReduceRow32(const int32_t* row, int64_t len) {
+  __m128i acc0 = _mm_setzero_si128();
+  __m128i acc1 = _mm_setzero_si128();
+  int64_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    acc0 = _mm_add_epi32(acc0, LoadU(row + i));
+    acc1 = _mm_add_epi32(acc1, LoadU(row + i + 4));
+  }
+  int32_t total = HorizontalSum32(_mm_add_epi32(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRow32(int32_t* row, int64_t len) {
+  if (len < 8) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  __m128i carry = _mm_setzero_si128();
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    __m128i x = LoadU(row + i);
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+    x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+    x = _mm_add_epi32(x, carry);
+    StoreU(row + i, x);
+    carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- int64_t -------------------------------------------------------
+
+void AddToRow64(int64_t* row, int64_t len, int64_t delta) {
+  const __m128i v = _mm_set1_epi64x(delta);
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    StoreU(row + i, _mm_add_epi64(LoadU(row + i), v));
+    StoreU(row + i + 2, _mm_add_epi64(LoadU(row + i + 2), v));
+  }
+  for (; i + 2 <= len; i += 2) {
+    StoreU(row + i, _mm_add_epi64(LoadU(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowInto64(int64_t* dst, const int64_t* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    StoreU(dst + i, _mm_add_epi64(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+int64_t ReduceRow64(const int64_t* row, int64_t len) {
+  __m128i acc0 = _mm_setzero_si128();
+  __m128i acc1 = _mm_setzero_si128();
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    acc0 = _mm_add_epi64(acc0, LoadU(row + i));
+    acc1 = _mm_add_epi64(acc1, LoadU(row + i + 2));
+  }
+  int64_t total = HorizontalSum64(_mm_add_epi64(acc0, acc1));
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRow64(int64_t* row, int64_t len) {
+  if (len < 4) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  __m128i carry = _mm_setzero_si128();
+  int64_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    __m128i x = LoadU(row + i);
+    x = _mm_add_epi64(x, _mm_slli_si128(x, 8));
+    x = _mm_add_epi64(x, carry);
+    StoreU(row + i, x);
+    carry = _mm_shuffle_epi32(x, _MM_SHUFFLE(3, 2, 3, 2));
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- double --------------------------------------------------------
+
+void AddToRowF64(double* row, int64_t len, double delta) {
+  const __m128d v = _mm_set1_pd(delta);
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    _mm_storeu_pd(row + i, _mm_add_pd(_mm_loadu_pd(row + i), v));
+    _mm_storeu_pd(row + i + 2, _mm_add_pd(_mm_loadu_pd(row + i + 2), v));
+  }
+  for (; i + 2 <= len; i += 2) {
+    _mm_storeu_pd(row + i, _mm_add_pd(_mm_loadu_pd(row + i), v));
+  }
+  for (; i < len; ++i) row[i] += delta;
+}
+
+void AddRowIntoF64(double* dst, const double* src, int64_t len) {
+  int64_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_add_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i)));
+  }
+  for (; i < len; ++i) dst[i] += src[i];
+}
+
+double ReduceRowF64(const double* row, int64_t len) {
+  __m128d acc0 = _mm_setzero_pd();
+  __m128d acc1 = _mm_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    acc0 = _mm_add_pd(acc0, _mm_loadu_pd(row + i));
+    acc1 = _mm_add_pd(acc1, _mm_loadu_pd(row + i + 2));
+  }
+  const __m128d acc = _mm_add_pd(acc0, acc1);
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, acc);
+  double total = lanes[0] + lanes[1];
+  for (; i < len; ++i) total += row[i];
+  return total;
+}
+
+void PrefixScanRowF64(double* row, int64_t len) {
+  if (len < 4) {
+    internal::ScalarPrefixScanRow(row, len);
+    return;
+  }
+  __m128d carry = _mm_setzero_pd();
+  int64_t i = 0;
+  for (; i + 2 <= len; i += 2) {
+    __m128d x = _mm_loadu_pd(row + i);
+    // Shift one lane up within the block; the vacated low lane is
+    // +0.0, an additive identity up to -0.0 normalization.
+    x = _mm_add_pd(x, _mm_castsi128_pd(_mm_slli_si128(_mm_castpd_si128(x), 8)));
+    x = _mm_add_pd(x, carry);
+    _mm_storeu_pd(row + i, x);
+    carry = _mm_unpackhi_pd(x, x);
+  }
+  for (; i < len; ++i) row[i] += row[i - 1];
+}
+
+// ---- segmented scans (shared shape) --------------------------------
+
+template <typename T, void (*Scan)(T*, int64_t)>
+void SegmentedScan(T* row, int64_t len, int64_t k) {
+  for (int64_t seg = 0; seg < len; seg += k) {
+    const int64_t seg_len = (seg + k < len) ? k : len - seg;
+    Scan(row + seg, seg_len);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTables& Sse2Tables() {
+  static const KernelTables tables{
+      KernelSet<int32_t>{&AddToRow32, &AddRowInto32, &ReduceRow32,
+                         &PrefixScanRow32,
+                         &SegmentedScan<int32_t, &PrefixScanRow32>},
+      KernelSet<int64_t>{&AddToRow64, &AddRowInto64, &ReduceRow64,
+                         &PrefixScanRow64,
+                         &SegmentedScan<int64_t, &PrefixScanRow64>},
+      KernelSet<double>{&AddToRowF64, &AddRowIntoF64, &ReduceRowF64,
+                        &PrefixScanRowF64,
+                        &SegmentedScan<double, &PrefixScanRowF64>}};
+  return tables;
+}
+
+bool Sse2Compiled() { return true; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#else  // !defined(__SSE2__)
+
+namespace rps {
+namespace kernels {
+namespace internal {
+
+const KernelTables& Sse2Tables() { return ScalarTables(); }
+bool Sse2Compiled() { return false; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#endif  // defined(__SSE2__)

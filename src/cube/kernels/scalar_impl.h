@@ -1,0 +1,63 @@
+// Portable kernel implementations, shared by the scalar backend and
+// as short-row / tail fallbacks inside the SIMD translation units.
+// Internal to src/cube/kernels/; everything else goes through
+// kernels.h.
+
+#ifndef RPS_CUBE_KERNELS_SCALAR_IMPL_H_
+#define RPS_CUBE_KERNELS_SCALAR_IMPL_H_
+
+#include <cstdint>
+
+namespace rps {
+namespace kernels {
+namespace internal {
+
+template <typename T>
+inline void ScalarAddToRow(T* row, int64_t len, T delta) {
+  for (int64_t i = 0; i < len; ++i) row[i] += delta;
+}
+
+template <typename T>
+inline void ScalarAddRowInto(T* __restrict dst, const T* __restrict src,
+                             int64_t len) {
+  for (int64_t i = 0; i < len; ++i) dst[i] += src[i];
+}
+
+/// Four-accumulator reduce: splits the serial dependence chain so the
+/// adds pipeline (and, for integral T, auto-vectorize) instead of
+/// serializing on one register.
+template <typename T>
+inline T ScalarReduceRow(const T* row, int64_t len) {
+  T acc0{};
+  T acc1{};
+  T acc2{};
+  T acc3{};
+  int64_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    acc0 += row[i];
+    acc1 += row[i + 1];
+    acc2 += row[i + 2];
+    acc3 += row[i + 3];
+  }
+  for (; i < len; ++i) acc0 += row[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+template <typename T>
+inline void ScalarPrefixScanRow(T* row, int64_t len) {
+  for (int64_t i = 1; i < len; ++i) row[i] += row[i - 1];
+}
+
+template <typename T>
+inline void ScalarSegmentedPrefixScanRow(T* row, int64_t len, int64_t k) {
+  for (int64_t seg = 0; seg < len; seg += k) {
+    const int64_t seg_len = (seg + k < len) ? k : len - seg;
+    ScalarPrefixScanRow(row + seg, seg_len);
+  }
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace rps
+
+#endif  // RPS_CUBE_KERNELS_SCALAR_IMPL_H_

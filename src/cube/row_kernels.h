@@ -1,17 +1,27 @@
 // Vectorizable kernels over contiguous innermost-dimension rows.
 //
 // The hot paths of the RPS structures (box-local prefix scans, update
-// scatters, face-cube aggregation) all reduce to four primitive loops
-// over contiguous T spans. Keeping them as standalone kernels with
-// restrict-qualified pointers lets the compiler unroll and
-// auto-vectorize them, where the equivalent NextIndexInBox-per-cell
-// walks pay full N-d index arithmetic (and a Linearize) per cell.
+// scatters, face-cube aggregation) all reduce to five primitive loops
+// over contiguous T spans. These entry points stay inline templates:
+// short rows run the plain loop right here (no call overhead, the
+// compiler unrolls and auto-vectorizes), while rows of at least
+// kernels::kDispatchMinLen cells of a dispatched type (int32_t,
+// int64_t, double) route through the runtime-selected SIMD backend
+// (cube/kernels/kernels.h -- SSE2/AVX2/AVX-512 picked once per
+// process via CPUID, RPS_KERNELS to override). Other value types
+// always take the generic loop.
+//
+// For double, the SIMD reduce/scan kernels reassociate additions, so
+// results can differ from the serial loop in the last bits (the same
+// tolerance contract as parallel builds; see
+// internal_audit::CellsEqual). Integral kernels are bit-exact.
 
 #ifndef RPS_CUBE_ROW_KERNELS_H_
 #define RPS_CUBE_ROW_KERNELS_H_
 
 #include <cstdint>
 
+#include "cube/kernels/kernels.h"
 #include "util/check.h"
 
 namespace rps {
@@ -19,6 +29,12 @@ namespace rps {
 /// row[i] += delta for i in [0, len).
 template <typename T>
 inline void AddToRow(T* row, int64_t len, T delta) {
+  if constexpr (kernels::kHasKernels<T>) {
+    if (len >= kernels::kDispatchMinLen) {
+      kernels::Active<T>().add_to_row(row, len, delta);
+      return;
+    }
+  }
   for (int64_t i = 0; i < len; ++i) row[i] += delta;
 }
 
@@ -26,12 +42,23 @@ inline void AddToRow(T* row, int64_t len, T delta) {
 template <typename T>
 inline void AddRowInto(T* __restrict dst, const T* __restrict src,
                        int64_t len) {
+  if constexpr (kernels::kHasKernels<T>) {
+    if (len >= kernels::kDispatchMinLen) {
+      kernels::Active<T>().add_row_into(dst, src, len);
+      return;
+    }
+  }
   for (int64_t i = 0; i < len; ++i) dst[i] += src[i];
 }
 
 /// Sum of row[0 .. len).
 template <typename T>
 inline T ReduceRow(const T* row, int64_t len) {
+  if constexpr (kernels::kHasKernels<T>) {
+    if (len >= kernels::kDispatchMinLen) {
+      return kernels::Active<T>().reduce_row(row, len);
+    }
+  }
   T total{};
   for (int64_t i = 0; i < len; ++i) total += row[i];
   return total;
@@ -40,6 +67,12 @@ inline T ReduceRow(const T* row, int64_t len) {
 /// In-place prefix scan: row[i] += row[i-1] for i in [1, len).
 template <typename T>
 inline void PrefixScanRow(T* row, int64_t len) {
+  if constexpr (kernels::kHasKernels<T>) {
+    if (len >= kernels::kDispatchMinLen) {
+      kernels::Active<T>().prefix_scan_row(row, len);
+      return;
+    }
+  }
   for (int64_t i = 1; i < len; ++i) row[i] += row[i - 1];
 }
 
@@ -48,9 +81,15 @@ inline void PrefixScanRow(T* row, int64_t len) {
 template <typename T>
 inline void SegmentedPrefixScanRow(T* row, int64_t len, int64_t k) {
   RPS_DCHECK(k >= 1);
+  if constexpr (kernels::kHasKernels<T>) {
+    if (len >= kernels::kDispatchMinLen) {
+      kernels::Active<T>().segmented_prefix_scan_row(row, len, k);
+      return;
+    }
+  }
   for (int64_t seg = 0; seg < len; seg += k) {
     const int64_t seg_len = (seg + k < len) ? k : len - seg;
-    PrefixScanRow(row + seg, seg_len);
+    for (int64_t i = seg + 1; i < seg + seg_len; ++i) row[i] += row[i - 1];
   }
 }
 

@@ -100,6 +100,14 @@ void Histogram::ObserveNanos(int64_t nanos) {
   sum_nanos_.Increment(nanos);
 }
 
+void Histogram::ObserveNanosBatch(int64_t nanos, int64_t count) {
+  if (count <= 0) return;
+  if (nanos < 0) nanos = 0;
+  buckets_[static_cast<size_t>(BucketIndex(nanos))].Increment(count);
+  count_.Increment(count);
+  sum_nanos_.Increment(nanos * count);
+}
+
 double Histogram::Percentile(double q) const {
   const int64_t count = count_.Load();
   if (count <= 0) return 0.0;

@@ -111,6 +111,10 @@ class Histogram {
   void Observe(double seconds) {
     ObserveNanos(static_cast<int64_t>(seconds * 1e9));
   }
+  /// Records `count` observations of `nanos` each with three relaxed
+  /// adds total -- for batch-processing callers that amortized one
+  /// measurement over many operations.
+  void ObserveNanosBatch(int64_t nanos, int64_t count);
 
   int64_t Count() const { return count_.Load(); }
   double SumSeconds() const {

@@ -9,6 +9,7 @@
 #ifndef RPS_OLAP_CONCURRENT_ENGINE_H_
 #define RPS_OLAP_CONCURRENT_ENGINE_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,17 @@ class ConcurrentOlapEngine {
     const Stopwatch watch;  // includes reader-lock wait
     ReaderLock lock(&mutex_);
     Result<double> result = engine_.Sum(query);
+    query_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return result;
+  }
+
+  /// Batched SUMs under one reader-lock acquisition (and one facade
+  /// latency observation for the whole batch).
+  Result<std::vector<double>> QueryBatch(
+      std::span<const RangeQuery> queries) const {
+    const Stopwatch watch;  // includes reader-lock wait
+    ReaderLock lock(&mutex_);
+    Result<std::vector<double>> result = engine_.QueryBatch(queries);
     query_seconds_->ObserveNanos(watch.ElapsedNanos());
     return result;
   }

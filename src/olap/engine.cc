@@ -130,6 +130,30 @@ Result<double> OlapEngine::Sum(const RangeQuery& query) const {
   return sum;
 }
 
+Result<std::vector<double>> OlapEngine::QueryBatch(
+    std::span<const RangeQuery> queries) const {
+  // Resolve everything first so a bad query fails the whole batch
+  // before any work runs.
+  std::vector<Box> ranges;
+  ranges.reserve(queries.size());
+  int64_t volume = 0;
+  for (const RangeQuery& query : queries) {
+    RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+    volume += range.NumCells();
+    ranges.push_back(range);
+  }
+  obs::RequestScope request(obs::WideEventKind::kQuery, "engine.sum_batch",
+                            EngineMethodName(method_));
+  request.set_box_volume(volume);
+  obs::TraceSpan span("engine.sum_batch");
+  const Stopwatch watch;
+  std::vector<double> results(ranges.size());
+  sums_->RangeSumBatch(ranges, results);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  queries_total_->Increment(static_cast<int64_t>(queries.size()));
+  return results;
+}
+
 Result<int64_t> OlapEngine::Count(const RangeQuery& query) const {
   RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
   obs::RequestScope request(obs::WideEventKind::kQuery, "engine.count",

@@ -13,6 +13,7 @@
 #define RPS_OLAP_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,6 +93,13 @@ class OlapEngine {
 
   /// SUM of the measure over the query range.
   Result<double> Sum(const RangeQuery& query) const;
+
+  /// SUMs for a batch of queries in one call, sharing per-block work
+  /// between queries through QueryMethod::RangeSumBatch. Fails (and
+  /// answers nothing) if any query does not resolve against the
+  /// schema; otherwise returns one sum per query, in order.
+  Result<std::vector<double>> QueryBatch(
+      std::span<const RangeQuery> queries) const;
 
   /// Number of records in the query range.
   Result<int64_t> Count(const RangeQuery& query) const;

@@ -26,7 +26,11 @@ ThreadPool::ThreadPool(int num_threads) {
   tasks_total_ = &registry.GetCounter("rps_pool_tasks_total");
   queue_depth_ = &registry.GetGauge("rps_pool_queue_depth");
   task_seconds_ = &registry.GetHistogram("rps_pool_task_seconds");
-  registry.GetGauge("rps_pool_threads").Set(static_cast<double>(num_threads));
+  // Usable parallelism, not worker-thread count: ParallelFor callers
+  // claim chunks too, so a pool with 0 workers still computes on one
+  // thread (and reports 1 here, e.g. on single-core hosts).
+  registry.GetGauge("rps_pool_threads")
+      .Set(static_cast<double>(num_threads + 1));
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -110,8 +114,16 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (range <= grain || workers_.empty() || t_inside_pool_work) {
     const bool was_inside = t_inside_pool_work;
     t_inside_pool_work = true;
+    const Stopwatch watch;
     body(begin, end);
     t_inside_pool_work = was_inside;
+    // Meter serial fast-path work like any other pool task -- unless
+    // already inside pool work, where the enclosing task's timing
+    // covers it (avoids double counting).
+    if (!was_inside) {
+      tasks_total_->Increment();
+      task_seconds_->ObserveNanos(watch.ElapsedNanos());
+    }
     return;
   }
 
@@ -158,10 +170,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
 
   // The caller claims chunks too, then waits for the helpers it
   // enlisted. `body` lives on this frame, so the wait must not return
-  // before every helper has finished with it.
+  // before every helper has finished with it. The caller's share is
+  // metered like a task (helpers meter theirs in WorkerLoop).
   t_inside_pool_work = true;
+  const Stopwatch watch;
   run_chunks(*state);
   t_inside_pool_work = false;
+  tasks_total_->Increment();
+  task_seconds_->ObserveNanos(watch.ElapsedNanos());
   MutexLock lock(&state->mu);
   while (state->active_helpers != 0) state->done_cv.Wait(state->mu);
 }

@@ -24,7 +24,10 @@
 // everything inline). Observability: submissions, queue depth and
 // per-task busy time are exported through obs::MetricRegistry as
 // rps_pool_tasks_total, rps_pool_queue_depth, rps_pool_task_seconds
-// and rps_pool_threads.
+// and rps_pool_threads. The gauge counts usable threads (workers plus
+// the caller, which claims ParallelFor chunks itself), and ParallelFor
+// meters its serial fast path and the caller's chunk share as tasks,
+// so the metrics stay meaningful even with zero workers.
 
 #ifndef RPS_UTIL_THREAD_POOL_H_
 #define RPS_UTIL_THREAD_POOL_H_

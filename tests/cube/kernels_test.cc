@@ -1,0 +1,248 @@
+// Scalar-vs-SIMD equivalence for every row kernel, value type, and
+// backend compiled into this binary and supported by the host CPU.
+// Each case runs the dispatched kernel against the portable serial
+// loop over random rows of awkward lengths: empty, single element,
+// below vector width, straddling block boundaries, and from unaligned
+// offsets. Integral kernels must match bit-for-bit; double kernels
+// reassociate, so sums compare under the same relative tolerance the
+// parallel-build audit uses.
+
+#include "cube/kernels/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "cube/row_kernels.h"
+
+namespace rps {
+namespace kernels {
+namespace {
+
+std::vector<Backend> SupportedBackends() {
+  std::vector<Backend> out;
+  for (int b = 0; b < kNumBackends; ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    if (BackendSupported(backend)) out.push_back(backend);
+  }
+  return out;
+}
+
+// Lengths chosen to hit every boundary case of the widest kernels
+// (AVX-512 processes 16 int32 / 8 int64 lanes per block and unrolls
+// two blocks in the reduces).
+const int64_t kLengths[] = {0,  1,  2,  3,  5,  7,  8,   9,   15,  16, 17,
+                            24, 31, 32, 33, 48, 63, 100, 255, 256, 1000};
+
+template <typename T>
+T RandomValue(std::mt19937_64& rng) {
+  if constexpr (std::is_floating_point_v<T>) {
+    std::uniform_real_distribution<double> dist(-1000.0, 1000.0);
+    return dist(rng);
+  } else {
+    std::uniform_int_distribution<int32_t> dist(-1000, 1000);
+    return static_cast<T>(dist(rng));
+  }
+}
+
+template <typename T>
+std::vector<T> RandomRow(std::mt19937_64& rng, int64_t len) {
+  std::vector<T> row(static_cast<size_t>(len));
+  for (T& v : row) v = RandomValue<T>(rng);
+  return row;
+}
+
+template <typename T>
+void ExpectRowsEqual(const std::vector<T>& expected, const std::vector<T>& got,
+                     const std::string& context) {
+  ASSERT_EQ(expected.size(), got.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if constexpr (std::is_floating_point_v<T>) {
+      const double tol =
+          1e-9 * std::max(1.0, std::abs(static_cast<double>(expected[i])));
+      EXPECT_NEAR(expected[i], got[i], tol) << context << " index " << i;
+    } else {
+      EXPECT_EQ(expected[i], got[i]) << context << " index " << i;
+    }
+  }
+}
+
+template <typename T>
+void ExpectValuesEqual(T expected, T got, const std::string& context) {
+  if constexpr (std::is_floating_point_v<T>) {
+    const double tol =
+        1e-9 * std::max(1.0, std::abs(static_cast<double>(expected)));
+    EXPECT_NEAR(expected, got, tol) << context;
+  } else {
+    EXPECT_EQ(expected, got) << context;
+  }
+}
+
+// Reference loops, deliberately the naive serial formulation (not
+// scalar_impl.h, which unrolls).
+template <typename T>
+void RefAddToRow(T* row, int64_t len, T delta) {
+  for (int64_t i = 0; i < len; ++i) row[i] += delta;
+}
+
+template <typename T>
+void RefAddRowInto(T* dst, const T* src, int64_t len) {
+  for (int64_t i = 0; i < len; ++i) dst[i] += src[i];
+}
+
+template <typename T>
+T RefReduceRow(const T* row, int64_t len) {
+  T total{};
+  for (int64_t i = 0; i < len; ++i) total += row[i];
+  return total;
+}
+
+template <typename T>
+void RefPrefixScanRow(T* row, int64_t len) {
+  for (int64_t i = 1; i < len; ++i) row[i] += row[i - 1];
+}
+
+template <typename T>
+void RefSegmentedPrefixScanRow(T* row, int64_t len, int64_t k) {
+  for (int64_t seg = 0; seg < len; seg += k) {
+    const int64_t end = std::min(seg + k, len);
+    for (int64_t i = seg + 1; i < end; ++i) row[i] += row[i - 1];
+  }
+}
+
+template <typename T>
+void RunEquivalence(Backend backend) {
+  const KernelSet<T>& set = SelectSet<T>(TablesFor(backend));
+  std::mt19937_64 rng(0x9e3779b97f4a7c15ull ^
+                      static_cast<uint64_t>(backend));
+  // Offsets force unaligned starting addresses relative to the vector
+  // width.
+  const int64_t kOffsets[] = {0, 1, 3};
+  for (const int64_t len : kLengths) {
+    for (const int64_t offset : kOffsets) {
+      const std::string context = std::string("backend=") +
+                                  BackendName(backend) + " len=" +
+                                  std::to_string(len) + " offset=" +
+                                  std::to_string(offset);
+      const std::vector<T> base =
+          RandomRow<T>(rng, offset + len);
+      const T delta = RandomValue<T>(rng);
+
+      {
+        std::vector<T> expected = base;
+        std::vector<T> got = base;
+        RefAddToRow(expected.data() + offset, len, delta);
+        set.add_to_row(got.data() + offset, len, delta);
+        ExpectRowsEqual(expected, got, context + " add_to_row");
+      }
+      {
+        const std::vector<T> src = RandomRow<T>(rng, offset + len);
+        std::vector<T> expected = base;
+        std::vector<T> got = base;
+        RefAddRowInto(expected.data() + offset, src.data() + offset, len);
+        set.add_row_into(got.data() + offset, src.data() + offset, len);
+        ExpectRowsEqual(expected, got, context + " add_row_into");
+      }
+      {
+        ExpectValuesEqual(RefReduceRow(base.data() + offset, len),
+                          set.reduce_row(base.data() + offset, len),
+                          context + " reduce_row");
+      }
+      {
+        std::vector<T> expected = base;
+        std::vector<T> got = base;
+        RefPrefixScanRow(expected.data() + offset, len);
+        set.prefix_scan_row(got.data() + offset, len);
+        ExpectRowsEqual(expected, got, context + " prefix_scan_row");
+      }
+      // Segment sizes that divide len, exceed it, and leave ragged
+      // tails.
+      for (const int64_t k : {int64_t{1}, int64_t{2}, int64_t{3},
+                              int64_t{7}, int64_t{16}, int64_t{100}}) {
+        std::vector<T> expected = base;
+        std::vector<T> got = base;
+        RefSegmentedPrefixScanRow(expected.data() + offset, len, k);
+        set.segmented_prefix_scan_row(got.data() + offset, len, k);
+        ExpectRowsEqual(expected, got,
+                        context + " segmented k=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Int32EquivalentAcrossBackends) {
+  for (Backend backend : SupportedBackends()) {
+    RunEquivalence<int32_t>(backend);
+  }
+}
+
+TEST(KernelsTest, Int64EquivalentAcrossBackends) {
+  for (Backend backend : SupportedBackends()) {
+    RunEquivalence<int64_t>(backend);
+  }
+}
+
+TEST(KernelsTest, DoubleEquivalentAcrossBackends) {
+  for (Backend backend : SupportedBackends()) {
+    RunEquivalence<double>(backend);
+  }
+}
+
+TEST(KernelsTest, ScalarBackendAlwaysSupported) {
+  EXPECT_TRUE(BackendCompiled(Backend::kScalar));
+  EXPECT_TRUE(BackendSupported(Backend::kScalar));
+  EXPECT_TRUE(BackendSupported(ActiveBackend()));
+}
+
+TEST(KernelsTest, BackendNamesRoundTrip) {
+  for (int b = 0; b < kNumBackends; ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    Backend parsed = Backend::kScalar;
+    ASSERT_TRUE(ParseBackendName(BackendName(backend), &parsed));
+    EXPECT_EQ(parsed, backend);
+  }
+  Backend parsed = Backend::kScalar;
+  EXPECT_FALSE(ParseBackendName("neon", &parsed));
+  EXPECT_FALSE(ParseBackendName("", &parsed));
+}
+
+TEST(KernelsTest, InfoJsonMentionsActiveBackend) {
+  const std::string info = InfoJson();
+  EXPECT_NE(info.find("\"backend\":\""), std::string::npos) << info;
+  EXPECT_NE(info.find(BackendName(ActiveBackend())), std::string::npos)
+      << info;
+  EXPECT_NE(info.find("\"supported\":["), std::string::npos) << info;
+}
+
+// The public row-kernel entry points must agree with the naive loop
+// both below the dispatch cutoff (inlined generic path) and above it
+// (dispatched path).
+TEST(KernelsTest, RowKernelEntryPointsMatchReference) {
+  std::mt19937_64 rng(42);
+  for (const int64_t len : {int64_t{4}, kDispatchMinLen - 1, kDispatchMinLen,
+                            int64_t{257}}) {
+    std::vector<int64_t> base = RandomRow<int64_t>(rng, len);
+
+    std::vector<int64_t> expected = base;
+    std::vector<int64_t> got = base;
+    RefPrefixScanRow(expected.data(), len);
+    PrefixScanRow(got.data(), len);
+    ExpectRowsEqual(expected, got, "PrefixScanRow len=" + std::to_string(len));
+
+    expected = base;
+    got = base;
+    RefSegmentedPrefixScanRow(expected.data(), len, int64_t{3});
+    SegmentedPrefixScanRow(got.data(), len, int64_t{3});
+    ExpectRowsEqual(expected, got,
+                    "SegmentedPrefixScanRow len=" + std::to_string(len));
+
+    EXPECT_EQ(RefReduceRow(base.data(), len), ReduceRow(base.data(), len));
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace rps

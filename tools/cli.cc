@@ -18,6 +18,7 @@
 #include "core/prefix_sum_method.h"
 #include "core/snapshot.h"
 #include "cube/cube_io.h"
+#include "cube/kernels/kernels.h"
 #include "obs/event_log.h"
 #include "obs/expo_server.h"
 #include "obs/metrics.h"
@@ -351,6 +352,7 @@ Status CmdServe(const ParsedArgs& args) {
     MutexLock lock(&shared.mu);
     return shared.durable.HealthJson();
   });
+  server.AddVarzSource("kernels", [] { return kernels::InfoJson(); });
   server.AddVarzSource("serve", [&] {
     std::string out = "{\"queries\":";
     out += std::to_string(queries.load(std::memory_order_relaxed));
@@ -456,6 +458,8 @@ Status CmdBench(const ParsedArgs& args) {
   RPS_ASSIGN_OR_RETURN(const int64_t updates,
                        IntOptionOr(args, "updates", 200));
   RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  RPS_ASSIGN_OR_RETURN(const int64_t batch_queries,
+                       IntOptionOr(args, "batch-queries", 256));
 
   const std::string method_name = OptionOr(args, "method", "all");
   std::vector<std::unique_ptr<QueryMethod<int64_t>>> methods;
@@ -490,11 +494,14 @@ Status CmdBench(const ParsedArgs& args) {
     obs::ExpoServer::Options options;
     options.port = static_cast<int>(expo_port);
     expo.emplace(options);
+    expo->AddVarzSource("kernels", [] { return kernels::InfoJson(); });
     RPS_RETURN_IF_ERROR(expo->Start());
     std::printf("exposition server on http://127.0.0.1:%d\n", expo->port());
     std::fflush(stdout);
   }
 
+  std::printf("row kernels: %s\n", kernels::BackendName(
+                                       kernels::ActiveBackend()));
   std::printf("%-22s %14s %14s %18s\n", "method", "avg query us",
               "avg update us", "avg cells/update");
   for (auto& method : methods) {
@@ -508,6 +515,26 @@ Status CmdBench(const ParsedArgs& args) {
     std::printf("%-22s %14.3f %14.3f %18.1f\n", report.method.c_str(),
                 report.avg_query_micros(), report.avg_update_micros(),
                 report.avg_update_cells());
+  }
+
+  // Batched-query phase: the same uniform query mix, answered through
+  // RangeSumBatch (RunParallelQueryWorkload chunks the batch over the
+  // global pool). --batch-queries 0 skips it.
+  if (batch_queries > 0) {
+    std::printf("%-22s %14s   (batch of %lld)\n", "method",
+                "avg query us", static_cast<long long>(batch_queries));
+    for (auto& method : methods) {
+      UniformQueryGen query_gen(cube.shape(), static_cast<uint64_t>(seed));
+      std::vector<Box> ranges;
+      ranges.reserve(static_cast<size_t>(batch_queries));
+      for (int64_t i = 0; i < batch_queries; ++i) {
+        ranges.push_back(query_gen.Next());
+      }
+      const WorkloadReport report =
+          RunParallelQueryWorkload(*method, ranges, &ThreadPool::Global());
+      std::printf("%-22s %14.3f\n", report.method.c_str(),
+                  report.avg_query_micros());
+    }
   }
   if (auto it = args.options.find("metrics-json"); it != args.options.end()) {
     RPS_RETURN_IF_ERROR(WriteTextFile(
@@ -845,7 +872,7 @@ void PrintUsage() {
       "  audit   --snap structure.snap [--samples N --seed N]\n"
       "  bench   --cube cube.bin [--method all|naive|prefix_sum|\n"
       "          relative_prefix_sum|hierarchical_rps|fenwick]\n"
-      "          [--queries N --updates N --seed N]\n"
+      "          [--queries N --updates N --batch-queries N --seed N]\n"
       "          [--metrics-json metrics.json] [--expo-port N]\n"
       "          [--slow-query-us N] [--event-log events.jsonl]\n"
       "  serve   [--port N --port-file f --duration-s N --shape AxB]\n"
