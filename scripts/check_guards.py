@@ -6,11 +6,17 @@ Two rules, both cheap textual checks that close the gaps Clang's
 
 1. Raw-primitive ban. `std::mutex`, `std::shared_mutex`,
    `std::condition_variable*`, `std::lock_guard`, `std::unique_lock`,
-   `std::shared_lock` and `std::scoped_lock` may appear only in
-   src/util/mutex.h (the single wrapper that owns them). Everything
+   `std::shared_lock`, `std::scoped_lock`, plus the bare-metal fence
+   and flag primitives (`std::atomic_thread_fence`,
+   `std::atomic_signal_fence`, `std::atomic_flag`) may appear only in
+   the designated sync-owner files: src/util/mutex.h (lock wrappers)
+   and src/util/epoch.h + src/util/epoch.cc (the epoch-reclamation
+   primitive, whose correctness argument owns its fences). Everything
    else must use the annotated Mutex/SharedMutex/MutexLock/ReaderLock/
-   WriterLock/CondVar wrappers, because a raw primitive is invisible
-   to the analysis -- data it guards silently loses its proof.
+   WriterLock/CondVar wrappers or EpochDomain, because a raw primitive
+   is invisible to the analysis -- data it guards silently loses its
+   proof. (Plain `std::atomic<T>` stays allowed everywhere: metrics
+   and counters rely on it, and it cannot express a critical section.)
 
 2. Guarded-sibling rule. A class/struct that declares a `Mutex` or
    `SharedMutex` member must annotate at least one other member with
@@ -32,13 +38,20 @@ import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-WRAPPER = REPO / "src" / "util" / "mutex.h"
+# Files allowed to name raw synchronization primitives: the lock
+# wrappers, and the epoch-reclamation primitive (raw seq_cst fences
+# are part of its pin/advance protocol).
+SYNC_OWNERS = {
+    REPO / "src" / "util" / "mutex.h",
+    REPO / "src" / "util" / "epoch.h",
+    REPO / "src" / "util" / "epoch.cc",
+}
 DEFAULT_DIRS = ["src", "tools", "bench", "examples", "tests"]
 
 RAW_PRIMITIVE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
-    r"scoped_lock)\b"
+    r"scoped_lock|atomic_thread_fence|atomic_signal_fence|atomic_flag)\b"
 )
 
 # A Mutex/SharedMutex *member*: starts a declaration (optionally
@@ -66,7 +79,7 @@ def check_file(path: pathlib.Path, findings: list[str]) -> None:
         return
 
     rel = path.resolve()
-    is_wrapper = rel == WRAPPER
+    is_wrapper = rel in SYNC_OWNERS
     in_tests = "tests" in rel.parts
 
     lines = text.splitlines()
@@ -94,7 +107,8 @@ def check_file(path: pathlib.Path, findings: list[str]) -> None:
             findings.append(
                 f"{path}:{lineno}: raw synchronization primitive "
                 f"'{RAW_PRIMITIVE.search(code).group(0)}' -- use the "
-                f"annotated wrappers from src/util/mutex.h"
+                f"annotated wrappers from src/util/mutex.h (or "
+                f"EpochDomain from src/util/epoch.h)"
             )
         if (
             not in_tests

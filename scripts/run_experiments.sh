@@ -21,3 +21,8 @@ for b in build/bench/bench_*; do
       "$b" ;;
   esac
 done 2>&1 | tee bench_output.txt
+# Shard-scaling experiment (docs/PERFORMANCE.md): mixed reader/writer
+# workload over the serving engines, locked facade baseline plus
+# sharded 1/2/4/8.
+build/tools/rps_tool shardbench --out BENCH_shard_scaling.json \
+  2>&1 | tee -a bench_output.txt

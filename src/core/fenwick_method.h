@@ -89,6 +89,10 @@ class FenwickMethod final : public QueryMethod<T> {
     return RangeSum(Box::Cell(cell));
   }
 
+  std::unique_ptr<QueryMethod<T>> Clone() const override {
+    return std::make_unique<FenwickMethod<T>>(*this);
+  }
+
   MemoryStats Memory() const override {
     return MemoryStats{tree_.num_cells(), 0};
   }

@@ -337,6 +337,27 @@ class HierarchicalRps final : public QueryMethod<T> {
     return total;
   }
 
+  /// Deep copy: the flat members copy directly and the inner
+  /// structures reassemble through FromParts, which revalidates the
+  /// geometry the same way the snapshot loader does.
+  std::unique_ptr<QueryMethod<T>> Clone() const override {
+    std::vector<std::unique_ptr<RelativePrefixSum<T>>> faces;
+    faces.resize(faces_.size());
+    for (size_t i = 0; i < faces_.size(); ++i) {
+      if (faces_[i] != nullptr) {
+        faces[i] = std::make_unique<RelativePrefixSum<T>>(*faces_[i]);
+      }
+    }
+    Result<HierarchicalRps<T>> copy = FromParts(
+        shape_, box_size_, rp_, *coarse_, std::move(faces), pool_);
+    RPS_CHECK_MSG(copy.ok(), "HierarchicalRps::Clone: FromParts rejected"
+                             " the structure's own parts");
+    auto clone =
+        std::make_unique<HierarchicalRps<T>>(std::move(copy.value()));
+    clone->set_parallel_policy(policy_);
+    return clone;
+  }
+
   MemoryStats Memory() const override {
     MemoryStats memory{rp_.num_cells(), 0};
     const MemoryStats coarse_memory = coarse_->Memory();

@@ -8,6 +8,7 @@
 #ifndef RPS_CORE_METHOD_H_
 #define RPS_CORE_METHOD_H_
 
+#include <memory>
 #include <span>
 #include <string>
 
@@ -64,6 +65,14 @@ class QueryMethod {
 
   /// Current value of one cube cell.
   virtual T ValueAt(const CellIndex& cell) const = 0;
+
+  /// Deep, independent copy of the structure. The sharded engine's
+  /// copy-on-write publication path clones a shard, applies a batch
+  /// to the clone, and atomically swaps it in. Returns null when the
+  /// structure cannot be duplicated (e.g. it owns an external
+  /// resource such as a durable log); callers requiring clonability
+  /// must check once up front.
+  virtual std::unique_ptr<QueryMethod<T>> Clone() const { return nullptr; }
 
   /// Storage footprint in cells.
   virtual MemoryStats Memory() const = 0;

@@ -42,6 +42,10 @@ class NaiveMethod final : public QueryMethod<T> {
 
   T ValueAt(const CellIndex& cell) const override { return array_.at(cell); }
 
+  std::unique_ptr<QueryMethod<T>> Clone() const override {
+    return std::make_unique<NaiveMethod<T>>(*this);
+  }
+
   MemoryStats Memory() const override {
     return MemoryStats{array_.num_cells(), 0};
   }

@@ -59,6 +59,10 @@ class PrefixSumMethod final : public QueryMethod<T> {
     return SumFromPrefixArray(prefix_, Box::Cell(cell));
   }
 
+  std::unique_ptr<QueryMethod<T>> Clone() const override {
+    return std::make_unique<PrefixSumMethod<T>>(*this);
+  }
+
   MemoryStats Memory() const override {
     return MemoryStats{prefix_.num_cells(), 0};
   }

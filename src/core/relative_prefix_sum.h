@@ -246,6 +246,10 @@ class RelativePrefixSum final : public QueryMethod<T> {
   /// (2^d RP reads; A itself is not stored).
   T ValueAt(const CellIndex& cell) const override;
 
+  std::unique_ptr<QueryMethod<T>> Clone() const override {
+    return std::make_unique<RelativePrefixSum<T>>(*this);
+  }
+
   MemoryStats Memory() const override {
     return MemoryStats{rp_.num_cells(), overlay_.num_values()};
   }

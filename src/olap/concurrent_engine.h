@@ -22,14 +22,14 @@
 
 namespace rps {
 
-class ConcurrentOlapEngine {
+class ConcurrentOlapEngine final : public OlapServingEngine {
  public:
   /// `pool` is forwarded to the wrapped OlapEngine; builds and large
   /// update scatters run on it while this facade holds the writer
   /// lock, so readers still observe atomic transitions.
   ConcurrentOlapEngine(Schema schema, EngineMethod method,
                        ThreadPool* pool = &ThreadPool::Global())
-      : engine_(std::move(schema), method, pool) {
+      : schema_(std::move(schema)), engine_(schema_, method, pool) {
     obs::MetricRegistry& registry = obs::MetricRegistry::Global();
     const obs::Labels labels = {{"method", EngineMethodName(method)}};
     query_seconds_ =
@@ -38,19 +38,18 @@ class ConcurrentOlapEngine {
         &registry.GetHistogram("rps_concurrent_engine_insert_seconds", labels);
   }
 
-  const Schema& schema() const {
-    // The schema is immutable after construction, but the engine it
-    // lives in is guarded; a reader lock keeps the proof airtight.
-    ReaderLock lock(&mutex_);
-    return engine_.schema();
-  }
+  const char* strategy() const override { return "locked"; }
 
-  IngestReport Load(const std::vector<OlapRecord>& records) {
+  /// The schema is immutable after construction, so it is served from
+  /// an unguarded copy: schema reads never touch the engine lock.
+  const Schema& schema() const override { return schema_; }
+
+  IngestReport Load(const std::vector<OlapRecord>& records) override {
     WriterLock lock(&mutex_);
     return engine_.Load(records);
   }
 
-  Status Insert(const OlapRecord& record) {
+  Status Insert(const OlapRecord& record) override {
     const Stopwatch watch;  // includes writer-lock wait
     WriterLock lock(&mutex_);
     const Status status = engine_.Insert(record);
@@ -58,7 +57,23 @@ class ConcurrentOlapEngine {
     return status;
   }
 
-  Result<double> Sum(const RangeQuery& query) const {
+  /// Applies the batch under one writer-lock acquisition. Validates
+  /// every record before touching the structures so a bad record
+  /// fails the whole batch without partial effects.
+  Status InsertBatch(std::span<const OlapRecord> records) override {
+    const Stopwatch watch;  // includes writer-lock wait
+    WriterLock lock(&mutex_);
+    for (const OlapRecord& record : records) {
+      RPS_RETURN_IF_ERROR(schema_.CellOf(record.values).status());
+    }
+    for (const OlapRecord& record : records) {
+      RPS_RETURN_IF_ERROR(engine_.Insert(record));
+    }
+    insert_seconds_->ObserveNanos(watch.ElapsedNanos());
+    return Status::Ok();
+  }
+
+  Result<double> Sum(const RangeQuery& query) const override {
     const Stopwatch watch;  // includes reader-lock wait
     ReaderLock lock(&mutex_);
     Result<double> result = engine_.Sum(query);
@@ -69,7 +84,7 @@ class ConcurrentOlapEngine {
   /// Batched SUMs under one reader-lock acquisition (and one facade
   /// latency observation for the whole batch).
   Result<std::vector<double>> QueryBatch(
-      std::span<const RangeQuery> queries) const {
+      std::span<const RangeQuery> queries) const override {
     const Stopwatch watch;  // includes reader-lock wait
     ReaderLock lock(&mutex_);
     Result<std::vector<double>> result = engine_.QueryBatch(queries);
@@ -77,7 +92,7 @@ class ConcurrentOlapEngine {
     return result;
   }
 
-  Result<int64_t> Count(const RangeQuery& query) const {
+  Result<int64_t> Count(const RangeQuery& query) const override {
     const Stopwatch watch;
     ReaderLock lock(&mutex_);
     Result<int64_t> result = engine_.Count(query);
@@ -85,7 +100,7 @@ class ConcurrentOlapEngine {
     return result;
   }
 
-  Result<double> Average(const RangeQuery& query) const {
+  Result<double> Average(const RangeQuery& query) const override {
     const Stopwatch watch;
     ReaderLock lock(&mutex_);
     Result<double> result = engine_.Average(query);
@@ -95,7 +110,7 @@ class ConcurrentOlapEngine {
 
   Result<std::vector<double>> RollingSum(const RangeQuery& query,
                                          const std::string& dimension,
-                                         int64_t window) const {
+                                         int64_t window) const override {
     const Stopwatch watch;
     ReaderLock lock(&mutex_);
     Result<std::vector<double>> result =
@@ -106,7 +121,7 @@ class ConcurrentOlapEngine {
 
   /// Health-source payload for the exposition server; takes a reader
   /// lock so it is safe against concurrent writers.
-  std::string HealthJson() const {
+  std::string HealthJson() const override {
     ReaderLock lock(&mutex_);
     return engine_.HealthJson();
   }
@@ -121,6 +136,9 @@ class ConcurrentOlapEngine {
   }
 
  private:
+  // Unguarded on purpose: written once in the constructor, read-only
+  // afterwards (the wrapped engine holds its own copy for resolves).
+  const Schema schema_;
   mutable SharedMutex mutex_{"ConcurrentOlapEngine.mutex"};
   OlapEngine engine_ GUARDED_BY(mutex_);
   // Facade-level latency, lock wait included (labels:

@@ -65,6 +65,60 @@ struct IngestReport {
   int64_t rejected = 0;  // out-of-domain records (skipped)
 };
 
+/// Uniform read/write surface over the thread-safe serving engines:
+/// the single-lock facade (olap/concurrent_engine.h) and the sharded
+/// epoch-versioned engine (olap/sharded_engine.h). Drivers, tools and
+/// tests route between the two through MakeServingEngine and this
+/// interface, so a deployment can switch concurrency strategies
+/// without touching call sites.
+///
+/// All methods are safe to call from any thread. Readers of the
+/// sharded implementation never block; the locked implementation
+/// serializes writers against readers.
+class OlapServingEngine {
+ public:
+  virtual ~OlapServingEngine() = default;
+
+  /// Strategy name for logs and health payloads ("locked" or
+  /// "sharded").
+  virtual const char* strategy() const = 0;
+
+  virtual const Schema& schema() const = 0;
+
+  /// Bulk loads `records`, replacing current contents atomically with
+  /// respect to queries.
+  virtual IngestReport Load(const std::vector<OlapRecord>& records) = 0;
+
+  /// Inserts one record. Fails on out-of-domain values.
+  virtual Status Insert(const OlapRecord& record) = 0;
+
+  /// Inserts many records as one atomic transition: queries observe
+  /// either none or all of the batch. Fails (applying nothing) if any
+  /// record is out of domain. Batching is how writers amortize their
+  /// per-publication overhead.
+  virtual Status InsertBatch(std::span<const OlapRecord> records) = 0;
+
+  virtual Result<double> Sum(const RangeQuery& query) const = 0;
+  virtual Result<std::vector<double>> QueryBatch(
+      std::span<const RangeQuery> queries) const = 0;
+  virtual Result<int64_t> Count(const RangeQuery& query) const = 0;
+  virtual Result<double> Average(const RangeQuery& query) const = 0;
+  virtual Result<std::vector<double>> RollingSum(const RangeQuery& query,
+                                                 const std::string& dimension,
+                                                 int64_t window) const = 0;
+
+  /// Health-source payload for the exposition server.
+  virtual std::string HealthJson() const = 0;
+};
+
+/// Routing factory: `shards` == 0 selects the single-lock facade,
+/// `shards` >= 1 the sharded engine with that many shards, and
+/// `shards` < 0 the sharded engine with its default shard count (the
+/// thread-pool worker count). Defined in sharded_engine.cc.
+std::unique_ptr<OlapServingEngine> MakeServingEngine(
+    Schema schema, EngineMethod method, int shards,
+    ThreadPool* pool = &ThreadPool::Global());
+
 class OlapEngine {
  public:
   /// An empty engine over `schema` using `method`. `pool` backs the

@@ -1,0 +1,416 @@
+#include "olap/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "olap/concurrent_engine.h"
+#include "util/stopwatch.h"
+
+namespace rps {
+
+namespace {
+
+/// Batches at least this large fan out over the thread pool; smaller
+/// ones stay serial (per-query work is O(2^d) -- parallelism only
+/// pays once the batch amortizes the chunk handoff).
+constexpr size_t kParallelBatchThreshold = 64;
+
+}  // namespace
+
+std::unique_ptr<OlapServingEngine> MakeServingEngine(Schema schema,
+                                                     EngineMethod method,
+                                                     int shards,
+                                                     ThreadPool* pool) {
+  if (shards == 0) {
+    return std::make_unique<ConcurrentOlapEngine>(std::move(schema), method,
+                                                  pool);
+  }
+  return std::make_unique<ShardedOlapEngine>(std::move(schema), method,
+                                             shards, pool);
+}
+
+ShardedOlapEngine::ShardedOlapEngine(Schema schema, EngineMethod method,
+                                     int shards, ThreadPool* pool,
+                                     EpochDomain* domain)
+    : schema_(std::move(schema)),
+      method_(method),
+      pool_(pool),
+      domain_(domain) {
+  const Shape shape = schema_.CubeShape();
+  const int64_t rows = shape.extent(0);
+  if (shards <= 0) shards = ThreadPool::DefaultThreads();
+  const int64_t count = std::clamp<int64_t>(shards, 1, rows);
+  starts_.reserve(static_cast<size_t>(count) + 1);
+  // Balanced contiguous slices: the first (rows % count) shards get
+  // one extra row.
+  int64_t at = 0;
+  for (int64_t s = 0; s < count; ++s) {
+    starts_.push_back(at);
+    at += rows / count + (s < rows % count ? 1 : 0);
+  }
+  starts_.push_back(rows);
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  const obs::Labels labels = {{"method", EngineMethodName(method_)},
+                              {"shards", std::to_string(count)}};
+  query_seconds_ =
+      &registry.GetHistogram("rps_sharded_engine_query_seconds", labels);
+  insert_seconds_ =
+      &registry.GetHistogram("rps_sharded_engine_insert_seconds", labels);
+  publish_seconds_ =
+      &registry.GetHistogram("rps_sharded_engine_publish_seconds", labels);
+  publishes_total_ =
+      &registry.GetCounter("rps_shard_publishes_total", labels);
+  cloned_cells_total_ =
+      &registry.GetCounter("rps_shard_cloned_cells_total", labels);
+  shard_count_ = &registry.GetGauge("rps_shard_count", labels);
+  generation_gauge_ = &registry.GetGauge("rps_shard_generation", labels);
+  shard_count_->Set(static_cast<double>(count));
+
+  // Initial version: every shard an all-zero cube at generation 1.
+  auto* version = new EngineVersion();
+  version->generation = 1;
+  version->shards.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    const Shape sub = ShardShape(s);
+    auto state = std::make_shared<ShardState>();
+    state->sums = MakeDoubleMethod(method_, sub, pool_);
+    state->counts = MakeCountMethod(method_, sub, pool_);
+    state->generation = 1;
+    RPS_CHECK_MSG(state->sums->Clone() != nullptr &&
+                      state->counts->Clone() != nullptr,
+                  "ShardedOlapEngine requires a clonable QueryMethod");
+    version->shards.push_back(std::move(state));
+  }
+  version_.store(version, std::memory_order_release);
+  generation_gauge_->Set(1);
+  {
+    MutexLock lock(&writer_mu_);
+    next_generation_ = 2;
+  }
+}
+
+ShardedOlapEngine::~ShardedOlapEngine() {
+  const EngineVersion* last =
+      version_.exchange(nullptr, std::memory_order_acq_rel);
+  domain_->Retire(const_cast<EngineVersion*>(last));
+  // Best effort: with no readers pinned this frees everything this
+  // engine retired; stragglers stay on the (leaked) global domain's
+  // list and are reclaimed by later users.
+  domain_->Drain();
+}
+
+int ShardedOlapEngine::ShardOf(int64_t row0) const {
+  // starts_ is sorted; the owning shard is the last start <= row0.
+  const auto it =
+      std::upper_bound(starts_.begin(), starts_.end(), row0);
+  return static_cast<int>(it - starts_.begin()) - 1;
+}
+
+Shape ShardedOlapEngine::ShardShape(int s) const {
+  const Shape shape = schema_.CubeShape();
+  std::vector<int64_t> extents;
+  extents.reserve(static_cast<size_t>(shape.dims()));
+  extents.push_back(starts_[static_cast<size_t>(s) + 1] -
+                    starts_[static_cast<size_t>(s)]);
+  for (int j = 1; j < shape.dims(); ++j) extents.push_back(shape.extent(j));
+  return Shape::FromExtents(extents);
+}
+
+uint64_t ShardedOlapEngine::generation() const {
+  EpochDomain::Guard guard(*domain_);
+  return version_.load(std::memory_order_acquire)->generation;
+}
+
+double ShardedOlapEngine::SumInVersion(const EngineVersion& version,
+                                       const Box& range) const {
+  const int first = ShardOf(range.lo()[0]);
+  const int last = ShardOf(range.hi()[0]);
+  double total = 0;
+  for (int s = first; s <= last; ++s) {
+    const int64_t base = starts_[static_cast<size_t>(s)];
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[0] = std::max(lo[0], base) - base;
+    hi[0] = std::min(hi[0], starts_[static_cast<size_t>(s) + 1] - 1) - base;
+    total += version.shards[static_cast<size_t>(s)]->sums->RangeSum(
+        Box(lo, hi));
+  }
+  return total;
+}
+
+int64_t ShardedOlapEngine::CountInVersion(const EngineVersion& version,
+                                          const Box& range) const {
+  const int first = ShardOf(range.lo()[0]);
+  const int last = ShardOf(range.hi()[0]);
+  int64_t total = 0;
+  for (int s = first; s <= last; ++s) {
+    const int64_t base = starts_[static_cast<size_t>(s)];
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[0] = std::max(lo[0], base) - base;
+    hi[0] = std::min(hi[0], starts_[static_cast<size_t>(s) + 1] - 1) - base;
+    total += version.shards[static_cast<size_t>(s)]->counts->RangeSum(
+        Box(lo, hi));
+  }
+  return total;
+}
+
+std::shared_ptr<const ShardedOlapEngine::ShardState>
+ShardedOlapEngine::BuildShard(int s, const NdArray<double>& sums,
+                              const NdArray<int64_t>& counts,
+                              uint64_t generation) const {
+  auto state = std::make_shared<ShardState>();
+  state->sums = MakeDoubleMethod(method_, sums.shape(), pool_);
+  state->sums->Build(sums);
+  state->counts = MakeCountMethod(method_, counts.shape(), pool_);
+  state->counts->Build(counts);
+  state->generation = generation;
+  (void)s;
+  return state;
+}
+
+void ShardedOlapEngine::Publish(EngineVersion* next) {
+  const EngineVersion* previous =
+      version_.exchange(next, std::memory_order_seq_cst);
+  domain_->Retire(const_cast<EngineVersion*>(previous));
+  publishes_total_->Increment();
+  generation_gauge_->Set(static_cast<double>(next->generation));
+  domain_->Reclaim();
+}
+
+IngestReport ShardedOlapEngine::Load(const std::vector<OlapRecord>& records) {
+  IngestReport report;
+  const int count = shards();
+  // Dense per-shard accumulation first (no lock held): binning is the
+  // expensive part and touches no shared state.
+  std::vector<NdArray<double>> sums;
+  std::vector<NdArray<int64_t>> counts;
+  sums.reserve(static_cast<size_t>(count));
+  counts.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    const Shape sub = ShardShape(s);
+    sums.emplace_back(sub, 0.0);
+    counts.emplace_back(sub, int64_t{0});
+  }
+  for (const OlapRecord& record : records) {
+    const Result<CellIndex> cell = schema_.CellOf(record.values);
+    if (!cell.ok()) {
+      ++report.rejected;
+      continue;
+    }
+    CellIndex local = cell.value();
+    const int s = ShardOf(local[0]);
+    local[0] -= starts_[static_cast<size_t>(s)];
+    sums[static_cast<size_t>(s)].at(local) += record.measure;
+    counts[static_cast<size_t>(s)].at(local) += 1;
+    ++report.accepted;
+  }
+
+  const Stopwatch watch;
+  MutexLock lock(&writer_mu_);
+  const uint64_t generation = next_generation_++;
+  auto* next = new EngineVersion();
+  next->generation = generation;
+  next->shards.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    next->shards.push_back(BuildShard(s, sums[static_cast<size_t>(s)],
+                                      counts[static_cast<size_t>(s)],
+                                      generation));
+  }
+  Publish(next);
+  publish_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return report;
+}
+
+Status ShardedOlapEngine::Insert(const OlapRecord& record) {
+  return InsertBatch(std::span<const OlapRecord>(&record, 1));
+}
+
+Status ShardedOlapEngine::InsertBatch(std::span<const OlapRecord> records) {
+  if (records.empty()) return Status::Ok();
+  const Stopwatch watch;
+  // Resolve and group outside the lock; any bad record fails the
+  // whole batch before anything is cloned.
+  struct LocalUpdate {
+    CellIndex cell;
+    double measure;
+  };
+  std::vector<std::vector<LocalUpdate>> per_shard(
+      static_cast<size_t>(shards()));
+  for (const OlapRecord& record : records) {
+    RPS_ASSIGN_OR_RETURN(CellIndex cell, schema_.CellOf(record.values));
+    const int s = ShardOf(cell[0]);
+    cell[0] -= starts_[static_cast<size_t>(s)];
+    per_shard[static_cast<size_t>(s)].push_back(
+        LocalUpdate{cell, record.measure});
+  }
+
+  MutexLock lock(&writer_mu_);
+  const EngineVersion* current = version_.load(std::memory_order_acquire);
+  const uint64_t generation = next_generation_++;
+  auto* next = new EngineVersion();
+  next->generation = generation;
+  next->shards = current->shards;  // structural sharing by default
+  int64_t cloned_cells = 0;
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    // Copy-on-write: clone the touched shard, apply the sub-batch to
+    // the private clone, swap it into the new version.
+    auto replacement = std::make_shared<ShardState>();
+    replacement->sums = current->shards[s]->sums->Clone();
+    replacement->counts = current->shards[s]->counts->Clone();
+    replacement->generation = generation;
+    cloned_cells += replacement->sums->Memory().total() +
+                    replacement->counts->Memory().total();
+    for (const LocalUpdate& update : per_shard[s]) {
+      replacement->sums->Add(update.cell, update.measure);
+      replacement->counts->Add(update.cell, 1);
+    }
+    next->shards[s] = std::move(replacement);
+  }
+  cloned_cells_total_->Increment(cloned_cells);
+  Publish(next);
+  insert_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return Status::Ok();
+}
+
+Result<double> ShardedOlapEngine::Sum(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const Stopwatch watch;
+  EpochDomain::Guard guard(*domain_);
+  const EngineVersion* version = version_.load(std::memory_order_acquire);
+  const double sum = SumInVersion(*version, range);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return sum;
+}
+
+Result<std::vector<double>> ShardedOlapEngine::QueryBatch(
+    std::span<const RangeQuery> queries) const {
+  std::vector<Box> ranges;
+  ranges.reserve(queries.size());
+  for (const RangeQuery& query : queries) {
+    RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+    ranges.push_back(range);
+  }
+  const Stopwatch watch;
+  EpochDomain::Guard guard(*domain_);
+  const EngineVersion* version = version_.load(std::memory_order_acquire);
+  std::vector<double> results(ranges.size());
+  if (pool_ != nullptr && ranges.size() >= kParallelBatchThreshold) {
+    // Fan out across the pool. Workers borrow the caller's pin: the
+    // caller stays pinned until ParallelFor joins, so the version
+    // cannot be reclaimed while any chunk is in flight.
+    pool_->ParallelFor(
+        0, static_cast<int64_t>(ranges.size()), 16,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            results[static_cast<size_t>(i)] =
+                SumInVersion(*version, ranges[static_cast<size_t>(i)]);
+          }
+        });
+  } else {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      results[i] = SumInVersion(*version, ranges[i]);
+    }
+  }
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return results;
+}
+
+Result<int64_t> ShardedOlapEngine::Count(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const Stopwatch watch;
+  EpochDomain::Guard guard(*domain_);
+  const EngineVersion* version = version_.load(std::memory_order_acquire);
+  const int64_t count = CountInVersion(*version, range);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return count;
+}
+
+Result<double> ShardedOlapEngine::Average(const RangeQuery& query) const {
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const Stopwatch watch;
+  // One pin, one version load: SUM and COUNT come from the same
+  // snapshot, so AVERAGE can never mix generations.
+  EpochDomain::Guard guard(*domain_);
+  const EngineVersion* version = version_.load(std::memory_order_acquire);
+  const int64_t count = CountInVersion(*version, range);
+  if (count == 0) {
+    return Status::FailedPrecondition("AVERAGE over a range with no records");
+  }
+  const double average =
+      SumInVersion(*version, range) / static_cast<double>(count);
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return average;
+}
+
+Result<std::vector<double>> ShardedOlapEngine::RollingSum(
+    const RangeQuery& query, const std::string& dimension,
+    int64_t window) const {
+  if (window < 1) return Status::InvalidArgument("window must be >= 1");
+  RPS_ASSIGN_OR_RETURN(const int j, schema_.DimensionIndex(dimension));
+  RPS_ASSIGN_OR_RETURN(const Box range, query.Resolve(schema_));
+  const Stopwatch watch;
+  // All windows are answered against one pinned version, so a rolling
+  // series is internally consistent even under concurrent writes --
+  // something the locked facade also guarantees, but by stalling the
+  // writer instead.
+  EpochDomain::Guard guard(*domain_);
+  const EngineVersion* version = version_.load(std::memory_order_acquire);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(range.Extent(j)));
+  for (int64_t p = range.lo()[j]; p <= range.hi()[j]; ++p) {
+    CellIndex lo = range.lo();
+    CellIndex hi = range.hi();
+    lo[j] = std::max(range.lo()[j], p - window + 1);
+    hi[j] = p;
+    out.push_back(SumInVersion(*version, Box(lo, hi)));
+  }
+  query_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return out;
+}
+
+std::string ShardedOlapEngine::HealthJson() const {
+  std::string out = "{\"strategy\":\"sharded\",\"method\":\"";
+  out += EngineMethodName(method_);
+  out += "\",\"shards\":";
+  out += std::to_string(shards());
+  out += ",\"generation\":";
+  out += std::to_string(generation());
+  out += ",\"cube_cells\":";
+  out += std::to_string(schema_.CubeShape().num_cells());
+  out += ",\"epoch\":";
+  out += domain_->VarzJson();
+  out += '}';
+  return out;
+}
+
+std::string ShardedOlapEngine::VarzJson() const {
+  EpochDomain::Guard guard(*domain_);
+  const EngineVersion* version = version_.load(std::memory_order_acquire);
+  std::string out = "{\"generation\":";
+  out += std::to_string(version->generation);
+  out += ",\"shards\":[";
+  for (size_t s = 0; s < version->shards.size(); ++s) {
+    if (s > 0) out += ',';
+    const ShardState& shard = *version->shards[s];
+    out += "{\"shard\":";
+    out += std::to_string(s);
+    out += ",\"rows\":[";
+    out += std::to_string(starts_[s]);
+    out += ',';
+    out += std::to_string(starts_[s + 1] - 1);
+    out += "],\"cells\":";
+    out += std::to_string(shard.sums->Memory().total());
+    out += ",\"generation\":";
+    out += std::to_string(shard.generation);
+    out += '}';
+  }
+  out += "],\"epoch\":";
+  out += domain_->VarzJson();
+  out += '}';
+  return out;
+}
+
+}  // namespace rps

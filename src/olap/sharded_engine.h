@@ -1,0 +1,160 @@
+// Sharded, epoch-versioned OLAP engine with wait-free readers.
+//
+// The single-lock facade (olap/concurrent_engine.h) re-couples the
+// costs the paper decouples: one writer holding the exclusive lock
+// stalls every reader for the whole update. This engine removes the
+// reader/writer coupling entirely:
+//
+//   * The cube is partitioned along dimension 0 -- the highest-stride
+//     dimension under row-major linearization -- into S contiguous
+//     slices ("shards"), each backed by its own SUM and COUNT
+//     structures over the slice's sub-shape.
+//   * All shard state is immutable once published. A single atomic
+//     pointer holds the current EngineVersion: a generation counter
+//     plus one reference per shard. Readers pin an epoch
+//     (util/epoch.h), load the pointer once, and answer any number of
+//     range sums against a frozen, cross-shard-consistent snapshot --
+//     no locks, no reference-count traffic, wait-free.
+//   * Writers serialize among themselves on a plain mutex, clone only
+//     the shards a batch touches (QueryMethod::Clone -- copy-on-
+//     write), apply the batch to the clones, publish a new version
+//     with one atomic pointer swap, and retire the old version into
+//     the epoch domain. Readers never observe a torn batch: a query
+//     sees the shard set of exactly one version.
+//
+// Cross-shard queries intersect the resolved box with each slice and
+// merge the per-shard partial sums; large batches fan out over the
+// ThreadPool. Updates cost one clone of the touched shards per batch,
+// which is why writers batch: the clone is amortized across the
+// batch, and untouched shards are shared structurally between
+// versions.
+
+#ifndef RPS_OLAP_SHARDED_ENGINE_H_
+#define RPS_OLAP_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "obs/metrics.h"
+#include "olap/engine.h"
+#include "util/annotations.h"
+#include "util/epoch.h"
+#include "util/mutex.h"
+
+namespace rps {
+
+class ShardedOlapEngine final : public OlapServingEngine {
+ public:
+  /// An empty engine over `schema` using `method`, split into
+  /// `shards` slices (clamped to [1, extent of dimension 0];
+  /// <= 0 means the thread-pool default). The method must be
+  /// clonable (every built-in EngineMethod is); this is checked once
+  /// here. `domain` defaults to the process-wide epoch domain; tests
+  /// may pass an isolated one.
+  ShardedOlapEngine(Schema schema, EngineMethod method, int shards,
+                    ThreadPool* pool = &ThreadPool::Global(),
+                    EpochDomain* domain = &EpochDomain::Global());
+
+  /// Unpublishes and retires the last version. Callers must ensure no
+  /// reader is still inside a query (as with any engine teardown).
+  ~ShardedOlapEngine() override;
+
+  const char* strategy() const override { return "sharded"; }
+  const Schema& schema() const override { return schema_; }
+  EngineMethod method() const { return method_; }
+  int shards() const { return static_cast<int>(starts_.size()) - 1; }
+
+  /// Generation of the currently published version (monotonic; starts
+  /// at 1 for the empty engine and advances once per publication).
+  uint64_t generation() const;
+
+  IngestReport Load(const std::vector<OlapRecord>& records) override;
+  Status Insert(const OlapRecord& record) override;
+  Status InsertBatch(std::span<const OlapRecord> records) override;
+
+  Result<double> Sum(const RangeQuery& query) const override;
+  Result<std::vector<double>> QueryBatch(
+      std::span<const RangeQuery> queries) const override;
+  Result<int64_t> Count(const RangeQuery& query) const override;
+  Result<double> Average(const RangeQuery& query) const override;
+  Result<std::vector<double>> RollingSum(const RangeQuery& query,
+                                         const std::string& dimension,
+                                         int64_t window) const override;
+
+  std::string HealthJson() const override;
+
+  /// One JSON object per shard (row range, cells, generation) plus
+  /// the engine totals -- the /varz shard table.
+  std::string VarzJson() const;
+
+ private:
+  /// One slice of the cube: immutable once published.
+  struct ShardState {
+    std::unique_ptr<QueryMethod<double>> sums;
+    std::unique_ptr<QueryMethod<int64_t>> counts;
+    /// Generation that last rewrote this shard (<= the version's).
+    uint64_t generation = 0;
+  };
+
+  /// A consistent whole-engine snapshot. Unaffected shards are shared
+  /// (by shared_ptr) with the previous version; readers never touch
+  /// the reference counts -- only writers clone/share, under the
+  /// writer mutex, and the epoch domain frees retired versions.
+  struct EngineVersion {
+    uint64_t generation = 0;
+    std::vector<std::shared_ptr<const ShardState>> shards;
+  };
+
+  /// Shard index owning cube row `row0` (dimension-0 coordinate).
+  int ShardOf(int64_t row0) const;
+  /// Sub-shape of shard `s` (dimension 0 trimmed to the slice).
+  Shape ShardShape(int s) const;
+  /// Sum of `range` across the shards of `version`. `range` must lie
+  /// within the cube.
+  double SumInVersion(const EngineVersion& version, const Box& range) const;
+  int64_t CountInVersion(const EngineVersion& version,
+                         const Box& range) const;
+  /// Builds fresh shard states from dense per-shard arrays.
+  std::shared_ptr<const ShardState> BuildShard(
+      int s, const NdArray<double>& sums, const NdArray<int64_t>& counts,
+      uint64_t generation) const;
+  /// Swaps in `next` and retires the previous version. Requires
+  /// writer_mu_.
+  void Publish(EngineVersion* next) REQUIRES(writer_mu_);
+
+  const Schema schema_;
+  const EngineMethod method_;
+  ThreadPool* const pool_;
+  EpochDomain* const domain_;
+  /// Slice boundaries on dimension 0: shard s covers rows
+  /// [starts_[s], starts_[s+1]); size() == shards() + 1.
+  std::vector<int64_t> starts_;
+
+  /// The published version. Written only under writer_mu_ (a seq_cst
+  /// swap); read by pinned readers with an acquire load. Never null.
+  std::atomic<const EngineVersion*> version_{nullptr};
+
+  Mutex writer_mu_{"ShardedOlapEngine.writer_mu"};
+  /// Monotonic publication counter (matches the published version's
+  /// generation while writer_mu_ is held).
+  uint64_t next_generation_ GUARDED_BY(writer_mu_) = 1;
+
+  // Registry-owned observability (labels: method=..., plus
+  // shards=... on the gauges).
+  obs::Histogram* query_seconds_;
+  obs::Histogram* insert_seconds_;
+  obs::Histogram* publish_seconds_;
+  obs::Counter* publishes_total_;
+  obs::Counter* cloned_cells_total_;
+  obs::Gauge* shard_count_;
+  obs::Gauge* generation_gauge_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_OLAP_SHARDED_ENGINE_H_

@@ -96,6 +96,67 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(EngineMethodName(info.param));
     });
 
+TEST_P(MultiMeasureTest, AverageOverEmptyRangeFails) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 1, 100, 60)});
+  // Region 3 holds no records: AVERAGE is undefined there.
+  EXPECT_EQ(engine
+                .Average("sales",
+                         RangeQuery().WhereIntBetween("region", 3, 3))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Unknown measure beats the empty-range check.
+  EXPECT_EQ(engine.Average("profit", RangeQuery()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_P(MultiMeasureTest, RatioOfSumsUnknownMeasureFails) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 1, 100, 60)});
+  EXPECT_EQ(
+      engine.RatioOfSums("profit", "sales", RangeQuery()).status().code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(
+      engine.RatioOfSums("cost", "profit", RangeQuery()).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_P(MultiMeasureTest, LoadReplacesPriorContents) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 1, 100, 60), Rec(1, 2, 50, 20)});
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", RangeQuery()).value(), 150);
+  // A second Load is a full replacement, not an append.
+  engine.Load({Rec(2, 3, 7, 3)});
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", RangeQuery()).value(), 7);
+  EXPECT_DOUBLE_EQ(engine.Sum("cost", RangeQuery()).value(), 3);
+  EXPECT_EQ(engine.Count(RangeQuery()).value(), 1);
+}
+
+TEST_P(MultiMeasureTest, CountRespectsSubranges) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 1, 1, 1), Rec(0, 5, 1, 1), Rec(3, 5, 1, 1)});
+  EXPECT_EQ(
+      engine.Count(RangeQuery().WhereIntBetween("region", 0, 0)).value(), 2);
+  EXPECT_EQ(engine.Count(RangeQuery().WhereIntBetween("day", 5, 5)).value(),
+            2);
+  EXPECT_EQ(engine.Count(RangeQuery().WhereIntBetween("day", 9, 9)).value(),
+            0);
+}
+
+TEST_P(MultiMeasureTest, NegativeMeasuresAndCancellation) {
+  MultiMeasureEngine engine = MakeEngine(GetParam());
+  engine.Load({Rec(0, 1, 10, 4)});
+  // A refund record cancels the sales sum but still counts as a
+  // record, so COUNT and SUM diverge as they should.
+  ASSERT_TRUE(engine.Insert(Rec(0, 2, -10, 1)).ok());
+  EXPECT_DOUBLE_EQ(engine.Sum("sales", RangeQuery()).value(), 0);
+  EXPECT_EQ(engine.Count(RangeQuery()).value(), 2);
+  // RatioOfSums refuses the now-zero denominator.
+  EXPECT_EQ(engine.RatioOfSums("cost", "sales", RangeQuery()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(MultiMeasureDeathTest, DuplicateMeasuresRejected) {
   EXPECT_DEATH(MultiMeasureEngine({"a", "a"},
                                   {Dimension::Integer("x", 0, 2)},

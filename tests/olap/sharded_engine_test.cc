@@ -1,0 +1,223 @@
+#include "olap/sharded_engine.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "olap/engine.h"
+#include "util/epoch.h"
+
+namespace rps {
+namespace {
+
+Schema TwoDee(int64_t rows, int64_t cols) {
+  return Schema("MEASURE", {Dimension::Integer("d0", 0, rows),
+                            Dimension::Integer("d1", 0, cols)});
+}
+
+OlapRecord Rec(int64_t r, int64_t c, double measure) {
+  return OlapRecord{{r, c}, measure};
+}
+
+TEST(ShardedEngineTest, ShardCountClampedToDimensionZero) {
+  ShardedOlapEngine engine(TwoDee(4, 16), EngineMethod::kRelativePrefixSum,
+                           99, nullptr);
+  EXPECT_EQ(engine.shards(), 4);  // at most one shard per row
+  ShardedOlapEngine one(TwoDee(4, 16), EngineMethod::kRelativePrefixSum, 1,
+                        nullptr);
+  EXPECT_EQ(one.shards(), 1);
+}
+
+TEST(ShardedEngineTest, LoadThenCrossShardSums) {
+  // 10 rows over 3 shards: slices of 4, 3, 3 rows.
+  ShardedOlapEngine engine(TwoDee(10, 6), EngineMethod::kRelativePrefixSum,
+                           3, nullptr);
+  EXPECT_EQ(engine.shards(), 3);
+  std::vector<OlapRecord> records;
+  for (int64_t r = 0; r < 10; ++r) {
+    for (int64_t c = 0; c < 6; ++c) {
+      records.push_back(Rec(r, c, static_cast<double>(r * 6 + c)));
+    }
+  }
+  const IngestReport report = engine.Load(records);
+  EXPECT_EQ(report.accepted, 60);
+  EXPECT_EQ(report.rejected, 0);
+
+  // Whole cube: sum 0..59.
+  EXPECT_DOUBLE_EQ(engine.Sum(RangeQuery()).value(), 59.0 * 60.0 / 2.0);
+  // A range crossing all three shard boundaries.
+  const RangeQuery cross =
+      RangeQuery().WhereIntBetween("d0", 2, 8).WhereIntBetween("d1", 1, 4);
+  double expected = 0;
+  for (int64_t r = 2; r <= 8; ++r) {
+    for (int64_t c = 1; c <= 4; ++c) expected += static_cast<double>(r * 6 + c);
+  }
+  EXPECT_DOUBLE_EQ(engine.Sum(cross).value(), expected);
+  // A range within a single interior shard.
+  EXPECT_DOUBLE_EQ(
+      engine.Sum(RangeQuery().WhereIntBetween("d0", 5, 6)).value(),
+      [&] {
+        double sum = 0;
+        for (int64_t r = 5; r <= 6; ++r) {
+          for (int64_t c = 0; c < 6; ++c) sum += static_cast<double>(r * 6 + c);
+        }
+        return sum;
+      }());
+  EXPECT_EQ(engine.Count(cross).value(), 7 * 4);
+}
+
+TEST(ShardedEngineTest, LoadCountsRejects) {
+  ShardedOlapEngine engine(TwoDee(4, 4), EngineMethod::kRelativePrefixSum, 2,
+                           nullptr);
+  const IngestReport report =
+      engine.Load({Rec(0, 0, 1), Rec(9, 0, 1), Rec(3, 3, 2)});
+  EXPECT_EQ(report.accepted, 2);
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_DOUBLE_EQ(engine.Sum(RangeQuery()).value(), 3);
+}
+
+TEST(ShardedEngineTest, InsertBatchIsAllOrNothing) {
+  ShardedOlapEngine engine(TwoDee(8, 8), EngineMethod::kRelativePrefixSum, 4,
+                           nullptr);
+  const uint64_t before = engine.generation();
+  // One bad record poisons the whole batch: nothing lands.
+  const std::vector<OlapRecord> bad = {Rec(0, 0, 5), Rec(42, 0, 5)};
+  EXPECT_FALSE(engine.InsertBatch(bad).ok());
+  EXPECT_EQ(engine.generation(), before);
+  EXPECT_DOUBLE_EQ(engine.Sum(RangeQuery()).value(), 0);
+
+  const std::vector<OlapRecord> good = {Rec(0, 0, 5), Rec(7, 7, 2)};
+  ASSERT_TRUE(engine.InsertBatch(good).ok());
+  EXPECT_EQ(engine.generation(), before + 1);  // one publish per batch
+  EXPECT_DOUBLE_EQ(engine.Sum(RangeQuery()).value(), 7);
+}
+
+TEST(ShardedEngineTest, GenerationAdvancesOncePerPublish) {
+  ShardedOlapEngine engine(TwoDee(8, 4), EngineMethod::kRelativePrefixSum, 2,
+                           nullptr);
+  const uint64_t start = engine.generation();
+  ASSERT_TRUE(engine.Insert(Rec(0, 0, 1)).ok());
+  ASSERT_TRUE(engine.Insert(Rec(7, 3, 1)).ok());
+  EXPECT_EQ(engine.generation(), start + 2);
+  engine.Load({Rec(1, 1, 1)});
+  EXPECT_EQ(engine.generation(), start + 3);
+}
+
+TEST(ShardedEngineTest, MatchesUnshardedEngineOnEverySurface) {
+  // The sharded engine against the plain (unsynchronized) engine on
+  // identical data: Sum, Count, Average, RollingSum, QueryBatch.
+  OlapEngine reference(TwoDee(12, 5), EngineMethod::kRelativePrefixSum,
+                       nullptr);
+  ShardedOlapEngine sharded(TwoDee(12, 5), EngineMethod::kRelativePrefixSum,
+                           5, nullptr);
+  std::vector<OlapRecord> records;
+  for (int64_t r = 0; r < 12; ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      if ((r + c) % 3 == 0) records.push_back(Rec(r, c, r * 1.0 + c * 10.0));
+    }
+  }
+  reference.Load(records);
+  sharded.Load(records);
+
+  std::vector<RangeQuery> queries;
+  for (int64_t lo = 0; lo < 12; lo += 2) {
+    for (int64_t hi = lo; hi < 12; hi += 3) {
+      queries.push_back(RangeQuery().WhereIntBetween("d0", lo, hi));
+    }
+  }
+  for (const RangeQuery& query : queries) {
+    EXPECT_DOUBLE_EQ(sharded.Sum(query).value(),
+                     reference.Sum(query).value());
+    EXPECT_EQ(sharded.Count(query).value(), reference.Count(query).value());
+  }
+  const Result<std::vector<double>> batch = sharded.QueryBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch.value()[i], reference.Sum(queries[i]).value()) << i;
+  }
+  const RangeQuery all;
+  EXPECT_DOUBLE_EQ(sharded.Average(all).value(),
+                   reference.Average(all).value());
+  const auto rolling_sharded = sharded.RollingSum(all, "d0", 3);
+  const auto rolling_reference = reference.RollingSum(all, "d0", 3);
+  ASSERT_TRUE(rolling_sharded.ok());
+  ASSERT_TRUE(rolling_reference.ok());
+  EXPECT_EQ(rolling_sharded.value(), rolling_reference.value());
+}
+
+TEST(ShardedEngineTest, AverageFailsOnEmptyRange) {
+  ShardedOlapEngine engine(TwoDee(4, 4), EngineMethod::kRelativePrefixSum, 2,
+                           nullptr);
+  EXPECT_EQ(engine.Average(RangeQuery()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedEngineTest, QueryErrorsPropagate) {
+  ShardedOlapEngine engine(TwoDee(4, 4), EngineMethod::kRelativePrefixSum, 2,
+                           nullptr);
+  EXPECT_FALSE(engine.Sum(RangeQuery().WhereIntBetween("week", 0, 1)).ok());
+  EXPECT_FALSE(engine.Insert(OlapRecord{{int64_t{0}}, 1.0}).ok());
+}
+
+TEST(ShardedEngineTest, HealthAndVarzPayloads) {
+  ShardedOlapEngine engine(TwoDee(9, 3), EngineMethod::kRelativePrefixSum, 4,
+                           nullptr);
+  const std::string health = engine.HealthJson();
+  EXPECT_NE(health.find("\"strategy\":\"sharded\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("\"shards\":4"), std::string::npos) << health;
+  const std::string varz = engine.VarzJson();
+  // One row per shard with its dimension-0 slice.
+  EXPECT_NE(varz.find("\"shard\":0"), std::string::npos) << varz;
+  EXPECT_NE(varz.find("\"shard\":3"), std::string::npos) << varz;
+  EXPECT_NE(varz.find("\"epoch\""), std::string::npos) << varz;
+}
+
+TEST(ShardedEngineTest, IsolatedDomainDrainsOnDestruction) {
+  EpochDomain domain;
+  {
+    ShardedOlapEngine engine(TwoDee(6, 6), EngineMethod::kRelativePrefixSum,
+                             2, nullptr, &domain);
+    ASSERT_TRUE(engine.Insert(Rec(0, 0, 1)).ok());
+    ASSERT_TRUE(engine.Insert(Rec(5, 5, 1)).ok());
+    EXPECT_DOUBLE_EQ(engine.Sum(RangeQuery()).value(), 2);
+  }
+  // Every retired version was freed when the engine tore down.
+  EXPECT_EQ(domain.RetiredCount(), 0);
+}
+
+TEST(ServingFactoryTest, RoutesOnShardCount) {
+  EXPECT_STREQ(
+      MakeServingEngine(TwoDee(8, 8), EngineMethod::kRelativePrefixSum, 0,
+                        nullptr)
+          ->strategy(),
+      "locked");
+  const auto sharded = MakeServingEngine(
+      TwoDee(8, 8), EngineMethod::kRelativePrefixSum, 2, nullptr);
+  EXPECT_STREQ(sharded->strategy(), "sharded");
+  // < 0: sharded with the default shard count.
+  EXPECT_STREQ(
+      MakeServingEngine(TwoDee(8, 8), EngineMethod::kRelativePrefixSum, -1,
+                        nullptr)
+          ->strategy(),
+      "sharded");
+}
+
+TEST(ShardedEngineTest, EveryEngineMethodWorksSharded) {
+  for (const EngineMethod method :
+       {EngineMethod::kNaive, EngineMethod::kPrefixSum,
+        EngineMethod::kRelativePrefixSum, EngineMethod::kFenwick,
+        EngineMethod::kHierarchicalRps}) {
+    ShardedOlapEngine engine(TwoDee(8, 8), method, 3, nullptr);
+    ASSERT_TRUE(engine.Insert(Rec(1, 1, 4)).ok()) << EngineMethodName(method);
+    ASSERT_TRUE(engine.Insert(Rec(6, 7, 5)).ok()) << EngineMethodName(method);
+    EXPECT_DOUBLE_EQ(engine.Sum(RangeQuery()).value(), 9)
+        << EngineMethodName(method);
+  }
+}
+
+}  // namespace
+}  // namespace rps

@@ -97,6 +97,78 @@ TEST(WindowTest, UnknownDimensionFails) {
             StatusCode::kNotFound);
 }
 
+TEST(WindowTest, CumulativeSeriesRespectsSubrange) {
+  const OlapEngine engine = MakeEngine();
+  // Days 3..6, store 0 only: slot values 4,5,6,7 -> cumulative
+  // 4,9,15,22 (the running sum restarts at the subrange, not day 0).
+  const auto cumulative = CumulativeSeries(
+      engine,
+      RangeQuery().WhereIntBetween("day", 3, 6).WhereIntBetween("store", 0,
+                                                                0),
+      "day");
+  ASSERT_TRUE(cumulative.ok());
+  const std::vector<double> expected = {4, 9, 15, 22};
+  EXPECT_EQ(cumulative.value(), expected);
+}
+
+TEST(WindowTest, CumulativeMatchesRunningSlotSeries) {
+  // Cross-check the two series against each other: cumulative[i]
+  // must equal the running total of the per-slot series.
+  const OlapEngine engine = MakeEngine();
+  const RangeQuery query = RangeQuery().WhereIntBetween("day", 1, 8);
+  const auto slots = SlotSeries(engine, query, "day");
+  const auto cumulative = CumulativeSeries(engine, query, "day");
+  ASSERT_TRUE(slots.ok());
+  ASSERT_TRUE(cumulative.ok());
+  double running = 0;
+  ASSERT_EQ(slots.value().size(), cumulative.value().size());
+  for (size_t i = 0; i < slots.value().size(); ++i) {
+    running += slots.value()[i];
+    EXPECT_DOUBLE_EQ(cumulative.value()[i], running) << i;
+  }
+}
+
+TEST(WindowTest, PeriodDeltaLagLargerThanSeriesKeepsRawValues) {
+  const OlapEngine engine = MakeEngine();
+  // 10 slots with lag 50: no slot has an earlier period, so every
+  // element is the raw series value.
+  const auto deltas = PeriodDelta(
+      engine, RangeQuery().WhereIntBetween("store", 0, 0), "day", 50);
+  ASSERT_TRUE(deltas.ok());
+  const auto series = SlotSeries(
+      engine, RangeQuery().WhereIntBetween("store", 0, 0), "day");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(deltas.value(), series.value());
+}
+
+TEST(WindowTest, PeriodDeltaUnknownDimensionFails) {
+  const OlapEngine engine = MakeEngine();
+  EXPECT_EQ(PeriodDelta(engine, RangeQuery(), "week", 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(WindowTest, BadQueryPropagatesThroughEverySeries) {
+  const OlapEngine engine = MakeEngine();
+  // "hour" is not a dimension, so query resolution itself fails and
+  // each series function must surface that status.
+  const RangeQuery bad = RangeQuery().WhereIntBetween("hour", 0, 1);
+  EXPECT_FALSE(SlotSeries(engine, bad, "day").ok());
+  EXPECT_FALSE(PeriodDelta(engine, bad, "day", 1).ok());
+  EXPECT_FALSE(CumulativeSeries(engine, bad, "day").ok());
+}
+
+TEST(WindowTest, SingleSlotRange) {
+  const OlapEngine engine = MakeEngine();
+  const auto series = SlotSeries(
+      engine,
+      RangeQuery().WhereIntBetween("day", 4, 4).WhereIntBetween("store", 1,
+                                                                1),
+      "day");
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(series.value()[0], 50);
+}
+
 TEST(WindowTest, LiveUpdatesReflectImmediately) {
   OlapEngine engine = MakeEngine();
   ASSERT_TRUE(

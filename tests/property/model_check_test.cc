@@ -1,0 +1,638 @@
+// Model-based differential tester for every query engine.
+//
+// A trace of randomized operations -- point inserts, bulk loads,
+// range adds, range sums, query batches -- runs simultaneously
+// against the system under test and a deliberately naive model (a
+// flat std::vector with odometer loops, sharing no indexing code with
+// the real structures). Any divergence on a query op is a bug in one
+// of them. On failure the trace is shrunk by greedy chunk removal
+// before reporting, so the log shows a near-minimal reproducer along
+// with the seed (tests/testing/test_seed.h).
+//
+// Targets: the five in-memory methods (naive, prefix_sum, rps,
+// hierarchical_rps, fenwick), the dual structure (range update /
+// point query), the durable structure, and both serving engines
+// (locked facade and sharded).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dual_rps.h"
+#include "cube/box.h"
+#include "cube/nd_array.h"
+#include "olap/engine.h"
+#include "olap/query.h"
+#include "storage/durable_rps.h"
+#include "testing/temp_dir.h"
+#include "testing/test_seed.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+// ---------------------------------------------------------------
+// Operations
+
+struct Op {
+  enum Kind { kInsert, kLoad, kRangeAdd, kRangeSum, kQueryBatch };
+  Kind kind = kInsert;
+  CellIndex cell = CellIndex::Filled(1, 0);  // kInsert
+  int64_t delta = 0;                         // kInsert / kRangeAdd
+  std::vector<int64_t> dense;                // kLoad (model cell order)
+  std::vector<Box> boxes;                    // kRangeAdd(1) / queries
+};
+
+// Visits every cell of `box` in odometer order (last dim fastest).
+template <typename Fn>
+void ForEachCell(const Box& box, Fn&& fn) {
+  CellIndex cursor = box.lo();
+  for (;;) {
+    fn(cursor);
+    int j = box.dims() - 1;
+    for (; j >= 0; --j) {
+      if (cursor[j] < box.hi()[j]) {
+        ++cursor[j];
+        break;
+      }
+      cursor[j] = box.lo()[j];
+    }
+    if (j < 0) break;
+  }
+}
+
+Box FullBox(const Shape& shape) {
+  CellIndex hi = CellIndex::Filled(shape.dims(), 0);
+  for (int j = 0; j < shape.dims(); ++j) hi[j] = shape.extent(j) - 1;
+  return Box(CellIndex::Filled(shape.dims(), 0), hi);
+}
+
+std::string DescribeBox(const Box& box) {
+  std::string out = "[";
+  for (int j = 0; j < box.dims(); ++j) {
+    if (j > 0) out += ",";
+    out += std::to_string(box.lo()[j]) + ".." + std::to_string(box.hi()[j]);
+  }
+  return out + "]";
+}
+
+std::string DescribeOp(const Op& op) {
+  switch (op.kind) {
+    case Op::kInsert: {
+      std::string out = "Insert(";
+      for (int j = 0; j < op.cell.dims(); ++j) {
+        if (j > 0) out += ",";
+        out += std::to_string(op.cell[j]);
+      }
+      return out + ", " + std::to_string(op.delta) + ")";
+    }
+    case Op::kLoad:
+      return "Load(" + std::to_string(op.dense.size()) + " cells)";
+    case Op::kRangeAdd:
+      return "RangeAdd(" + DescribeBox(op.boxes[0]) + ", " +
+             std::to_string(op.delta) + ")";
+    case Op::kRangeSum:
+      return "RangeSum(" + DescribeBox(op.boxes[0]) + ")";
+    case Op::kQueryBatch: {
+      std::string out = "QueryBatch(";
+      for (size_t i = 0; i < op.boxes.size(); ++i) {
+        if (i > 0) out += " ";
+        out += DescribeBox(op.boxes[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------
+// The model: a flat vector with its own row-major mapping and naive
+// per-cell loops. Shares no code with the structures under test.
+
+class Model {
+ public:
+  explicit Model(const Shape& shape) : shape_(shape) {
+    size_t cells = 1;
+    for (int j = 0; j < shape.dims(); ++j) {
+      cells *= static_cast<size_t>(shape.extent(j));
+    }
+    cells_.assign(cells, 0);
+  }
+
+  size_t FlatIndex(const CellIndex& cell) const {
+    size_t index = 0;
+    for (int j = 0; j < shape_.dims(); ++j) {
+      index = index * static_cast<size_t>(shape_.extent(j)) +
+              static_cast<size_t>(cell[j]);
+    }
+    return index;
+  }
+
+  void Insert(const CellIndex& cell, int64_t delta) {
+    cells_[FlatIndex(cell)] += delta;
+  }
+  void Load(const std::vector<int64_t>& dense) { cells_ = dense; }
+  void RangeAdd(const Box& box, int64_t delta) {
+    ForEachCell(box, [&](const CellIndex& c) { cells_[FlatIndex(c)] += delta; });
+  }
+  int64_t RangeSum(const Box& box) const {
+    int64_t total = 0;
+    ForEachCell(box, [&](const CellIndex& c) { total += cells_[FlatIndex(c)]; });
+    return total;
+  }
+  size_t size() const { return cells_.size(); }
+
+ private:
+  Shape shape_;
+  std::vector<int64_t> cells_;
+};
+
+// ---------------------------------------------------------------
+// System-under-test adapters
+
+class Sut {
+ public:
+  virtual ~Sut() = default;
+  virtual void Insert(const CellIndex& cell, int64_t delta) = 0;
+  virtual void Load(const Shape& shape, const std::vector<int64_t>& dense,
+                    const Model& order) = 0;
+  virtual void RangeAdd(const Box& box, int64_t delta) = 0;
+  virtual int64_t RangeSum(const Box& box) = 0;
+  virtual std::vector<int64_t> QueryBatch(const std::vector<Box>& boxes) = 0;
+};
+
+NdArray<int64_t> DenseToArray(const Shape& shape,
+                              const std::vector<int64_t>& dense,
+                              const Model& order) {
+  NdArray<int64_t> array(shape, 0);
+  ForEachCell(FullBox(shape), [&](const CellIndex& cell) {
+                array.at(cell) = dense[order.FlatIndex(cell)];
+              });
+  return array;
+}
+
+// The five in-memory QueryMethods.
+class MethodSut : public Sut {
+ public:
+  MethodSut(EngineMethod method, const Shape& shape)
+      : shape_(shape), method_(MakeCountMethod(method, shape, nullptr)) {}
+
+  void Insert(const CellIndex& cell, int64_t delta) override {
+    method_->Add(cell, delta);
+  }
+  void Load(const Shape& shape, const std::vector<int64_t>& dense,
+            const Model& order) override {
+    method_->Build(DenseToArray(shape, dense, order));
+  }
+  void RangeAdd(const Box& box, int64_t delta) override {
+    ForEachCell(box, [&](const CellIndex& c) { method_->Add(c, delta); });
+  }
+  int64_t RangeSum(const Box& box) override { return method_->RangeSum(box); }
+  std::vector<int64_t> QueryBatch(const std::vector<Box>& boxes) override {
+    std::vector<int64_t> results(boxes.size(), 0);
+    method_->RangeSumBatch(boxes, results);
+    return results;
+  }
+
+ private:
+  Shape shape_;
+  std::unique_ptr<QueryMethod<int64_t>> method_;
+};
+
+// The dual structure: range update / point query. Range sums are
+// answered by summing point queries, so every query op checks
+// ValueAt over whole regions.
+class DualSut : public Sut {
+ public:
+  explicit DualSut(const Shape& shape)
+      : shape_(shape), dual_(NdArray<int64_t>(shape, 0)) {}
+
+  void Insert(const CellIndex& cell, int64_t delta) override {
+    dual_.Add(cell, delta);
+  }
+  void Load(const Shape& shape, const std::vector<int64_t>& dense,
+            const Model& order) override {
+    dual_ = DualRps<int64_t>(DenseToArray(shape, dense, order));
+  }
+  void RangeAdd(const Box& box, int64_t delta) override {
+    dual_.AddToRange(box, delta);
+  }
+  int64_t RangeSum(const Box& box) override {
+    int64_t total = 0;
+    ForEachCell(box, [&](const CellIndex& c) { total += dual_.ValueAt(c); });
+    return total;
+  }
+  std::vector<int64_t> QueryBatch(const std::vector<Box>& boxes) override {
+    std::vector<int64_t> results;
+    results.reserve(boxes.size());
+    for (const Box& box : boxes) results.push_back(RangeSum(box));
+    return results;
+  }
+
+ private:
+  Shape shape_;
+  DualRps<int64_t> dual_;
+};
+
+// The durable structure (pager + WAL on a scratch directory).
+class DurableSut : public Sut {
+ public:
+  explicit DurableSut(const Shape& shape) : shape_(shape) {
+    Rebuild(NdArray<int64_t>(shape, 0));
+  }
+
+  void Insert(const CellIndex& cell, int64_t delta) override {
+    ASSERT_TRUE(durable_->Add(cell, delta).ok());
+  }
+  void Load(const Shape& shape, const std::vector<int64_t>& dense,
+            const Model& order) override {
+    Rebuild(DenseToArray(shape, dense, order));
+  }
+  void RangeAdd(const Box& box, int64_t delta) override {
+    ForEachCell(box, [&](const CellIndex& c) {
+      ASSERT_TRUE(durable_->Add(c, delta).ok());
+    });
+  }
+  int64_t RangeSum(const Box& box) override { return durable_->RangeSum(box); }
+  std::vector<int64_t> QueryBatch(const std::vector<Box>& boxes) override {
+    std::vector<int64_t> results;
+    results.reserve(boxes.size());
+    for (const Box& box : boxes) results.push_back(durable_->RangeSum(box));
+    return results;
+  }
+
+ private:
+  void Rebuild(const NdArray<int64_t>& source) {
+    durable_.reset();
+    dir_ = std::make_unique<testing::ScopedTempDir>("rps_model_check");
+    Result<DurableRps<int64_t>> created = DurableRps<int64_t>::Create(
+        source, RecommendedBoxSize(source.shape()), dir_->path());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    durable_ =
+        std::make_unique<DurableRps<int64_t>>(std::move(created.value()));
+  }
+
+  Shape shape_;
+  std::unique_ptr<testing::ScopedTempDir> dir_;
+  std::unique_ptr<DurableRps<int64_t>> durable_;
+};
+
+// The serving engines (locked facade and sharded), driven through
+// the integer-dimension OLAP surface with integral measures, so
+// double sums stay exact.
+class ServingSut : public Sut {
+ public:
+  ServingSut(int shards, const Shape& shape) : shape_(shape) {
+    std::vector<Dimension> dimensions;
+    for (int j = 0; j < shape.dims(); ++j) {
+      dimensions.push_back(Dimension::Integer("d" + std::to_string(j), 0,
+                                              shape.extent(j)));
+    }
+    engine_ = MakeServingEngine(Schema("MEASURE", std::move(dimensions)),
+                                EngineMethod::kRelativePrefixSum, shards,
+                                nullptr);
+  }
+
+  void Insert(const CellIndex& cell, int64_t delta) override {
+    ASSERT_TRUE(engine_->Insert(Record(cell, delta)).ok());
+  }
+  void Load(const Shape& shape, const std::vector<int64_t>& dense,
+            const Model& order) override {
+    std::vector<OlapRecord> records;
+    ForEachCell(FullBox(shape), [&](const CellIndex& cell) {
+                  const int64_t value = dense[order.FlatIndex(cell)];
+                  if (value != 0) records.push_back(Record(cell, value));
+                });
+    const IngestReport report = engine_->Load(records);
+    ASSERT_EQ(report.rejected, 0);
+  }
+  void RangeAdd(const Box& box, int64_t delta) override {
+    std::vector<OlapRecord> records;
+    ForEachCell(box,
+                [&](const CellIndex& c) { records.push_back(Record(c, delta)); });
+    ASSERT_TRUE(engine_->InsertBatch(records).ok());
+  }
+  int64_t RangeSum(const Box& box) override {
+    const Result<double> sum = engine_->Sum(Query(box));
+    EXPECT_TRUE(sum.ok());
+    return sum.ok() ? std::llround(sum.value()) : INT64_MIN;
+  }
+  std::vector<int64_t> QueryBatch(const std::vector<Box>& boxes) override {
+    std::vector<RangeQuery> queries;
+    queries.reserve(boxes.size());
+    for (const Box& box : boxes) queries.push_back(Query(box));
+    const Result<std::vector<double>> results = engine_->QueryBatch(queries);
+    EXPECT_TRUE(results.ok());
+    std::vector<int64_t> out;
+    if (results.ok()) {
+      for (double v : results.value()) out.push_back(std::llround(v));
+    }
+    return out;
+  }
+
+ private:
+  OlapRecord Record(const CellIndex& cell, int64_t measure) const {
+    OlapRecord record;
+    for (int j = 0; j < cell.dims(); ++j) record.values.emplace_back(cell[j]);
+    record.measure = static_cast<double>(measure);
+    return record;
+  }
+  RangeQuery Query(const Box& box) const {
+    RangeQuery query;
+    for (int j = 0; j < box.dims(); ++j) {
+      query.WhereIntBetween("d" + std::to_string(j), box.lo()[j],
+                            box.hi()[j]);
+    }
+    return query;
+  }
+
+  Shape shape_;
+  std::unique_ptr<OlapServingEngine> engine_;
+};
+
+// ---------------------------------------------------------------
+// Trace generation, execution, shrinking
+
+Box RandomBox(Rng& rng, const Shape& shape) {
+  CellIndex lo = CellIndex::Filled(shape.dims(), 0);
+  CellIndex hi = lo;
+  for (int j = 0; j < shape.dims(); ++j) {
+    const int64_t a = rng.UniformInt(0, shape.extent(j) - 1);
+    const int64_t b = rng.UniformInt(0, shape.extent(j) - 1);
+    lo[j] = std::min(a, b);
+    hi[j] = std::max(a, b);
+  }
+  return Box(lo, hi);
+}
+
+CellIndex RandomCell(Rng& rng, const Shape& shape) {
+  CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+  for (int j = 0; j < shape.dims(); ++j) {
+    cell[j] = rng.UniformInt(0, shape.extent(j) - 1);
+  }
+  return cell;
+}
+
+std::vector<Op> GenerateTrace(Rng& rng, const Shape& shape, size_t ops,
+                              size_t model_cells) {
+  std::vector<Op> trace;
+  trace.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    Op op;
+    const int64_t pick = rng.UniformInt(0, 99);
+    if (pick < 45) {
+      op.kind = Op::kInsert;
+      op.cell = RandomCell(rng, shape);
+      op.delta = rng.UniformInt(-9, 9);
+    } else if (pick < 55) {
+      op.kind = Op::kRangeAdd;
+      op.boxes = {RandomBox(rng, shape)};
+      op.delta = rng.UniformInt(-4, 4);
+    } else if (pick < 58) {
+      op.kind = Op::kLoad;
+      op.dense.resize(model_cells);
+      for (int64_t& value : op.dense) value = rng.UniformInt(0, 9);
+    } else if (pick < 90) {
+      op.kind = Op::kRangeSum;
+      op.boxes = {RandomBox(rng, shape)};
+    } else {
+      op.kind = Op::kQueryBatch;
+      const int64_t count = rng.UniformInt(2, 8);
+      for (int64_t q = 0; q < count; ++q) {
+        op.boxes.push_back(RandomBox(rng, shape));
+      }
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+using SutFactory = std::function<std::unique_ptr<Sut>()>;
+
+// Runs `trace` against a fresh model and SUT; returns "" on agreement
+// or a description of the first mismatch.
+std::string RunTrace(const Shape& shape, const SutFactory& factory,
+                     const std::vector<Op>& trace) {
+  Model model(shape);
+  std::unique_ptr<Sut> sut = factory();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const Op& op = trace[i];
+    switch (op.kind) {
+      case Op::kInsert:
+        model.Insert(op.cell, op.delta);
+        sut->Insert(op.cell, op.delta);
+        break;
+      case Op::kLoad:
+        model.Load(op.dense);
+        sut->Load(shape, op.dense, model);
+        break;
+      case Op::kRangeAdd:
+        model.RangeAdd(op.boxes[0], op.delta);
+        sut->RangeAdd(op.boxes[0], op.delta);
+        break;
+      case Op::kRangeSum: {
+        const int64_t expected = model.RangeSum(op.boxes[0]);
+        const int64_t actual = sut->RangeSum(op.boxes[0]);
+        if (actual != expected) {
+          return "op #" + std::to_string(i) + " " + DescribeOp(op) +
+                 ": sut=" + std::to_string(actual) +
+                 " model=" + std::to_string(expected);
+        }
+        break;
+      }
+      case Op::kQueryBatch: {
+        const std::vector<int64_t> actual = sut->QueryBatch(op.boxes);
+        if (actual.size() != op.boxes.size()) {
+          return "op #" + std::to_string(i) + " " + DescribeOp(op) +
+                 ": batch size " + std::to_string(actual.size());
+        }
+        for (size_t q = 0; q < op.boxes.size(); ++q) {
+          const int64_t expected = model.RangeSum(op.boxes[q]);
+          if (actual[q] != expected) {
+            return "op #" + std::to_string(i) + " " + DescribeOp(op) +
+                   " query " + std::to_string(q) +
+                   ": sut=" + std::to_string(actual[q]) +
+                   " model=" + std::to_string(expected);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return "";
+}
+
+// Greedy chunk-removal shrinking: repeatedly drops the largest
+// still-failing chunks until no single op can be removed.
+std::vector<Op> ShrinkTrace(const Shape& shape, const SutFactory& factory,
+                            std::vector<Op> trace) {
+  bool progress = true;
+  while (progress && trace.size() > 1) {
+    progress = false;
+    for (size_t chunk = std::max<size_t>(1, trace.size() / 2); chunk >= 1;
+         chunk /= 2) {
+      for (size_t start = 0; start < trace.size() && trace.size() > 1;) {
+        std::vector<Op> candidate;
+        candidate.reserve(trace.size());
+        for (size_t i = 0; i < trace.size(); ++i) {
+          if (i < start || i >= start + chunk) candidate.push_back(trace[i]);
+        }
+        if (candidate.size() < trace.size() &&
+            !RunTrace(shape, factory, candidate).empty()) {
+          trace = std::move(candidate);
+          progress = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return trace;
+}
+
+// The whole harness for one target: generate, run, shrink-and-report.
+void CheckTarget(const std::string& name, const Shape& shape,
+                 const SutFactory& factory, size_t ops) {
+  const uint64_t seed = testing::TestSeed(0x5eed0000 + ops);
+  Rng rng(seed);
+  size_t model_cells = 1;
+  for (int j = 0; j < shape.dims(); ++j) {
+    model_cells *= static_cast<size_t>(shape.extent(j));
+  }
+  const std::vector<Op> trace = GenerateTrace(rng, shape, ops, model_cells);
+  const std::string failure = RunTrace(shape, factory, trace);
+  if (failure.empty()) return;
+  const std::vector<Op> minimal = ShrinkTrace(shape, factory, trace);
+  std::string message = name + " diverged from the model: " + failure +
+                        testing::SeedMessage(seed) +
+                        "\nminimal trace (" +
+                        std::to_string(minimal.size()) + " ops):";
+  for (const Op& op : minimal) message += "\n  " + DescribeOp(op);
+  FAIL() << message;
+}
+
+// ---------------------------------------------------------------
+// Tests: 10k randomized ops per target (RPS_TEST_SEED overrides the
+// seed for reproduction).
+
+constexpr size_t kOps = 10000;
+
+TEST(ModelCheck, Naive) {
+  const Shape shape = Shape::FromExtents({6, 5, 4});
+  CheckTarget("naive", shape,
+              [&] { return std::make_unique<MethodSut>(EngineMethod::kNaive,
+                                                       shape); },
+              kOps);
+}
+
+TEST(ModelCheck, PrefixSum) {
+  const Shape shape = Shape::FromExtents({6, 5, 4});
+  CheckTarget("prefix_sum", shape,
+              [&] {
+                return std::make_unique<MethodSut>(EngineMethod::kPrefixSum,
+                                                   shape);
+              },
+              kOps);
+}
+
+TEST(ModelCheck, RelativePrefixSum) {
+  const Shape shape = Shape::FromExtents({9, 8, 5});
+  CheckTarget("relative_prefix_sum", shape,
+              [&] {
+                return std::make_unique<MethodSut>(
+                    EngineMethod::kRelativePrefixSum, shape);
+              },
+              kOps);
+}
+
+TEST(ModelCheck, HierarchicalRps) {
+  const Shape shape = Shape::FromExtents({16, 12});
+  CheckTarget("hierarchical_rps", shape,
+              [&] {
+                return std::make_unique<MethodSut>(
+                    EngineMethod::kHierarchicalRps, shape);
+              },
+              kOps);
+}
+
+TEST(ModelCheck, Fenwick) {
+  const Shape shape = Shape::FromExtents({9, 8, 5});
+  CheckTarget("fenwick", shape,
+              [&] {
+                return std::make_unique<MethodSut>(EngineMethod::kFenwick,
+                                                   shape);
+              },
+              kOps);
+}
+
+TEST(ModelCheck, DualRps) {
+  const Shape shape = Shape::FromExtents({7, 5});
+  CheckTarget("dual_rps", shape,
+              [&] { return std::make_unique<DualSut>(shape); }, kOps);
+}
+
+TEST(ModelCheck, Durable) {
+  const Shape shape = Shape::FromExtents({8, 6});
+  // Durable ops hit the pager and WAL; a tenth of the budget keeps
+  // the sanitizer presets fast while still interleaving every op
+  // kind hundreds of times.
+  CheckTarget("durable", shape,
+              [&] { return std::make_unique<DurableSut>(shape); }, kOps / 10);
+}
+
+TEST(ModelCheck, LockedEngine) {
+  const Shape shape = Shape::FromExtents({12, 9});
+  CheckTarget("locked", shape,
+              [&] { return std::make_unique<ServingSut>(0, shape); }, kOps);
+}
+
+TEST(ModelCheck, ShardedEngine) {
+  const Shape shape = Shape::FromExtents({12, 9});
+  // 5 shards over 12 rows: uneven slices (3,3,2,2,2), so boundary
+  // routing and multi-shard merges are both exercised.
+  CheckTarget("sharded", shape,
+              [&] { return std::make_unique<ServingSut>(5, shape); }, kOps);
+}
+
+// Harness self-check: a SUT with an injected bug (drops every Insert
+// into cell (0,0)) must be caught, and the shrinker must reduce the
+// trace to a handful of ops (one poisoned insert + one query).
+class BrokenSut : public MethodSut {
+ public:
+  explicit BrokenSut(const Shape& shape)
+      : MethodSut(EngineMethod::kNaive, shape) {}
+  void Insert(const CellIndex& cell, int64_t delta) override {
+    bool origin = true;
+    for (int j = 0; j < cell.dims(); ++j) origin = origin && cell[j] == 0;
+    if (origin && delta != 0) return;  // the bug
+    MethodSut::Insert(cell, delta);
+  }
+};
+
+TEST(ModelCheck, HarnessCatchesAndShrinksInjectedBug) {
+  const Shape shape = Shape::FromExtents({3, 3});
+  const SutFactory factory = [&] { return std::make_unique<BrokenSut>(shape); };
+  const uint64_t seed = testing::TestSeed(77);
+  Rng rng(seed);
+  const std::vector<Op> trace = GenerateTrace(rng, shape, 2000, 9);
+  const std::string failure = RunTrace(shape, factory, trace);
+  ASSERT_FALSE(failure.empty())
+      << "injected bug went undetected" << testing::SeedMessage(seed);
+  const std::vector<Op> minimal = ShrinkTrace(shape, factory, trace);
+  EXPECT_LE(minimal.size(), 4u) << testing::SeedMessage(seed);
+  EXPECT_FALSE(RunTrace(shape, factory, minimal).empty());
+}
+
+TEST(ModelCheck, ShardedSingleShard) {
+  const Shape shape = Shape::FromExtents({12, 9});
+  CheckTarget("sharded_1", shape,
+              [&] { return std::make_unique<ServingSut>(1, shape); }, kOps);
+}
+
+}  // namespace
+}  // namespace rps

@@ -23,6 +23,7 @@
 #include "obs/expo_server.h"
 #include "obs/metrics.h"
 #include "olap/concurrent_engine.h"
+#include "olap/sharded_engine.h"
 #include "storage/buffer_pool.h"
 #include "storage/durable_rps.h"
 #include "storage/pager.h"
@@ -298,6 +299,9 @@ Status CmdServe(const ParsedArgs& args) {
   RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
   RPS_ASSIGN_OR_RETURN(const int64_t checkpoint_every,
                        IntOptionOr(args, "checkpoint-every", 256));
+  // 0 = single-lock facade (the default, matching prior behavior);
+  // >= 1 = sharded engine; < 0 = sharded with the pool default.
+  RPS_ASSIGN_OR_RETURN(const int64_t shards, IntOptionOr(args, "shards", 0));
   if (duration_s < 1) return Status::InvalidArgument("--duration-s must be >= 1");
   if (readers < 1) return Status::InvalidArgument("--readers must be >= 1");
   if (checkpoint_every < 1) {
@@ -312,8 +316,10 @@ Status CmdServe(const ParsedArgs& args) {
     dimensions.push_back(Dimension::Integer("d" + std::to_string(j), 0,
                                             shape.extent(j)));
   }
-  ConcurrentOlapEngine engine(Schema("MEASURE", std::move(dimensions)),
-                              EngineMethod::kRelativePrefixSum);
+  std::unique_ptr<OlapServingEngine> engine =
+      MakeServingEngine(Schema("MEASURE", std::move(dimensions)),
+                        EngineMethod::kRelativePrefixSum,
+                        static_cast<int>(shards));
 
   // Durable structure in a scratch dir: gives /healthz a real
   // generation number that advances as the writer checkpoints.
@@ -347,7 +353,11 @@ Status CmdServe(const ParsedArgs& args) {
   options.port = static_cast<int>(port);
   obs::ExpoServer server(options);
   server.AddHealthSource("engine",
-                         [&engine] { return engine.HealthJson(); });
+                         [&engine] { return engine->HealthJson(); });
+  if (const auto* sharded =
+          dynamic_cast<const ShardedOlapEngine*>(engine.get())) {
+    server.AddVarzSource("shards", [sharded] { return sharded->VarzJson(); });
+  }
   server.AddHealthSource("durable", [&shared] {
     MutexLock lock(&shared.mu);
     return shared.durable.HealthJson();
@@ -386,7 +396,7 @@ Status CmdServe(const ParsedArgs& args) {
           query.WhereIntBetween("d" + std::to_string(j), std::min(a, b),
                                 std::max(a, b));
         }
-        if (engine.Sum(query).ok()) {
+        if (engine->Sum(query).ok()) {
           queries.fetch_add(1, std::memory_order_relaxed);
         } else {
           failures.fetch_add(1, std::memory_order_relaxed);
@@ -404,7 +414,7 @@ Status CmdServe(const ParsedArgs& args) {
         record.values.emplace_back(cell[j]);
       }
       record.measure = static_cast<double>(rng.UniformInt(0, 9));
-      if (engine.Insert(record).ok()) {
+      if (engine->Insert(record).ok()) {
         updates.fetch_add(1, std::memory_order_relaxed);
       } else {
         failures.fetch_add(1, std::memory_order_relaxed);
@@ -447,6 +457,143 @@ Status CmdServe(const ParsedArgs& args) {
     return Status::Internal("serve workload had failures");
   }
   if (own_directory) std::filesystem::remove_all(directory, ec);
+  return Status::Ok();
+}
+
+std::string ShardScalingRowJson(const ShardScalingReport& report) {
+  char buffer[640];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"engine\":\"%s\",\"shards\":%d,\"readers\":%d,"
+      "\"readonly_qps\":%.1f,\"readonly_p50_us\":%.2f,"
+      "\"readonly_p99_us\":%.2f,"
+      "\"mixed_qps\":%.1f,\"mixed_p50_us\":%.2f,\"mixed_p99_us\":%.2f,"
+      "\"writer_batches\":%lld,\"writer_records\":%lld,"
+      "\"writer_busy_seconds\":%.3f,\"query_checksum\":%lld}",
+      report.engine.c_str(), report.shards, report.readers,
+      report.readonly_qps(), report.readonly_p50_micros,
+      report.readonly_p99_micros, report.mixed_qps(),
+      report.mixed_p50_micros, report.mixed_p99_micros,
+      static_cast<long long>(report.writer_batches),
+      static_cast<long long>(report.writer_records),
+      report.writer_busy_seconds,
+      static_cast<long long>(report.query_checksum));
+  return buffer;
+}
+
+// shardbench: the mixed reader/writer scaling experiment behind
+// docs/PERFORMANCE.md's shard-scaling table. Runs the workload once
+// per entry in --shards (0 = the single-lock facade baseline) and
+// writes every row to --out as BENCH_shard_scaling.json.
+Status CmdShardBench(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const int64_t side, IntOptionOr(args, "side", 1024));
+  RPS_ASSIGN_OR_RETURN(const int64_t readers, IntOptionOr(args, "readers", 7));
+  RPS_ASSIGN_OR_RETURN(const int64_t phase_ms,
+                       IntOptionOr(args, "phase-ms", 2000));
+  RPS_ASSIGN_OR_RETURN(const int64_t writer_batch,
+                       IntOptionOr(args, "writer-batch", 128));
+  // The default rate is far above what one core can absorb, so the
+  // writer runs saturated and the bench measures sustained ingest.
+  RPS_ASSIGN_OR_RETURN(const int64_t writer_rate,
+                       IntOptionOr(args, "writer-rate", 1000));
+  RPS_ASSIGN_OR_RETURN(const int64_t hot_rows,
+                       IntOptionOr(args, "hot-rows", 8));
+  RPS_ASSIGN_OR_RETURN(const int64_t preload,
+                       IntOptionOr(args, "preload", 16384));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  RPS_ASSIGN_OR_RETURN(
+      const std::vector<int64_t> shard_counts,
+      SplitInts(OptionOr(args, "shards", "0,1,2,4,8"), ','));
+  const std::string out_path = OptionOr(args, "out", "");
+  if (side < 2 || readers < 1 || phase_ms < 1 || writer_batch < 1 ||
+      writer_rate < 1 || hot_rows < 1 || preload < 0) {
+    return Status::InvalidArgument("shardbench: bad parameter");
+  }
+
+  std::printf("%-8s %7s %13s %13s %11s %11s %9s\n", "engine", "shards",
+              "ro qps", "mixed qps", "ro p99 us", "mx p99 us", "wr rec/s");
+  std::vector<ShardScalingReport> reports;
+  for (const int64_t count : shard_counts) {
+    ShardScalingSpec spec;
+    spec.shards = static_cast<int>(count);
+    spec.readers = static_cast<int>(readers);
+    spec.side = side;
+    spec.phase_seconds = static_cast<double>(phase_ms) / 1000.0;
+    spec.writer_batch = writer_batch;
+    spec.writer_batches_per_second = static_cast<double>(writer_rate);
+    spec.writer_hot_rows = hot_rows;
+    spec.preload_records = preload;
+    spec.seed = static_cast<uint64_t>(seed);
+    spec.pool = &ThreadPool::Global();
+    const ShardScalingReport report = RunShardScalingWorkload(spec);
+    const double records_per_second =
+        report.mixed_seconds == 0
+            ? 0
+            : static_cast<double>(report.writer_records) /
+                  report.mixed_seconds;
+    std::printf("%-8s %7d %13.0f %13.0f %11.2f %11.2f %9.0f\n",
+                report.engine.c_str(), report.shards, report.readonly_qps(),
+                report.mixed_qps(), report.readonly_p99_micros,
+                report.mixed_p99_micros, records_per_second);
+    std::fflush(stdout);
+    reports.push_back(report);
+  }
+  if (!out_path.empty()) {
+    std::string rows;
+    for (const ShardScalingReport& report : reports) {
+      if (!rows.empty()) rows += ",";
+      rows += ShardScalingRowJson(report);
+    }
+    // Headline summary: sustained ingest scaling between the smallest
+    // and largest sharded configurations, and the worst reader-p99
+    // inflation a sharded configuration showed under concurrent
+    // writes (the zero-stall check: must stay within 2x).
+    const ShardScalingReport* first_sharded = nullptr;
+    const ShardScalingReport* last_sharded = nullptr;
+    double worst_p99_ratio = 0;
+    for (const ShardScalingReport& report : reports) {
+      if (report.engine != "sharded") continue;
+      if (first_sharded == nullptr) first_sharded = &report;
+      last_sharded = &report;
+      if (report.readonly_p99_micros > 0) {
+        worst_p99_ratio = std::max(
+            worst_p99_ratio,
+            report.mixed_p99_micros / report.readonly_p99_micros);
+      }
+    }
+    std::string summary = "{";
+    if (first_sharded != nullptr && first_sharded != last_sharded &&
+        first_sharded->writer_records > 0) {
+      char buffer[160];
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "\"ingest_scaling_%dto%d_shards\":%.2f,", first_sharded->shards,
+          last_sharded->shards,
+          static_cast<double>(last_sharded->writer_records) /
+              static_cast<double>(first_sharded->writer_records));
+      summary += buffer;
+    }
+    {
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    "\"sharded_worst_mixed_over_readonly_p99\":%.2f}",
+                    worst_p99_ratio);
+      summary += buffer;
+    }
+    std::string json = "{\"benchmark\":\"shard_scaling\",";
+    json += "\"side\":" + std::to_string(side);
+    json += ",\"readers\":" + std::to_string(readers);
+    json += ",\"phase_ms\":" + std::to_string(phase_ms);
+    json += ",\"writer_batch\":" + std::to_string(writer_batch);
+    json += ",\"writer_rate\":" + std::to_string(writer_rate);
+    json += ",\"hot_rows\":" + std::to_string(hot_rows);
+    json += ",\"preload\":" + std::to_string(preload);
+    json += ",\"seed\":" + std::to_string(seed);
+    json += ",\"summary\":" + summary;
+    json += ",\"runs\":[" + rows + "]}";
+    RPS_RETURN_IF_ERROR(WriteTextFile(out_path, json + "\n"));
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return Status::Ok();
 }
 
@@ -877,7 +1024,11 @@ void PrintUsage() {
       "          [--slow-query-us N] [--event-log events.jsonl]\n"
       "  serve   [--port N --port-file f --duration-s N --shape AxB]\n"
       "          [--readers N --checkpoint-every N --seed N --dir d]\n"
-      "          [--slow-query-us N] [--event-log events.jsonl]\n"
+      "          [--shards N (0=locked facade)] [--slow-query-us N]\n"
+      "          [--event-log events.jsonl]\n"
+      "  shardbench [--shards 0,1,2,4,8 --side N --readers N]\n"
+      "          [--phase-ms N --writer-batch N --writer-rate N]\n"
+      "          [--hot-rows N --preload N --seed N --out bench.json]\n"
       "  metrics [--shape AxB --queries N --updates N --seed N]\n"
       "          [--format text|json|both] [--json out.json]\n"
       "  metrics --watch N --port N [--host H --rounds N]\n"
@@ -981,6 +1132,8 @@ int RunCli(const std::vector<std::string>& args) {
     status = CmdBench(parsed.value());
   } else if (command == "serve") {
     status = CmdServe(parsed.value());
+  } else if (command == "shardbench") {
+    status = CmdShardBench(parsed.value());
   } else if (command == "metrics") {
     status = CmdMetrics(parsed.value());
   } else if (command == "torture") {
