@@ -34,6 +34,8 @@ REQUIRED_COUNTERS = [
 ]
 REQUIRED_HISTOGRAMS = [
     "rps_wal_fsync_seconds",
+    "rps_wal_group_records",
+    "rps_wal_group_bytes",
     "rps_workload_query_seconds",
     "rps_workload_update_seconds",
 ]

@@ -15,7 +15,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/bench_*; do
   name=$(basename "$b")
   case "$name" in
-    bench_query_scaling|bench_update_scaling|bench_kernels)
+    bench_query_scaling|bench_update_scaling|bench_kernels|bench_durable)
       "$b" --metrics-json "BENCH_${name#bench_}.json" ;;
     *)
       "$b" ;;
@@ -26,3 +26,9 @@ done 2>&1 | tee bench_output.txt
 # sharded 1/2/4/8.
 build/tools/rps_tool shardbench --out BENCH_shard_scaling.json \
   2>&1 | tee -a bench_output.txt
+# Durable-ingest scaling (docs/PERFORMANCE.md): group-commit vs
+# per-record WAL at the full fsync barrier across writer counts.
+# --batch 2 pairs records per enqueue (the batched-ingest fast path);
+# the batch size is recorded in the JSON.
+build/tools/rps_tool durablebench --batch 2 \
+  --out BENCH_durable_scaling.json 2>&1 | tee -a bench_output.txt

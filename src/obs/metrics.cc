@@ -217,12 +217,25 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
   return *GetEntry(Kind::kHistogram, name, labels).histogram;
 }
 
+void MetricRegistry::SetHelp(const std::string& name,
+                             const std::string& help) {
+  MutexLock lock(&mutex_);
+  help_[name] = help;
+}
+
 std::string MetricRegistry::RenderText() const {
   MutexLock lock(&mutex_);
   std::string out;
   std::string last_family;
   for (const auto& [key, entry] : entries_) {
     if (entry.name != last_family) {
+      if (const auto help = help_.find(entry.name); help != help_.end()) {
+        out += "# HELP ";
+        out += entry.name;
+        out += ' ';
+        out += help->second;
+        out += '\n';
+      }
       out += "# TYPE ";
       out += entry.name;
       switch (entry.kind) {

@@ -161,6 +161,14 @@ class MetricRegistry {
   Gauge& GetGauge(const std::string& name, const Labels& labels = {});
   Histogram& GetHistogram(const std::string& name, const Labels& labels = {});
 
+  /// Attaches Prometheus help text to a metric family. RenderText
+  /// emits it as a `# HELP` line before the family's `# TYPE`; call
+  /// it where the family is registered, once, to document semantics
+  /// that drifted from what the name alone implies (e.g.
+  /// rps_wal_fsync_seconds measuring one barrier per *group* under
+  /// group commit). Families without help render exactly as before.
+  void SetHelp(const std::string& name, const std::string& help);
+
   /// Prometheus text exposition: `# TYPE` per family, one line per
   /// sample, families and label sets in lexicographic key order
   /// (deterministic for golden tests).
@@ -195,6 +203,8 @@ class MetricRegistry {
   mutable Mutex mutex_{"MetricRegistry.mutex"};
   // Keyed by `name{labels}` so families sort together for rendering.
   std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  // Family name -> help text (families without an entry have none).
+  std::map<std::string, std::string> help_ GUARDED_BY(mutex_);
 };
 
 }  // namespace rps::obs

@@ -49,6 +49,12 @@ class ConcurrentOlapEngine final : public OlapServingEngine {
     return engine_.Load(records);
   }
 
+  Status LoadCells(const NdArray<double>& sums,
+                   const NdArray<int64_t>& counts) override {
+    WriterLock lock(&mutex_);
+    return engine_.LoadCells(sums, counts);
+  }
+
   Status Insert(const OlapRecord& record) override {
     const Stopwatch watch;  // includes writer-lock wait
     WriterLock lock(&mutex_);

@@ -99,6 +99,18 @@ IngestReport OlapEngine::Load(const std::vector<OlapRecord>& records) {
   return report;
 }
 
+Status OlapEngine::LoadCells(const NdArray<double>& sums,
+                             const NdArray<int64_t>& counts) {
+  const Shape shape = schema_.CubeShape();
+  if (!(sums.shape() == shape) || !(counts.shape() == shape)) {
+    return Status::InvalidArgument("LoadCells shape mismatch: want " +
+                                   shape.ToString());
+  }
+  sums_->Build(sums);
+  counts_->Build(counts);
+  return Status::Ok();
+}
+
 Status OlapEngine::Insert(const OlapRecord& record) {
   RPS_ASSIGN_OR_RETURN(const CellIndex cell, schema_.CellOf(record.values));
   obs::RequestScope request(obs::WideEventKind::kUpdate, "engine.insert",

@@ -22,6 +22,7 @@
 #include "core/naive_method.h"
 #include "core/prefix_sum_method.h"
 #include "core/relative_prefix_sum.h"
+#include "cube/nd_array.h"
 #include "obs/metrics.h"
 #include "olap/query.h"
 #include "olap/schema.h"
@@ -89,6 +90,14 @@ class OlapServingEngine {
   /// respect to queries.
   virtual IngestReport Load(const std::vector<OlapRecord>& records) = 0;
 
+  /// Bulk loads dense cube contents directly (cell space rather than
+  /// record space), replacing current contents atomically. This is
+  /// the recovery path for durable wrappers: WAL replay yields cells,
+  /// and cells cannot be inverted back to schema field values. Both
+  /// arrays must have shape schema().CubeShape().
+  virtual Status LoadCells(const NdArray<double>& sums,
+                           const NdArray<int64_t>& counts) = 0;
+
   /// Inserts one record. Fails on out-of-domain values.
   virtual Status Insert(const OlapRecord& record) = 0;
 
@@ -134,6 +143,11 @@ class OlapEngine {
   /// Bulk loads `records`, replacing current contents. Out-of-domain
   /// records are counted and skipped.
   IngestReport Load(const std::vector<OlapRecord>& records);
+
+  /// Rebuilds both structures from dense cube contents (see
+  /// OlapServingEngine::LoadCells). Shapes must match the schema.
+  Status LoadCells(const NdArray<double>& sums,
+                   const NdArray<int64_t>& counts);
 
   /// Inserts one record (point update on SUM and COUNT structures);
   /// the cost is the paper's update cost. Fails on out-of-domain

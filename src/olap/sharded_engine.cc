@@ -223,6 +223,52 @@ IngestReport ShardedOlapEngine::Load(const std::vector<OlapRecord>& records) {
   return report;
 }
 
+Status ShardedOlapEngine::LoadCells(const NdArray<double>& cell_sums,
+                                    const NdArray<int64_t>& cell_counts) {
+  const Shape shape = schema_.CubeShape();
+  if (!(cell_sums.shape() == shape) || !(cell_counts.shape() == shape)) {
+    return Status::InvalidArgument("LoadCells shape mismatch: want " +
+                                   shape.ToString());
+  }
+  const int count = shards();
+  // Slice the dense cube into per-shard arrays (dimension 0), then
+  // rebuild and publish exactly as Load does.
+  std::vector<NdArray<double>> sums;
+  std::vector<NdArray<int64_t>> counts;
+  sums.reserve(static_cast<size_t>(count));
+  counts.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    const Shape sub = ShardShape(s);
+    NdArray<double> shard_sums(sub, 0.0);
+    NdArray<int64_t> shard_counts(sub, int64_t{0});
+    const Box slice = Box::All(sub);
+    CellIndex local = slice.lo();
+    do {
+      CellIndex global = local;
+      global[0] += starts_[static_cast<size_t>(s)];
+      shard_sums.at(local) = cell_sums.at(global);
+      shard_counts.at(local) = cell_counts.at(global);
+    } while (NextIndexInBox(slice, local));
+    sums.push_back(std::move(shard_sums));
+    counts.push_back(std::move(shard_counts));
+  }
+
+  const Stopwatch watch;
+  MutexLock lock(&writer_mu_);
+  const uint64_t generation = next_generation_++;
+  auto* next = new EngineVersion();
+  next->generation = generation;
+  next->shards.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    next->shards.push_back(BuildShard(s, sums[static_cast<size_t>(s)],
+                                      counts[static_cast<size_t>(s)],
+                                      generation));
+  }
+  Publish(next);
+  publish_seconds_->ObserveNanos(watch.ElapsedNanos());
+  return Status::Ok();
+}
+
 Status ShardedOlapEngine::Insert(const OlapRecord& record) {
   return InsertBatch(std::span<const OlapRecord>(&record, 1));
 }

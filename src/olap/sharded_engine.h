@@ -74,6 +74,8 @@ class ShardedOlapEngine final : public OlapServingEngine {
   uint64_t generation() const;
 
   IngestReport Load(const std::vector<OlapRecord>& records) override;
+  Status LoadCells(const NdArray<double>& sums,
+                   const NdArray<int64_t>& counts) override;
   Status Insert(const OlapRecord& record) override;
   Status InsertBatch(std::span<const OlapRecord> records) override;
 

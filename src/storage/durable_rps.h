@@ -6,22 +6,43 @@
 //   snapshot-N.bin   -- CRC-checked structure snapshot (core/snapshot.h)
 //   wal-N.log        -- updates applied since snapshot N
 // Every Add appends to the log before mutating memory, so a crash
-// loses at most a torn tail record; Open() reads CURRENT, restores
-// snapshot N and replays wal-N. Checkpoint() writes the NEXT
-// generation's snapshot and empty log beside the live ones, fsyncs
-// them, then commits by atomically replacing CURRENT (tmp + fsync +
-// rename + directory fsync). A crash at any instant leaves CURRENT
-// naming a generation whose snapshot and log are both intact and
-// mutually consistent: before the rename recovery sees the old
-// snapshot plus the full old log, after it the new snapshot plus an
-// empty log -- never a half-written snapshot and never a log replayed
-// on top of a snapshot that already contains it. This is the
-// durability story for the paper's "near-current" cubes: cheap
-// updates AND cheap recovery.
+// loses at most a torn tail; Open() reads CURRENT, restores snapshot
+// N and replays its log(s). Checkpoint() writes the NEXT generation's
+// snapshot and empty log beside the live ones, fsyncs them, then
+// commits by atomically replacing CURRENT (tmp + fsync + rename +
+// directory fsync). A crash at any instant leaves CURRENT naming a
+// generation whose snapshot and logs are intact and mutually
+// consistent. This is the durability story for the paper's
+// "near-current" cubes: cheap updates AND cheap recovery.
+//
+// Two modes (DurableOptions):
+//
+//   Per-record (default, the historical behavior): single-threaded
+//   handle; Add pays one barrier per record and Checkpoint rebuilds
+//   the snapshot inline, blocking the caller for the duration.
+//
+//   Group commit (options.group_commit): the handle is safe for
+//   concurrent Add/queries; appends funnel through a GroupCommitWal
+//   (one barrier per batch of concurrent writers), and Checkpoint is
+//   PIPELINED: it briefly quiesces writers just long enough to rotate
+//   the log to the next generation and clone the structure, then
+//   writes the snapshot and commits the manifest while appends
+//   continue into the already-rotated log. Writers never wait on
+//   snapshot I/O.
+//
+// Crash consistency of the pipelined checkpoint is by fold-forward
+// recovery: rotation makes acked records land in wal-(N+1) while
+// CURRENT still names N, so a crash before the manifest commit leaves
+// "orphan" logs above the live generation. Open() replays snapshot-N
+// plus wal-N plus every consecutive orphan log (deltas are
+// commutative, so cross-log replay order is irrelevant), then
+// immediately checkpoints the folded state to a fresh generation and
+// garbage-collects the old files -- CURRENT=N stays valid until that
+// commit lands, so recovery is idempotent under repeated crashes.
 //
 // Transient append failures (simulated short writes, ENOSPC) are
 // retried with bounded backoff (util/retry.h); the WAL rolls partial
-// records back to a record boundary before each retry.
+// groups back to a group boundary before each retry.
 
 #ifndef RPS_STORAGE_DURABLE_RPS_H_
 #define RPS_STORAGE_DURABLE_RPS_H_
@@ -29,6 +50,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,7 +60,10 @@
 #include "core/snapshot.h"
 #include "obs/event_log.h"
 #include "storage/fault_env.h"
+#include "storage/group_commit.h"
 #include "storage/wal.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/retry.h"
 
 namespace rps {
@@ -81,6 +107,15 @@ inline Status CommitManifest(const std::string& directory,
 
 }  // namespace durable_internal
 
+/// Mode selection for a DurableRps handle (fixed at Create/Open).
+struct DurableOptions {
+  /// Route appends through a group-commit WAL and pipeline
+  /// checkpoints. Makes the handle safe for concurrent Add/queries.
+  bool group_commit = false;
+  /// Group caps, barrier strength and queue depth (group mode only).
+  GroupCommitOptions group;
+};
+
 template <typename T>
 class DurableRps {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -96,9 +131,10 @@ class DurableRps {
   /// and an empty log, and commits the manifest.
   static Result<DurableRps> Create(const NdArray<T>& source,
                                    const CellIndex& box_size,
-                                   const std::string& directory) {
+                                   const std::string& directory,
+                                   const DurableOptions& options = {}) {
     DurableRps durable(RelativePrefixSum<T>(source, box_size), directory,
-                       /*generation=*/1);
+                       /*generation=*/1, options);
     RPS_RETURN_IF_ERROR(SaveSnapshot(*durable.rps_, durable.snapshot_path(),
                                      {.durable = true}));
     RPS_ASSIGN_OR_RETURN(
@@ -108,49 +144,89 @@ class DurableRps {
     RPS_RETURN_IF_ERROR(wal.Reset());  // fresh Create discards stale logs
     RPS_RETURN_IF_ERROR(fault_env::SyncDir(directory, "current"));
     RPS_RETURN_IF_ERROR(durable_internal::CommitManifest(directory, 1));
-    durable.wal_.emplace(std::move(wal));
+    durable.AdoptLog(std::move(wal));
     return durable;
   }
 
   /// Restores from `directory`: reads CURRENT, loads the live
-  /// snapshot and replays its log. `replayed` (optional out) reports
-  /// how many records were applied and whether a torn tail was
-  /// discarded. Stale files from neighbouring generations (a crashed
-  /// checkpoint) are garbage-collected best-effort.
+  /// snapshot and replays its log -- plus, after a crashed pipelined
+  /// checkpoint, every consecutive orphan log above it (fold-forward;
+  /// see the header comment). `replayed` (optional out) reports how
+  /// many records were applied across all logs and whether a torn
+  /// tail was discarded. Stale files from neighbouring generations
+  /// are garbage-collected best-effort.
   static Result<DurableRps> Open(const std::string& directory,
-                                 WalReplay* replayed = nullptr) {
+                                 WalReplay* replayed = nullptr,
+                                 const DurableOptions& options = {}) {
     RPS_ASSIGN_OR_RETURN(
         const int64_t generation,
         durable_internal::ReadManifest(directory + "/CURRENT"));
     RPS_ASSIGN_OR_RETURN(
         RelativePrefixSum<T> rps,
         LoadSnapshot<T>(SnapshotPathFor(directory, generation)));
-    DurableRps durable(std::move(rps), directory, generation);
+    DurableRps durable(std::move(rps), directory, generation, options);
+    const int dims = durable.rps_->shape().dims();
+
     RPS_ASSIGN_OR_RETURN(
-        WalReplay replay,
-        WriteAheadLog::Replay(durable.wal_path(),
-                              durable.rps_->shape().dims(), sizeof(T)));
-    for (const WalRecord& record : replay.records) {
-      T delta;
-      std::memcpy(&delta, record.payload.data(), sizeof(T));
-      if (!durable.rps_->shape().Contains(record.cell)) {
-        return Status::IoError("WAL record outside cube");
+        WalReplay live,
+        WriteAheadLog::Replay(durable.wal_path(), dims, sizeof(T)));
+    RPS_RETURN_IF_ERROR(durable.ApplyReplay(live));
+    WalReplay total = live;
+
+    // Fold-forward: a crashed (or failed) pipelined checkpoint leaves
+    // acked records in logs above the live generation. Replay every
+    // consecutive orphan log; only the last existing log can have a
+    // torn tail (rotation freezes each log before the next opens).
+    int64_t top = generation;
+    bool orphan_records = false;
+    for (int64_t g = generation + 1;
+         std::filesystem::exists(WalPathFor(directory, g)); ++g) {
+      RPS_ASSIGN_OR_RETURN(
+          WalReplay orphan,
+          WriteAheadLog::Replay(WalPathFor(directory, g), dims, sizeof(T)));
+      RPS_RETURN_IF_ERROR(durable.ApplyReplay(orphan));
+      orphan_records = orphan_records || !orphan.records.empty();
+      total.records.insert(total.records.end(), orphan.records.begin(),
+                           orphan.records.end());
+      total.tail_truncated = total.tail_truncated || orphan.tail_truncated;
+      top = g;
+    }
+
+    if (orphan_records) {
+      // The folded state spans several logs; checkpoint it to a fresh
+      // generation immediately so the on-disk layout collapses back
+      // to one snapshot + one (empty) log. CURRENT keeps naming the
+      // old generation until this commit lands, so a crash anywhere
+      // in here just re-runs the fold.
+      const int64_t next = top + 1;
+      RPS_RETURN_IF_ERROR(RetryWithBackoff(durable.retry_policy_, [&] {
+        return SaveSnapshot(*durable.rps_,
+                            SnapshotPathFor(directory, next),
+                            {.durable = true});
+      }));
+      RPS_ASSIGN_OR_RETURN(
+          WriteAheadLog wal,
+          WriteAheadLog::OpenForAppend(WalPathFor(directory, next), dims,
+                                       sizeof(T)));
+      RPS_RETURN_IF_ERROR(wal.Reset());
+      RPS_RETURN_IF_ERROR(fault_env::SyncDir(directory, "current"));
+      RPS_RETURN_IF_ERROR(durable_internal::CommitManifest(directory, next));
+      durable.SetGenerations(next, next);
+      total.valid_bytes = 0;
+      durable.AdoptLog(std::move(wal));
+    } else {
+      if (total.tail_truncated) {
+        // Cut the torn tail off before appending: bytes written after
+        // a damaged record would be invisible to every future replay.
+        RPS_RETURN_IF_ERROR(WriteAheadLog::TruncateTorn(durable.wal_path(),
+                                                        total.valid_bytes));
       }
-      durable.rps_->Add(record.cell, delta);
+      RPS_ASSIGN_OR_RETURN(
+          WriteAheadLog wal,
+          WriteAheadLog::OpenForAppend(durable.wal_path(), dims, sizeof(T)));
+      durable.AdoptLog(std::move(wal));
     }
-    if (replayed != nullptr) *replayed = replay;
-    if (replay.tail_truncated) {
-      // Cut the torn tail off before appending: bytes written after a
-      // damaged record would be invisible to every future replay.
-      RPS_RETURN_IF_ERROR(WriteAheadLog::TruncateTorn(durable.wal_path(),
-                                                      replay.valid_bytes));
-    }
-    RPS_ASSIGN_OR_RETURN(
-        WriteAheadLog wal,
-        WriteAheadLog::OpenForAppend(durable.wal_path(),
-                                     durable.rps_->shape().dims(),
-                                     sizeof(T)));
-    durable.wal_.emplace(std::move(wal));
+    if (replayed != nullptr) *replayed = total;
     durable.RemoveStaleGenerations();
     return durable;
   }
@@ -159,10 +235,30 @@ class DurableRps {
   const RelativePrefixSum<T>& structure() const { return *rps_; }
 
   /// Logged point update: WAL append first (retrying transient
-  /// failures), then the in-memory structure.
+  /// failures), then the in-memory structure. In group mode this is
+  /// safe from any thread: the record becomes durable with its commit
+  /// group's single barrier before memory is touched.
   Result<UpdateStats> Add(const CellIndex& cell, T delta) {
     obs::RequestScope request(obs::WideEventKind::kUpdate, "durable.add",
                               "relative_prefix_sum");
+    if (group_wal_ != nullptr) {
+      BeginApply();
+      const Status appended = group_wal_->Append(cell, &delta);
+      if (!appended.ok()) {
+        EndApply();
+        request.set_ok(false);
+        return appended;
+      }
+      request.add_wal_bytes(record_bytes_);
+      UpdateStats stats;
+      {
+        WriterLock lock(&sync_->structure_mu);
+        stats = rps_->Add(cell, delta);
+      }
+      EndApply();
+      request.set_cells(stats.primary_cells, stats.aux_cells);
+      return stats;
+    }
     const int64_t wal_before = wal_->committed_size();
     const Status appended = RetryWithBackoff(
         retry_policy_, [&] { return wal_->Append(cell, &delta); });
@@ -171,62 +267,214 @@ class DurableRps {
       return appended;
     }
     request.add_wal_bytes(wal_->committed_size() - wal_before);
-    const UpdateStats stats = rps_->Add(cell, delta);
+    UpdateStats stats;
+    {
+      WriterLock lock(&sync_->structure_mu);
+      stats = rps_->Add(cell, delta);
+    }
     request.set_cells(stats.primary_cells, stats.aux_cells);
     return stats;
   }
 
-  T RangeSum(const Box& range) const { return rps_->RangeSum(range); }
+  T RangeSum(const Box& range) const {
+    ReaderLock lock(&sync_->structure_mu);
+    return rps_->RangeSum(range);
+  }
   T PrefixSum(const CellIndex& target) const {
+    ReaderLock lock(&sync_->structure_mu);
     return rps_->PrefixSum(target);
   }
-  T ValueAt(const CellIndex& cell) const { return rps_->ValueAt(cell); }
+  T ValueAt(const CellIndex& cell) const {
+    ReaderLock lock(&sync_->structure_mu);
+    return rps_->ValueAt(cell);
+  }
 
-  /// Records logged since the last checkpoint (through this handle).
-  int64_t wal_records() const { return wal_->appended(); }
+  /// Records logged since the last rotation (through this handle).
+  int64_t wal_records() const {
+    return group_wal_ != nullptr ? group_wal_->appended() : wal_->appended();
+  }
 
-  /// Live generation number (advances by one per checkpoint).
-  int64_t generation() const { return generation_; }
+  /// Live (manifest-committed) generation number.
+  int64_t generation() const {
+    MutexLock lock(&sync_->state_mu);
+    return sync_->generation;
+  }
+
+  /// Generation of the log currently receiving appends. Runs ahead of
+  /// generation() while a pipelined checkpoint is in flight.
+  int64_t wal_generation() const {
+    MutexLock lock(&sync_->state_mu);
+    return sync_->wal_generation;
+  }
+
+  /// True while a pipelined checkpoint is writing its snapshot in the
+  /// background.
+  bool checkpoint_in_flight() const {
+    MutexLock lock(&sync_->state_mu);
+    return sync_->checkpoint_in_flight;
+  }
+
+  bool group_commit() const { return group_wal_ != nullptr; }
 
   /// On-disk paths of the live generation (tests peek at these).
   std::string snapshot_path() const {
-    return SnapshotPathFor(directory_, generation_);
+    return SnapshotPathFor(directory_, generation());
   }
-  std::string wal_path() const { return WalPathFor(directory_, generation_); }
+  std::string wal_path() const {
+    return WalPathFor(directory_, wal_generation());
+  }
   const std::string& directory() const { return directory_; }
 
   /// Retry policy for transient WAL/checkpoint I/O failures.
-  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+    if (group_wal_ != nullptr) group_wal_->set_retry_policy(policy);
+  }
+
+  /// Test hook: runs after a pipelined checkpoint rotated the log and
+  /// cloned the structure (writers already released) and before the
+  /// snapshot write. Lets tests pin "Checkpoint does not block Add"
+  /// deterministically by parking the checkpoint mid-flight.
+  void set_checkpoint_write_hook(std::function<void()> hook) {
+    sync_->checkpoint_write_hook = std::move(hook);
+  }
 
   /// Persists the current state as the next generation and commits it
   /// atomically; the previous generation's files are then removed
-  /// best-effort. If this fails, the live generation is unchanged and
-  /// the handle remains usable (when the failure was not a crash).
+  /// best-effort. Per-record mode runs inline (the historical
+  /// behavior, blocking the caller AND, in principle, any writer).
+  /// Group mode pipelines: writers stall only for the rotation+clone
+  /// window, never for snapshot I/O. If this fails, the live
+  /// generation is unchanged and the handle remains usable (when the
+  /// failure was not a crash).
   Status Checkpoint() {
     obs::RequestScope request(obs::WideEventKind::kCheckpoint,
                               "durable.checkpoint", "relative_prefix_sum");
-    request.add_wal_bytes(wal_->committed_size());
-    const Status status = CheckpointImpl();
+    request.add_wal_bytes(group_wal_ != nullptr ? group_wal_->committed_size()
+                                                : wal_->committed_size());
+    const Status status = group_wal_ != nullptr ? PipelinedCheckpoint()
+                                                : CheckpointImpl();
     request.set_ok(status.ok());
     return status;
   }
 
   /// Health-source payload for the exposition server: the live
-  /// generation and how much log has accumulated since it committed.
+  /// generation, log accumulation, and -- for operators watching a
+  /// stuck checkpointer -- the pipelined-checkpoint state.
   std::string HealthJson() const {
+    int64_t committed_generation = 0;
+    int64_t log_generation = 0;
+    bool in_flight = false;
+    {
+      MutexLock lock(&sync_->state_mu);
+      committed_generation = sync_->generation;
+      log_generation = sync_->wal_generation;
+      in_flight = sync_->checkpoint_in_flight;
+    }
     std::string out = "{\"generation\":";
-    out += std::to_string(generation_);
+    out += std::to_string(committed_generation);
     out += ",\"wal_records\":";
-    out += std::to_string(wal_->appended());
+    out += std::to_string(wal_records());
     out += ",\"wal_bytes\":";
-    out += std::to_string(wal_->committed_size());
+    out += std::to_string(group_wal_ != nullptr ? group_wal_->committed_size()
+                                                : wal_->committed_size());
+    out += ",\"mode\":\"";
+    out += group_wal_ != nullptr ? "group_commit" : "per_record";
+    out += "\",\"wal_generation\":";
+    out += std::to_string(log_generation);
+    out += ",\"checkpoint_in_flight\":";
+    out += in_flight ? "true" : "false";
+    out += ",\"commit_queue_depth\":";
+    out += std::to_string(group_wal_ != nullptr ? group_wal_->queue_depth()
+                                                : 0);
     out += '}';
     return out;
   }
 
  private:
+  /// Synchronization state, heap-allocated so the handle stays
+  /// movable. The apply gate makes "durable in the pre-rotation log
+  /// implies applied to the pre-rotation clone" hold: every Add holds
+  /// the gate across enqueue -> durable -> memory apply, and rotation
+  /// waits for the gate to drain before switching logs and cloning.
+  struct SyncState {
+    Mutex gate_mu{"DurableRps.gate"};
+    CondVar gate_cv;
+    int64_t active_appends GUARDED_BY(gate_mu) = 0;
+    bool rotating GUARDED_BY(gate_mu) = false;
+
+    /// Writers exclusive for the in-place structure mutation, readers
+    /// shared for queries and the checkpoint clone.
+    mutable SharedMutex structure_mu{"DurableRps.structure"};
+
+    /// Serializes whole Checkpoint() calls against each other.
+    Mutex checkpoint_mu{"DurableRps.checkpoint"};  // check_guards: standalone
+
+    mutable Mutex state_mu{"DurableRps.state"};
+    int64_t generation GUARDED_BY(state_mu) = 1;
+    int64_t wal_generation GUARDED_BY(state_mu) = 1;
+    bool checkpoint_in_flight GUARDED_BY(state_mu) = false;
+
+    std::function<void()> checkpoint_write_hook;
+  };
+
+  DurableRps(RelativePrefixSum<T> rps, std::string directory,
+             int64_t generation, const DurableOptions& options)
+      : rps_(std::make_unique<RelativePrefixSum<T>>(std::move(rps))),
+        directory_(std::move(directory)),
+        options_(options),
+        sync_(std::make_unique<SyncState>()) {
+    MutexLock lock(&sync_->state_mu);
+    sync_->generation = generation;
+    sync_->wal_generation = generation;
+  }
+
+  /// Wraps a freshly opened live log in the mode's front end.
+  void AdoptLog(WriteAheadLog wal) {
+    if (options_.group_commit) {
+      record_bytes_ = wal.record_size();
+      group_wal_ =
+          std::make_unique<GroupCommitWal>(std::move(wal), options_.group);
+      group_wal_->set_retry_policy(retry_policy_);
+    } else {
+      wal_.emplace(std::move(wal));
+    }
+  }
+
+  void SetGenerations(int64_t generation, int64_t wal_generation) {
+    MutexLock lock(&sync_->state_mu);
+    sync_->generation = generation;
+    sync_->wal_generation = wal_generation;
+  }
+
+  Status ApplyReplay(const WalReplay& replay) {
+    for (const WalRecord& record : replay.records) {
+      T delta;
+      std::memcpy(&delta, record.payload.data(), sizeof(T));
+      if (!rps_->shape().Contains(record.cell)) {
+        return Status::IoError("WAL record outside cube");
+      }
+      rps_->Add(record.cell, delta);
+    }
+    return Status::Ok();
+  }
+
+  void BeginApply() {
+    MutexLock lock(&sync_->gate_mu);
+    while (sync_->rotating) sync_->gate_cv.Wait(sync_->gate_mu);
+    ++sync_->active_appends;
+  }
+
+  void EndApply() {
+    MutexLock lock(&sync_->gate_mu);
+    --sync_->active_appends;
+    sync_->gate_cv.NotifyAll();
+  }
+
+  /// Inline checkpoint (per-record mode): snapshot the live structure
+  /// while the caller blocks.
   Status CheckpointImpl() {
-    const int64_t next = generation_ + 1;
+    const int64_t next = generation() + 1;
     const std::string next_snapshot = SnapshotPathFor(directory_, next);
     const std::string next_wal = WalPathFor(directory_, next);
     // Write the next generation beside the live one. Transient
@@ -243,20 +491,84 @@ class DurableRps {
     // Commit point: until this rename lands, recovery uses the old
     // snapshot + old log; after it, the new snapshot + empty log.
     RPS_RETURN_IF_ERROR(durable_internal::CommitManifest(directory_, next));
-    const int64_t previous = generation_;
-    generation_ = next;
+    const int64_t previous = generation();
+    SetGenerations(next, next);
     wal_ = std::move(next_log);
     (void)fault_env::Remove(SnapshotPathFor(directory_, previous));
     (void)fault_env::Remove(WalPathFor(directory_, previous));
     return Status::Ok();
   }
 
- private:
-  DurableRps(RelativePrefixSum<T> rps, std::string directory,
-             int64_t generation)
-      : rps_(std::make_unique<RelativePrefixSum<T>>(std::move(rps))),
-        directory_(std::move(directory)),
-        generation_(generation) {}
+  /// Pipelined checkpoint (group mode). Phase 1, under the apply
+  /// gate: rotate the log to the next generation and clone the
+  /// structure -- O(structure size) memory copy, no snapshot I/O.
+  /// Phase 2, with writers running: write the clone's snapshot, fsync
+  /// and commit the manifest. On a phase-2 failure CURRENT keeps
+  /// naming the old generation; acked records are in the rotated
+  /// log(s) and fold-forward recovery (or a retried Checkpoint, which
+  /// targets a fresh generation past every rotated log) folds them in.
+  Status PipelinedCheckpoint() {
+    MutexLock checkpoint(&sync_->checkpoint_mu);
+    int64_t next = 0;
+    std::unique_ptr<RelativePrefixSum<T>> clone;
+    {
+      MutexLock gate(&sync_->gate_mu);
+      sync_->rotating = true;
+      while (sync_->active_appends > 0) sync_->gate_cv.Wait(sync_->gate_mu);
+      // Quiesced: the commit queue is empty and the live log holds
+      // exactly the records applied to memory.
+      next = wal_generation() + 1;
+      Status rotation;
+      Result<WriteAheadLog> next_log = WriteAheadLog::OpenForAppend(
+          WalPathFor(directory_, next), rps_->shape().dims(), sizeof(T));
+      if (next_log.ok()) {
+        WriteAheadLog log = std::move(next_log).value();
+        rotation = log.Reset();
+        if (rotation.ok()) {
+          // Rotate swaps unconditionally: from here the active log IS
+          // wal-(next), even if closing the frozen one failed.
+          const Status rotated = group_wal_->Rotate(std::move(log));
+          {
+            MutexLock lock(&sync_->state_mu);
+            sync_->wal_generation = next;
+          }
+          rotation = rotated;
+        }
+      } else {
+        rotation = next_log.status();
+      }
+      if (rotation.ok()) {
+        {
+          MutexLock lock(&sync_->state_mu);
+          sync_->checkpoint_in_flight = true;
+        }
+        ReaderLock structure(&sync_->structure_mu);
+        clone = std::make_unique<RelativePrefixSum<T>>(*rps_);
+      }
+      sync_->rotating = false;
+      sync_->gate_cv.NotifyAll();
+      if (!rotation.ok()) return rotation;
+    }
+
+    // Writers are live again; everything below runs against the
+    // frozen clone and the filesystem only.
+    if (sync_->checkpoint_write_hook) sync_->checkpoint_write_hook();
+    Status status = RetryWithBackoff(retry_policy_, [&] {
+      return SaveSnapshot(*clone, SnapshotPathFor(directory_, next),
+                          {.durable = true});
+    });
+    if (status.ok()) status = fault_env::SyncDir(directory_, "current");
+    if (status.ok()) {
+      status = durable_internal::CommitManifest(directory_, next);
+    }
+    {
+      MutexLock lock(&sync_->state_mu);
+      sync_->checkpoint_in_flight = false;
+      if (status.ok()) sync_->generation = next;
+    }
+    if (status.ok()) RemoveStaleGenerations();
+    return status;
+  }
 
   static std::string SnapshotPathFor(const std::string& directory,
                                      int64_t generation) {
@@ -267,23 +579,42 @@ class DurableRps {
     return directory + "/wal-" + std::to_string(generation) + ".log";
   }
 
-  /// Best-effort removal of files a crashed checkpoint can leave
-  /// behind: the previous generation (crash after commit, before GC)
-  /// and the next one (crash before commit).
+  /// Best-effort removal of files a crashed or folded checkpoint can
+  /// leave behind: every generation below the live one (walking down
+  /// until nothing is found) and the immediately-next one when it
+  /// never received records (crash between snapshot write and
+  /// commit), plus a stranded manifest temp file.
   void RemoveStaleGenerations() {
-    for (const int64_t stale : {generation_ - 1, generation_ + 1}) {
-      if (stale < 1) continue;
+    const int64_t live = generation();
+    const int64_t active_log = wal_generation();
+    for (int64_t stale = live - 1; stale >= 1; --stale) {
+      const bool had_snapshot =
+          std::filesystem::exists(SnapshotPathFor(directory_, stale));
+      const bool had_wal =
+          std::filesystem::exists(WalPathFor(directory_, stale));
+      if (!had_snapshot && !had_wal) break;
       (void)fault_env::Remove(SnapshotPathFor(directory_, stale));
       (void)fault_env::Remove(WalPathFor(directory_, stale));
+    }
+    if (active_log == live) {
+      // No pipelined rotation outstanding: anything above the live
+      // generation is debris from a checkpoint that never committed
+      // (and, per Open's fold-forward, never held records).
+      (void)fault_env::Remove(SnapshotPathFor(directory_, live + 1));
+      (void)fault_env::Remove(WalPathFor(directory_, live + 1));
     }
     (void)fault_env::Remove(directory_ + "/CURRENT.tmp");
   }
 
   std::unique_ptr<RelativePrefixSum<T>> rps_;
   std::string directory_;
-  int64_t generation_ = 1;
+  DurableOptions options_;
   RetryPolicy retry_policy_;
+  std::unique_ptr<SyncState> sync_;
+  /// Exactly one of these is live, per options_.group_commit.
   std::optional<WriteAheadLog> wal_;
+  std::unique_ptr<GroupCommitWal> group_wal_;
+  int64_t record_bytes_ = 0;
 };
 
 }  // namespace rps

@@ -1,0 +1,198 @@
+#include "storage/group_commit.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rps {
+namespace {
+
+int64_t EnvInt64Or(const char* name, int64_t fallback) {
+  const char* const text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return fallback;
+  return static_cast<int64_t>(value);
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge* const gauge = [] {
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    registry.SetHelp("rps_wal_group_queue_depth",
+                     "Append requests waiting for the group-commit "
+                     "thread (backpressure blocks producers at the "
+                     "queue capacity).");
+    return &registry.GetGauge("rps_wal_group_queue_depth");
+  }();
+  return *gauge;
+}
+
+}  // namespace
+
+GroupCommitOptions GroupCommitOptions::WithEnvOverrides() const {
+  GroupCommitOptions out = *this;
+  out.max_group_bytes = EnvInt64Or("RPS_WAL_GROUP_BYTES", max_group_bytes);
+  out.linger_micros = EnvInt64Or("RPS_WAL_GROUP_USEC", linger_micros);
+  if (out.max_group_bytes < 1) out.max_group_bytes = 1;
+  return out;
+}
+
+GroupCommitWal::GroupCommitWal(WriteAheadLog wal,
+                               const GroupCommitOptions& options)
+    : options_(options.WithEnvOverrides()),
+      queue_(options_.queue_capacity),
+      wal_(std::move(wal)),
+      retry_(options_.retry),
+      queue_depth_gauge_(QueueDepthGauge()) {
+  RPS_CHECK(options_.max_group_records >= 1);
+  commit_thread_ = std::thread([this] { CommitLoop(); });
+}
+
+GroupCommitWal::~GroupCommitWal() { Shutdown(); }
+
+void GroupCommitWal::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.Close();
+  if (commit_thread_.joinable()) commit_thread_.join();
+}
+
+Status GroupCommitWal::Append(const CellIndex& cell, const void* payload) {
+  Request request;
+  request.cell = &cell;
+  request.payload = payload;
+  if (!queue_.Push(&request)) {
+    return Status::FailedPrecondition("group-commit WAL shut down");
+  }
+  return AwaitDone(&request);
+}
+
+Status GroupCommitWal::AppendMany(const WalAppend* records, int64_t count) {
+  if (count < 1) return Status::InvalidArgument("empty group append");
+  std::vector<Request> requests(static_cast<size_t>(count));
+  int64_t enqueued = 0;
+  Status first_error;
+  for (int64_t i = 0; i < count; ++i) {
+    requests[static_cast<size_t>(i)].cell = records[i].cell;
+    requests[static_cast<size_t>(i)].payload = records[i].payload;
+    if (!queue_.Push(&requests[static_cast<size_t>(i)])) {
+      first_error = Status::FailedPrecondition("group-commit WAL shut down");
+      break;
+    }
+    ++enqueued;
+  }
+  // Wait for everything that made it into the queue, even after a
+  // failed push: the commit thread still holds pointers to those
+  // stack slots.
+  for (int64_t i = 0; i < enqueued; ++i) {
+    const Status status = AwaitDone(&requests[static_cast<size_t>(i)]);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Status GroupCommitWal::AwaitDone(Request* request) {
+  MutexLock lock(&done_mu_);
+  while (!request->done) done_cv_.Wait(done_mu_);
+  return request->status;
+}
+
+Status GroupCommitWal::Rotate(WriteAheadLog next) {
+  MutexLock lock(&wal_mu_);
+  const Status closed = wal_.Close();
+  wal_ = std::move(next);
+  // A failed close of the frozen log matters only when its buffered
+  // bytes were lost, which a simulated crash models; the caller
+  // aborts the checkpoint either way.
+  return closed;
+}
+
+void GroupCommitWal::set_retry_policy(const RetryPolicy& policy) {
+  MutexLock lock(&wal_mu_);
+  retry_ = policy;
+}
+
+int64_t GroupCommitWal::appended() const {
+  MutexLock lock(&wal_mu_);
+  return wal_.appended();
+}
+
+int64_t GroupCommitWal::committed_size() const {
+  MutexLock lock(&wal_mu_);
+  return wal_.committed_size();
+}
+
+int64_t GroupCommitWal::record_size() const {
+  MutexLock lock(&wal_mu_);
+  return wal_.record_size();
+}
+
+uint64_t GroupCommitWal::last_assigned_seq() const {
+  MutexLock lock(&done_mu_);
+  return last_assigned_seq_;
+}
+
+uint64_t GroupCommitWal::last_durable_seq() const {
+  MutexLock lock(&done_mu_);
+  return last_durable_seq_;
+}
+
+void GroupCommitWal::CommitLoop() {
+  std::vector<Request*> batch;
+  std::vector<WalAppend> appends;
+  const int64_t bytes_per_record = record_size();
+  while (true) {
+    std::optional<Request*> first = queue_.Pop();
+    if (!first.has_value()) break;  // shut down and drained
+
+    // Coalesce everything already waiting, up to the group caps; if
+    // the queue runs dry below the caps, optionally linger for
+    // stragglers. With writers blocked-until-durable the natural
+    // group size converges on the number of concurrent writers.
+    batch.clear();
+    batch.push_back(*first);
+    int64_t bytes = bytes_per_record;
+    while (static_cast<int64_t>(batch.size()) < options_.max_group_records &&
+           bytes + bytes_per_record <= options_.max_group_bytes) {
+      std::optional<Request*> next = queue_.TryPop();
+      if (!next.has_value() && options_.linger_micros > 0) {
+        next = queue_.PopWithTimeout(options_.linger_micros);
+      }
+      if (!next.has_value()) break;
+      batch.push_back(*next);
+      bytes += bytes_per_record;
+    }
+    queue_depth_gauge_.Set(static_cast<double>(queue_.size()));
+
+    appends.clear();
+    for (Request* request : batch) {
+      appends.push_back(WalAppend{request->cell, request->payload});
+    }
+    Status status;
+    {
+      MutexLock lock(&wal_mu_);
+      const RetryPolicy policy = retry_;
+      WriteAheadLog* const wal = &wal_;
+      status = RetryWithBackoff(policy, [&] {
+        return wal->AppendBatch(appends.data(),
+                                static_cast<int64_t>(appends.size()),
+                                options_.barrier);
+      });
+    }
+    {
+      MutexLock lock(&done_mu_);
+      for (Request* request : batch) request->seq = ++last_assigned_seq_;
+      if (status.ok()) last_durable_seq_ = batch.back()->seq;
+      for (Request* request : batch) {
+        request->status = status;
+        request->done = true;
+      }
+      done_cv_.NotifyAll();
+    }
+  }
+}
+
+}  // namespace rps

@@ -1,0 +1,149 @@
+// Group-commit front end for the write-ahead log.
+//
+// Per-record durability pays one barrier per Add; under N concurrent
+// writers that is N barriers for N records. Group commit amortizes:
+// writers enqueue fixed-size append requests into a bounded MPSC
+// queue (util/bounded_queue.h) and block; a dedicated commit thread
+// drains the queue, coalesces everything waiting (up to the group
+// caps) into ONE contiguous write and ONE durability barrier
+// (WriteAheadLog::AppendBatch), assigns each record a commit sequence
+// number, and wakes the waiters once their sequence is durable. A
+// full queue blocks producers (backpressure) -- requests are never
+// dropped.
+//
+// Failure semantics match the per-record path, generalized to the
+// group: AppendBatch rolls a failed group back to the last *group*
+// boundary, the commit thread retries transiently-failed groups with
+// the configured policy, and on exhaustion every waiter in the group
+// gets the error while the log stays at a clean boundary for the
+// next group. No record is ever acknowledged before its group's
+// barrier completed.
+//
+// Group caps are tunable via options and the environment:
+//   RPS_WAL_GROUP_BYTES  max bytes per group (caps latency outliers)
+//   RPS_WAL_GROUP_USEC   linger: how long the commit thread waits for
+//                        more records when the queue runs dry before
+//                        a small group's barrier (0 = never wait)
+
+#ifndef RPS_STORAGE_GROUP_COMMIT_H_
+#define RPS_STORAGE_GROUP_COMMIT_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "storage/wal.h"
+#include "util/annotations.h"
+#include "util/bounded_queue.h"
+#include "util/mutex.h"
+#include "util/retry.h"
+
+namespace rps {
+
+struct GroupCommitOptions {
+  /// Caps on one commit group. Records wins ties with bytes; both are
+  /// checked before admitting each record.
+  int64_t max_group_records = 256;
+  int64_t max_group_bytes = 1 << 16;
+  /// How long the commit thread waits for more records when the queue
+  /// runs dry mid-group (microseconds, per gap). 0 commits whatever
+  /// drained immediately -- the right default when writers block
+  /// until durable, because a blocked writer cannot produce more.
+  int64_t linger_micros = 0;
+  /// Producer backpressure threshold: Append blocks once this many
+  /// requests are waiting.
+  int64_t queue_capacity = 1024;
+  /// Barrier issued once per group (see WalBarrier).
+  WalBarrier barrier = WalBarrier::kFlush;
+  /// Retry policy for transiently-failed group writes.
+  RetryPolicy retry;
+
+  /// Applies the RPS_WAL_GROUP_BYTES / RPS_WAL_GROUP_USEC environment
+  /// overrides on top of `*this` and returns the result.
+  GroupCommitOptions WithEnvOverrides() const;
+};
+
+class GroupCommitWal {
+ public:
+  /// Takes ownership of an open log and starts the commit thread.
+  /// Environment overrides are applied to `options` here.
+  GroupCommitWal(WriteAheadLog wal, const GroupCommitOptions& options);
+
+  /// Shuts down: drains the backlog through one final set of groups,
+  /// then joins the commit thread. The underlying file closes with
+  /// the member's destructor.
+  ~GroupCommitWal();
+
+  GroupCommitWal(const GroupCommitWal&) = delete;
+  GroupCommitWal& operator=(const GroupCommitWal&) = delete;
+
+  /// Enqueues one record and blocks until its group's barrier
+  /// completed (or failed). Safe from any number of threads.
+  Status Append(const CellIndex& cell, const void* payload);
+
+  /// Enqueues `count` records and blocks until every one resolved.
+  /// The records share arrival order, so they typically share a
+  /// group (or a handful of consecutive groups) -- the batched-ingest
+  /// fast path. Returns the first error, Ok when all durable.
+  Status AppendMany(const WalAppend* records, int64_t count);
+
+  /// Swaps in `next` (already opened and reset) as the active log and
+  /// closes the previous one. The caller must have quiesced
+  /// producers: no Append in flight, queue empty. This is the
+  /// pipelined checkpointer's rotation point.
+  Status Rotate(WriteAheadLog next);
+
+  /// Stops accepting appends, drains, joins the commit thread.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  void set_retry_policy(const RetryPolicy& policy);
+
+  /// Snapshots of the underlying log (thread-safe).
+  int64_t appended() const;
+  int64_t committed_size() const;
+  int64_t record_size() const;
+
+  /// Requests currently waiting for the commit thread.
+  int64_t queue_depth() const { return queue_.size(); }
+
+  /// Sequence numbers: assigned in commit order; durable once the
+  /// owning group's barrier completed.
+  uint64_t last_assigned_seq() const;
+  uint64_t last_durable_seq() const;
+
+ private:
+  /// One waiter's request. Lives on the producer's stack; the pointer
+  /// stays valid because the producer blocks until `done`.
+  struct Request {
+    const CellIndex* cell = nullptr;
+    const void* payload = nullptr;
+    uint64_t seq = 0;
+    Status status;
+    bool done = false;
+  };
+
+  void CommitLoop();
+  /// Waits (under done_mu_) until `request->done`, returns its status.
+  Status AwaitDone(Request* request);
+
+  const GroupCommitOptions options_;
+  BoundedQueue<Request*> queue_;
+
+  mutable Mutex wal_mu_{"GroupCommitWal.wal"};
+  WriteAheadLog wal_ GUARDED_BY(wal_mu_);
+  RetryPolicy retry_ GUARDED_BY(wal_mu_);
+
+  mutable Mutex done_mu_{"GroupCommitWal.done"};
+  CondVar done_cv_;
+  uint64_t last_assigned_seq_ GUARDED_BY(done_mu_) = 0;
+  uint64_t last_durable_seq_ GUARDED_BY(done_mu_) = 0;
+
+  obs::Gauge& queue_depth_gauge_;
+  bool shut_down_ = false;  // main-thread flag; Shutdown is not racy
+  std::thread commit_thread_;
+};
+
+}  // namespace rps
+
+#endif  // RPS_STORAGE_GROUP_COMMIT_H_

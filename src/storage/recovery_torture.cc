@@ -153,6 +153,8 @@ Result<TortureReport> RunRecoveryTorture(const TortureOptions& options) {
     oracle.at(RandomCell(shape, rng)) += rng.UniformInt(-50, 50);
   }
 
+  DurableOptions durable_options;
+  durable_options.group_commit = options.group_commit;
   Result<DurableRps<int64_t>> created =
       DurableRps<int64_t>::Create(
           [&] {
@@ -164,7 +166,7 @@ Result<TortureReport> RunRecoveryTorture(const TortureOptions& options) {
             } while (NextIndexInBox(all, index));
             return source;
           }(),
-          box_size, options.directory);
+          box_size, options.directory, durable_options);
   if (!created.ok()) return created.status();
   std::optional<DurableRps<int64_t>> durable(std::move(created).value());
   // No sleeping inside simulated-fault retries.
@@ -231,7 +233,8 @@ Result<TortureReport> RunRecoveryTorture(const TortureOptions& options) {
 
     WalReplay replay;
     Result<DurableRps<int64_t>> reopened =
-        DurableRps<int64_t>::Open(options.directory, &replay);
+        DurableRps<int64_t>::Open(options.directory, &replay,
+                                  durable_options);
     if (!reopened.ok()) {
       return Status::Internal("recovery failed: " +
                               reopened.status().ToString() +

@@ -47,6 +47,11 @@ struct TortureOptions {
   /// Scratch directory (must exist and be empty-ish; files are
   /// created under it).
   std::string directory;
+  /// Run the durable handle in group-commit mode: appends funnel
+  /// through the commit thread and checkpoints are pipelined, so
+  /// crashes land inside rotations and background snapshot writes and
+  /// recovery exercises the fold-forward path.
+  bool group_commit = false;
 };
 
 struct TortureReport {

@@ -41,6 +41,21 @@ struct WalReplay {
   int64_t valid_bytes = 0;      // byte offset after the last valid record
 };
 
+/// One record of a batched append: the payload must have the
+/// payload_size fixed at open time.
+struct WalAppend {
+  const CellIndex* cell = nullptr;
+  const void* payload = nullptr;
+};
+
+/// Durability barrier strength for appends. kFlush pushes buffered
+/// bytes to the OS (fflush) -- survives process death, not power
+/// loss; this log's historical barrier. kSync adds a kernel fsync.
+/// Group commit amortizes whichever barrier is chosen over the whole
+/// batch, which is the entire point: the barrier is the per-append
+/// cost that does not shrink with record size.
+enum class WalBarrier { kFlush, kSync };
+
 class WriteAheadLog {
  public:
   ~WriteAheadLog() = default;
@@ -54,16 +69,33 @@ class WriteAheadLog {
   static Result<WriteAheadLog> OpenForAppend(const std::string& path,
                                              int dims, int64_t payload_size);
 
-  /// Appends one record and flushes it to the OS. On a transient
+  /// Appends one record and issues one barrier. On a transient
   /// failure the partial record is rolled back (file truncated to the
   /// last record boundary) and the retryable status is returned.
-  Status Append(const CellIndex& cell, const void* payload);
+  Status Append(const CellIndex& cell, const void* payload,
+                WalBarrier barrier = WalBarrier::kFlush);
+
+  /// Appends `count` records as ONE contiguous buffered write and ONE
+  /// durability barrier -- the group-commit primitive. All-or-
+  /// nothing: on any failure the file is rolled back to the last
+  /// *group* boundary (the byte offset before this batch), so a retry
+  /// re-appends the whole group against a clean tail; no record of a
+  /// failed group is ever visible to replay as committed.
+  Status AppendBatch(const WalAppend* records, int64_t count,
+                     WalBarrier barrier = WalBarrier::kFlush);
 
   /// Number of records appended through this handle.
   int64_t appended() const { return appended_; }
 
   /// Byte size of the log up to the last fully appended record.
   int64_t committed_size() const { return committed_size_; }
+
+  /// On-disk bytes of one record under this log's geometry (crc +
+  /// coords + payload); group-size caps divide by this.
+  int64_t record_size() const {
+    return static_cast<int64_t>(sizeof(uint32_t)) +
+           static_cast<int64_t>(sizeof(int64_t)) * dims_ + payload_size_;
+  }
 
   /// Truncates the log to empty (after a checkpoint).
   Status Reset();

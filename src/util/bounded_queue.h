@@ -1,0 +1,119 @@
+// Bounded blocking MPSC/MPMC queue.
+//
+// The backpressure primitive under the group-commit WAL
+// (storage/group_commit.h): producers Push and block while the queue
+// is full -- requests are never dropped -- and the consumer Pop's,
+// blocking while it is empty. Close() wakes everyone: pending Push
+// calls fail, Pop drains what remains and then reports exhaustion, so
+// a consumer loop terminates deterministically.
+//
+// Built on the capability-annotated Mutex/CondVar wrappers
+// (util/mutex.h); safe for any number of producers and consumers,
+// though the group-commit use is many producers, one consumer.
+
+#ifndef RPS_UTIL_BOUNDED_QUEUE_H_
+#define RPS_UTIL_BOUNDED_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "util/annotations.h"
+#include "util/check.h"
+#include "util/mutex.h"
+
+namespace rps {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int64_t capacity) : capacity_(capacity) {
+    RPS_CHECK(capacity >= 1);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `value`)
+  /// if the queue was closed before space appeared.
+  bool Push(T value) {
+    MutexLock lock(&mutex_);
+    while (static_cast<int64_t>(items_.size()) >= capacity_ && !closed_) {
+      not_full_.Wait(mutex_);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt only when the
+  /// queue is closed AND drained -- items pushed before Close are
+  /// always delivered.
+  std::optional<T> Pop() {
+    MutexLock lock(&mutex_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mutex_);
+    return PopFrontLocked();
+  }
+
+  /// Pop that gives up after `micros` of emptiness: the group-commit
+  /// linger window. nullopt means timeout or closed-and-drained;
+  /// callers that need to distinguish check closed().
+  std::optional<T> PopWithTimeout(int64_t micros) {
+    MutexLock lock(&mutex_);
+    if (items_.empty() && !closed_) {
+      not_empty_.WaitFor(mutex_, micros);
+    }
+    if (items_.empty()) return std::nullopt;
+    return PopFrontLocked();
+  }
+
+  /// Non-blocking pop, for draining a batch after the first blocking
+  /// Pop succeeded.
+  std::optional<T> TryPop() {
+    MutexLock lock(&mutex_);
+    if (items_.empty()) return std::nullopt;
+    return PopFrontLocked();
+  }
+
+  /// Wakes every blocked producer and consumer. Push fails from now
+  /// on; Pop drains the backlog then reports exhaustion.
+  void Close() {
+    MutexLock lock(&mutex_);
+    closed_ = true;
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
+  }
+
+  bool closed() const {
+    MutexLock lock(&mutex_);
+    return closed_;
+  }
+
+  int64_t size() const {
+    MutexLock lock(&mutex_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> PopFrontLocked() REQUIRES(mutex_) {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> value(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.NotifyOne();
+    return value;
+  }
+
+  const int64_t capacity_;
+  mutable Mutex mutex_{"BoundedQueue.mutex"};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace rps
+
+#endif  // RPS_UTIL_BOUNDED_QUEUE_H_

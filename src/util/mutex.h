@@ -36,6 +36,7 @@
 #ifndef RPS_UTIL_MUTEX_H_
 #define RPS_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -423,6 +424,15 @@ class CondVar {
   /// returning. The release/reacquire runs through Mutex's tracked
   /// lock()/unlock(), so the lock-order bookkeeping stays exact.
   void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait: returns false when `micros` elapsed without a
+  /// notification (the group-commit linger window), true otherwise.
+  /// Spurious wakeups return true, so callers re-check their
+  /// predicate either way.
+  bool WaitFor(Mutex& mu, int64_t micros) REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::microseconds(micros)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

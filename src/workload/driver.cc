@@ -11,6 +11,7 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "olap/durable_engine.h"
 #include "olap/schema.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -329,6 +330,93 @@ ShardScalingReport RunShardScalingWorkload(const ShardScalingSpec& spec) {
   report.writer_batches = writer_stats.batches;
   report.writer_records = writer_stats.records;
   report.writer_busy_seconds = writer_stats.busy_seconds;
+  return report;
+}
+
+Result<DurableScalingReport> RunDurableScalingWorkload(
+    const DurableScalingSpec& spec) {
+  if (spec.writers < 1 || spec.side < 2 || spec.batch < 1) {
+    return Status::InvalidArgument(
+        "durable scaling needs writers >= 1, side >= 2, batch >= 1");
+  }
+  if (spec.directory.empty()) {
+    return Status::InvalidArgument("durable scaling needs a directory");
+  }
+  Schema schema("MEASURE", {Dimension::Integer("d0", 0, spec.side),
+                            Dimension::Integer("d1", 0, spec.side)});
+  DurableOptions options;
+  options.group_commit = spec.group_commit;
+  options.group.barrier = spec.barrier;
+  RPS_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurableOlapEngine> engine,
+      DurableOlapEngine::Create(std::move(schema), spec.method, spec.shards,
+                                spec.directory, options, spec.pool));
+
+  struct WriterTally {
+    int64_t records = 0;
+    std::vector<int64_t> latencies_nanos;
+    Status error;
+  };
+  std::vector<WriterTally> tallies(static_cast<size_t>(spec.writers));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(spec.writers));
+  const Stopwatch run_watch;
+  for (int w = 0; w < spec.writers; ++w) {
+    WriterTally* tally = &tallies[static_cast<size_t>(w)];
+    threads.emplace_back([&, w, tally] {
+      Rng rng(spec.seed + static_cast<uint64_t>(w) * 0x9e3779b97f4a7c15ull);
+      std::vector<OlapRecord> batch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        batch.clear();
+        for (int64_t i = 0; i < spec.batch; ++i) {
+          batch.push_back(
+              OlapRecord{{rng.UniformInt(0, spec.side - 1),
+                          rng.UniformInt(0, spec.side - 1)},
+                         static_cast<double>(rng.UniformInt(1, 8))});
+        }
+        const Stopwatch commit;
+        const Status status =
+            spec.batch == 1 ? engine->Insert(batch.front())
+                            : engine->InsertBatch(batch);
+        const int64_t nanos = commit.ElapsedNanos();
+        if (!status.ok()) {
+          tally->error = status;
+          return;
+        }
+        tally->records += spec.batch;
+        tally->latencies_nanos.push_back(nanos);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(spec.run_seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = run_watch.ElapsedSeconds();
+
+  DurableScalingReport report;
+  report.mode = spec.group_commit ? "group_commit" : "per_record";
+  report.writers = spec.writers;
+  report.seconds = elapsed;
+  std::vector<int64_t> merged;
+  for (WriterTally& tally : tallies) {
+    RPS_RETURN_IF_ERROR(tally.error);
+    report.records += tally.records;
+    merged.insert(merged.end(), tally.latencies_nanos.begin(),
+                  tally.latencies_nanos.end());
+  }
+  const auto percentile = [&merged](double p) {
+    if (merged.empty()) return 0.0;
+    const size_t rank = std::min(
+        merged.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(merged.size())));
+    std::nth_element(merged.begin(),
+                     merged.begin() + static_cast<int64_t>(rank),
+                     merged.end());
+    return static_cast<double>(merged[rank]) * 1e-3;
+  };
+  report.p50_commit_micros = percentile(0.50);
+  report.p99_commit_micros = percentile(0.99);
   return report;
 }
 

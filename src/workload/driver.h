@@ -13,6 +13,7 @@
 #include "core/method.h"
 #include "cube/box.h"
 #include "olap/engine.h"
+#include "storage/wal.h"
 #include "util/thread_pool.h"
 #include "workload/query_gen.h"
 
@@ -144,6 +145,54 @@ struct ShardScalingReport {
 };
 
 ShardScalingReport RunShardScalingWorkload(const ShardScalingSpec& spec);
+
+/// Durable-ingest scaling workload (BENCH_durable_scaling.json):
+/// `writers` threads insert single records into a DurableOlapEngine
+/// flat out for `run_seconds`, every record logged durably before the
+/// insert returns. The same spec runs in per-record mode (one
+/// barrier per record, writers serialized on the log) and
+/// group-commit mode (one barrier per batch of concurrent writers);
+/// the throughput ratio between the two is the group-commit win.
+/// Barrier strength is identical in both modes, so the comparison
+/// isolates amortization, not durability level.
+struct DurableScalingSpec {
+  int writers = 8;
+  /// Cube side (side x side 2D cube).
+  int64_t side = 256;
+  double run_seconds = 2.0;
+  /// Records per Insert/InsertBatch call from each writer (1 = point
+  /// inserts, the per-record latency-sensitive shape).
+  int64_t batch = 1;
+  bool group_commit = true;
+  WalBarrier barrier = WalBarrier::kSync;
+  /// Inner serving engine routing (MakeServingEngine): 0 = locked
+  /// facade, >= 1 = sharded.
+  int shards = 0;
+  uint64_t seed = 1;
+  EngineMethod method = EngineMethod::kRelativePrefixSum;
+  /// Scratch directory for the engine's generation files (must exist;
+  /// a fresh engine is created in it).
+  std::string directory;
+  ThreadPool* pool = nullptr;
+};
+
+struct DurableScalingReport {
+  std::string mode;  // "group_commit" or "per_record"
+  int writers = 0;
+  double seconds = 0;
+  int64_t records = 0;  // durably committed records
+  /// Commit latency of one Insert/InsertBatch call (enqueue -> group
+  /// barrier -> memory apply), merged across writers.
+  double p50_commit_micros = 0;
+  double p99_commit_micros = 0;
+
+  double records_per_second() const {
+    return seconds == 0 ? 0 : static_cast<double>(records) / seconds;
+  }
+};
+
+Result<DurableScalingReport> RunDurableScalingWorkload(
+    const DurableScalingSpec& spec);
 
 }  // namespace rps
 

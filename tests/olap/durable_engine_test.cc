@@ -1,0 +1,224 @@
+// DurableOlapEngine unit tests, run in BOTH durability modes
+// (per-record and group commit): accepted records must survive a
+// handle drop with no checkpoint, checkpoints must advance the
+// generation and empty the replay, bulk Load must be durable through
+// its implicit checkpoint, and the health payload must expose the
+// durable state beside the inner engine's.
+
+#include "olap/durable_engine.h"
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/temp_dir.h"
+#include "util/random.h"
+
+namespace rps {
+namespace {
+
+constexpr int64_t kSide = 8;
+
+Schema TestSchema() {
+  return Schema("MEASURE", {Dimension::Integer("d0", 0, kSide),
+                            Dimension::Integer("d1", 0, kSide)});
+}
+
+OlapRecord Record(int64_t d0, int64_t d1, double measure) {
+  OlapRecord record;
+  record.values = {d0, d1};
+  record.measure = measure;
+  return record;
+}
+
+RangeQuery WholeCube() {
+  RangeQuery query;
+  query.WhereIntBetween("d0", 0, kSide - 1);
+  query.WhereIntBetween("d1", 0, kSide - 1);
+  return query;
+}
+
+// Parameter: group_commit on/off. Every behavior below must hold in
+// both modes; only the barrier batching differs.
+class DurableEngineTest : public ::testing::TestWithParam<bool> {
+ protected:
+  DurableOptions Options() const {
+    DurableOptions options;
+    options.group_commit = GetParam();
+    return options;
+  }
+
+  Result<std::unique_ptr<DurableOlapEngine>> Create() {
+    return DurableOlapEngine::Create(TestSchema(),
+                                     EngineMethod::kRelativePrefixSum,
+                                     /*shards=*/0, tmp_.path(), Options());
+  }
+
+  Result<std::unique_ptr<DurableOlapEngine>> Open(int64_t* replayed) {
+    return DurableOlapEngine::Open(TestSchema(),
+                                   EngineMethod::kRelativePrefixSum,
+                                   /*shards=*/0, tmp_.path(), Options(),
+                                   &ThreadPool::Global(), replayed);
+  }
+
+  testing::ScopedTempDir tmp_{"rps_durable_engine"};
+};
+
+TEST_P(DurableEngineTest, InsertsSurviveReopenWithoutCheckpoint) {
+  double expected_sum = 0;
+  {
+    auto created = Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    EXPECT_EQ(engine->group_commit(), GetParam());
+    EXPECT_EQ(engine->generation(), 1);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+      const double measure = static_cast<double>(rng.UniformInt(1, 9));
+      ASSERT_TRUE(engine->Insert(Record(rng.UniformInt(0, kSide - 1),
+                                        rng.UniformInt(0, kSide - 1),
+                                        measure)).ok());
+      expected_sum += measure;
+    }
+    EXPECT_EQ(engine->wal_records(), 50);
+  }  // dropped with a populated log: recovery is pure replay
+
+  int64_t replayed = 0;
+  auto reopened = Open(&replayed);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replayed, 50);
+  const Result<double> sum = reopened.value()->Sum(WholeCube());
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value(), expected_sum);
+  const Result<int64_t> count = reopened.value()->Count(WholeCube());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 50);
+}
+
+TEST_P(DurableEngineTest, CheckpointAdvancesGenerationAndEmptiesReplay) {
+  {
+    auto created = Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    ASSERT_TRUE(engine->Insert(Record(1, 2, 4.0)).ok());
+    ASSERT_TRUE(engine->Insert(Record(3, 4, 6.0)).ok());
+    ASSERT_TRUE(engine->Checkpoint().ok());
+    EXPECT_EQ(engine->generation(), 2);
+    EXPECT_EQ(engine->wal_generation(), 2);
+    EXPECT_FALSE(engine->checkpoint_in_flight());
+    EXPECT_EQ(engine->wal_records(), 0);
+    // Post-checkpoint inserts land in the new generation's log.
+    ASSERT_TRUE(engine->Insert(Record(5, 6, 8.0)).ok());
+    EXPECT_EQ(engine->wal_records(), 1);
+  }
+
+  int64_t replayed = 0;
+  auto reopened = Open(&replayed);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replayed, 1);  // only the post-checkpoint insert replays
+  EXPECT_EQ(reopened.value()->generation(), 2);
+  const Result<double> sum = reopened.value()->Sum(WholeCube());
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value(), 18.0);
+}
+
+TEST_P(DurableEngineTest, BulkLoadIsDurableThroughItsCheckpoint) {
+  {
+    auto created = Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    // Pre-load writes are replaced by the load, not merged.
+    ASSERT_TRUE(engine->Insert(Record(0, 0, 100.0)).ok());
+    std::vector<OlapRecord> records;
+    for (int64_t i = 0; i < kSide; ++i) {
+      records.push_back(Record(i, i, static_cast<double>(i + 1)));
+    }
+    const IngestReport report = engine->Load(records);
+    EXPECT_EQ(report.accepted, kSide);
+    EXPECT_EQ(report.rejected, 0);
+    EXPECT_GT(engine->generation(), 1);  // Load checkpointed
+  }
+
+  int64_t replayed = 0;
+  auto reopened = Open(&replayed);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replayed, 0);  // everything lives in the base file
+  const Result<double> sum = reopened.value()->Sum(WholeCube());
+  ASSERT_TRUE(sum.ok());
+  // 1 + 2 + ... + kSide, the pre-load record gone.
+  EXPECT_DOUBLE_EQ(sum.value(), static_cast<double>(kSide * (kSide + 1) / 2));
+  const Result<int64_t> count = reopened.value()->Count(WholeCube());
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), kSide);
+}
+
+TEST_P(DurableEngineTest, InsertBatchIsDurableAsOneCall) {
+  {
+    auto created = Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    std::vector<OlapRecord> batch;
+    for (int i = 0; i < 20; ++i) {
+      batch.push_back(Record(i % kSide, (i * 3) % kSide, 2.0));
+    }
+    ASSERT_TRUE(engine->InsertBatch(batch).ok());
+    EXPECT_EQ(engine->wal_records(), 20);
+  }
+  int64_t replayed = 0;
+  auto reopened = Open(&replayed);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replayed, 20);
+  const Result<double> sum = reopened.value()->Sum(WholeCube());
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value(), 40.0);
+}
+
+TEST_P(DurableEngineTest, HealthJsonNestsDurableAndEngineState) {
+  auto created = Create();
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
+  ASSERT_TRUE(engine->Insert(Record(2, 2, 1.0)).ok());
+  const std::string health = engine->HealthJson();
+  EXPECT_NE(health.find("\"durable\":"), std::string::npos);
+  EXPECT_NE(health.find("\"engine\":"), std::string::npos);
+  EXPECT_NE(health.find("\"generation\":1"), std::string::npos);
+  EXPECT_NE(health.find("\"wal_generation\":1"), std::string::npos);
+  EXPECT_NE(health.find("\"checkpoint_in_flight\":false"), std::string::npos);
+  EXPECT_NE(health.find("\"wal_records\":1"), std::string::npos);
+  const std::string mode = GetParam() ? "\"mode\":\"group_commit\""
+                                      : "\"mode\":\"per_record\"";
+  EXPECT_NE(health.find(mode), std::string::npos);
+}
+
+TEST_P(DurableEngineTest, OpenValidatesRecordGeometry) {
+  {
+    auto created = Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ASSERT_TRUE(created.value()->Insert(Record(1, 1, 1.0)).ok());
+    // Checkpoint so the base file holds records: a committed base
+    // that fails record parsing is reported as corruption, not
+    // silently dropped like a torn log tail.
+    ASSERT_TRUE(created.value()->Checkpoint().ok());
+  }
+  // A 3-dimensional schema cannot replay a 2-dimensional directory.
+  Schema wrong("MEASURE", {Dimension::Integer("d0", 0, kSide),
+                           Dimension::Integer("d1", 0, kSide),
+                           Dimension::Integer("d2", 0, kSide)});
+  auto reopened = DurableOlapEngine::Open(std::move(wrong),
+                                          EngineMethod::kRelativePrefixSum,
+                                          /*shards=*/0, tmp_.path(),
+                                          Options());
+  EXPECT_FALSE(reopened.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DurableEngineTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "GroupCommit" : "PerRecord";
+                         });
+
+}  // namespace
+}  // namespace rps

@@ -238,15 +238,32 @@ class DualSut : public Sut {
   DualRps<int64_t> dual_;
 };
 
+// Lifecycle knobs for DurableSut: how often (counted in applied point
+// mutations) to interleave pipelined checkpoints and crash-and-recover
+// cycles into the trace. Primes keep the two cadences drifting
+// against each other and against the op mix.
+struct DurableSutConfig {
+  bool group_commit = false;
+  /// Checkpoint() every N mutations (0 = never).
+  int checkpoint_every = 0;
+  /// Every N mutations (0 = never): drop the handle WITHOUT a final
+  /// checkpoint -- a crash at a clean log boundary -- and reopen from
+  /// disk. Replay (plus fold-forward after a mid-flight checkpoint)
+  /// must restore every acknowledged op or the model diverges.
+  int reopen_every = 0;
+};
+
 // The durable structure (pager + WAL on a scratch directory).
 class DurableSut : public Sut {
  public:
-  explicit DurableSut(const Shape& shape) : shape_(shape) {
+  explicit DurableSut(const Shape& shape, DurableSutConfig config = {})
+      : shape_(shape), config_(config) {
     Rebuild(NdArray<int64_t>(shape, 0));
   }
 
   void Insert(const CellIndex& cell, int64_t delta) override {
     ASSERT_TRUE(durable_->Add(cell, delta).ok());
+    MaybeCycle();
   }
   void Load(const Shape& shape, const std::vector<int64_t>& dense,
             const Model& order) override {
@@ -255,6 +272,7 @@ class DurableSut : public Sut {
   void RangeAdd(const Box& box, int64_t delta) override {
     ForEachCell(box, [&](const CellIndex& c) {
       ASSERT_TRUE(durable_->Add(c, delta).ok());
+      MaybeCycle();  // cycles can land mid-range, not just between ops
     });
   }
   int64_t RangeSum(const Box& box) override { return durable_->RangeSum(box); }
@@ -266,17 +284,41 @@ class DurableSut : public Sut {
   }
 
  private:
+  DurableOptions Options() const {
+    DurableOptions options;
+    options.group_commit = config_.group_commit;
+    return options;
+  }
+
   void Rebuild(const NdArray<int64_t>& source) {
     durable_.reset();
     dir_ = std::make_unique<testing::ScopedTempDir>("rps_model_check");
     Result<DurableRps<int64_t>> created = DurableRps<int64_t>::Create(
-        source, RecommendedBoxSize(source.shape()), dir_->path());
+        source, RecommendedBoxSize(source.shape()), dir_->path(), Options());
     ASSERT_TRUE(created.ok()) << created.status().ToString();
     durable_ =
         std::make_unique<DurableRps<int64_t>>(std::move(created.value()));
   }
 
+  void MaybeCycle() {
+    ++mutations_;
+    if (config_.checkpoint_every > 0 &&
+        mutations_ % config_.checkpoint_every == 0) {
+      ASSERT_TRUE(durable_->Checkpoint().ok());
+    }
+    if (config_.reopen_every > 0 && mutations_ % config_.reopen_every == 0) {
+      durable_.reset();  // crash: no final checkpoint
+      Result<DurableRps<int64_t>> reopened =
+          DurableRps<int64_t>::Open(dir_->path(), nullptr, Options());
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      durable_ =
+          std::make_unique<DurableRps<int64_t>>(std::move(reopened.value()));
+    }
+  }
+
   Shape shape_;
+  DurableSutConfig config_;
+  int64_t mutations_ = 0;
   std::unique_ptr<testing::ScopedTempDir> dir_;
   std::unique_ptr<DurableRps<int64_t>> durable_;
 };
@@ -583,6 +625,34 @@ TEST(ModelCheck, Durable) {
   // kind hundreds of times.
   CheckTarget("durable", shape,
               [&] { return std::make_unique<DurableSut>(shape); }, kOps / 10);
+}
+
+TEST(ModelCheck, DurableGroupCommit) {
+  const Shape shape = Shape::FromExtents({8, 6});
+  // Group-commit mode with pipelined checkpoints riding the trace:
+  // every mutation funnels through the commit thread, and rotation +
+  // clone + background snapshot interleave with the op stream.
+  DurableSutConfig config;
+  config.group_commit = true;
+  config.checkpoint_every = 181;
+  CheckTarget("durable_group_commit", shape,
+              [&] { return std::make_unique<DurableSut>(shape, config); },
+              kOps / 10);
+}
+
+TEST(ModelCheck, DurableGroupCommitCrashAndRecover) {
+  const Shape shape = Shape::FromExtents({8, 6});
+  // Adds crash-and-recover cycles mid-trace: the handle is dropped
+  // without a final checkpoint and reopened, so WAL replay (and
+  // fold-forward when a cycle lands between a rotation and its
+  // manifest commit) must reconstruct the exact model state.
+  DurableSutConfig config;
+  config.group_commit = true;
+  config.checkpoint_every = 239;
+  config.reopen_every = 97;
+  CheckTarget("durable_group_commit_crash", shape,
+              [&] { return std::make_unique<DurableSut>(shape, config); },
+              kOps / 10);
 }
 
 TEST(ModelCheck, LockedEngine) {

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -23,9 +24,11 @@
 #include "obs/expo_server.h"
 #include "obs/metrics.h"
 #include "olap/concurrent_engine.h"
+#include "olap/durable_engine.h"
 #include "olap/sharded_engine.h"
 #include "storage/buffer_pool.h"
 #include "storage/durable_rps.h"
+#include "storage/group_commit.h"
 #include "storage/pager.h"
 #include "storage/recovery_torture.h"
 #include "storage/wal.h"
@@ -302,6 +305,16 @@ Status CmdServe(const ParsedArgs& args) {
   // 0 = single-lock facade (the default, matching prior behavior);
   // >= 1 = sharded engine; < 0 = sharded with the pool default.
   RPS_ASSIGN_OR_RETURN(const int64_t shards, IntOptionOr(args, "shards", 0));
+  // --durable group|per_record funnels the writer's inserts through a
+  // DurableOlapEngine (every record logged durably before Insert
+  // returns, checkpoints pipelined); "off" keeps the legacy DurableRps
+  // sidecar demo alongside a plain serving engine.
+  const std::string durable_mode = OptionOr(args, "durable", "off");
+  if (durable_mode != "off" && durable_mode != "group" &&
+      durable_mode != "per_record") {
+    return Status::InvalidArgument("unknown --durable '" + durable_mode +
+                                   "' (off|group|per_record)");
+  }
   if (duration_s < 1) return Status::InvalidArgument("--duration-s must be >= 1");
   if (readers < 1) return Status::InvalidArgument("--readers must be >= 1");
   if (checkpoint_every < 1) {
@@ -309,19 +322,7 @@ Status CmdServe(const ParsedArgs& args) {
   }
   RPS_RETURN_IF_ERROR(ApplyObsFlags(args));
 
-  // Engine over an Integer schema matching --shape (dimensions d0,
-  // d1, ...), queried and updated concurrently below.
-  std::vector<Dimension> dimensions;
-  for (int j = 0; j < shape.dims(); ++j) {
-    dimensions.push_back(Dimension::Integer("d" + std::to_string(j), 0,
-                                            shape.extent(j)));
-  }
-  std::unique_ptr<OlapServingEngine> engine =
-      MakeServingEngine(Schema("MEASURE", std::move(dimensions)),
-                        EngineMethod::kRelativePrefixSum,
-                        static_cast<int>(shards));
-
-  // Durable structure in a scratch dir: gives /healthz a real
+  // Scratch dir for the durable state: gives /healthz a real
   // generation number that advances as the writer checkpoints.
   std::string directory = OptionOr(args, "dir", "");
   const bool own_directory = directory.empty();
@@ -333,17 +334,53 @@ Status CmdServe(const ParsedArgs& args) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) return Status::IoError("cannot create scratch dir " + directory);
-  const NdArray<int64_t> zero(shape, 0);
-  RPS_ASSIGN_OR_RETURN(DurableRps<int64_t> initial,
-                       DurableRps<int64_t>::Create(
-                           zero, RecommendedBoxSize(shape), directory));
+
+  // Engine over an Integer schema matching --shape (dimensions d0,
+  // d1, ...), queried and updated concurrently below.
+  std::vector<Dimension> dimensions;
+  for (int j = 0; j < shape.dims(); ++j) {
+    dimensions.push_back(Dimension::Integer("d" + std::to_string(j), 0,
+                                            shape.extent(j)));
+  }
+  Schema schema("MEASURE", std::move(dimensions));
+  std::unique_ptr<OlapServingEngine> engine;
+  DurableOlapEngine* durable_engine = nullptr;
+  if (durable_mode != "off") {
+    DurableOptions durable_options;
+    durable_options.group_commit = durable_mode == "group";
+    RPS_ASSIGN_OR_RETURN(
+        std::unique_ptr<DurableOlapEngine> created,
+        DurableOlapEngine::Create(std::move(schema),
+                                  EngineMethod::kRelativePrefixSum,
+                                  static_cast<int>(shards), directory,
+                                  durable_options));
+    durable_engine = created.get();
+    engine = std::move(created);
+  } else {
+    engine = MakeServingEngine(std::move(schema),
+                               EngineMethod::kRelativePrefixSum,
+                               static_cast<int>(shards));
+  }
+
+  // Legacy mode keeps the DurableRps sidecar (checkpointed copy of
+  // the writer's cell stream) so /healthz's durable source still has
+  // a generation to report.
   struct DurableShared {
     explicit DurableShared(DurableRps<int64_t> d) : durable(std::move(d)) {}
     Mutex mu{"CmdServe.durable"};
     DurableRps<int64_t> durable GUARDED_BY(mu);
     int64_t adds GUARDED_BY(mu) = 0;
     int64_t checkpoints GUARDED_BY(mu) = 0;
-  } shared(std::move(initial));
+  };
+  std::optional<DurableShared> shared;
+  if (durable_engine == nullptr) {
+    const NdArray<int64_t> zero(shape, 0);
+    RPS_ASSIGN_OR_RETURN(DurableRps<int64_t> initial,
+                         DurableRps<int64_t>::Create(
+                             zero, RecommendedBoxSize(shape), directory));
+    shared.emplace(std::move(initial));
+  }
+  std::atomic<int64_t> engine_checkpoints{0};
 
   std::atomic<int64_t> queries{0};
   std::atomic<int64_t> updates{0};
@@ -354,14 +391,22 @@ Status CmdServe(const ParsedArgs& args) {
   obs::ExpoServer server(options);
   server.AddHealthSource("engine",
                          [&engine] { return engine->HealthJson(); });
+  const OlapServingEngine* query_engine =
+      durable_engine != nullptr ? &durable_engine->inner() : engine.get();
   if (const auto* sharded =
-          dynamic_cast<const ShardedOlapEngine*>(engine.get())) {
+          dynamic_cast<const ShardedOlapEngine*>(query_engine)) {
     server.AddVarzSource("shards", [sharded] { return sharded->VarzJson(); });
   }
-  server.AddHealthSource("durable", [&shared] {
-    MutexLock lock(&shared.mu);
-    return shared.durable.HealthJson();
-  });
+  if (durable_engine != nullptr) {
+    server.AddHealthSource("durable", [durable_engine] {
+      return durable_engine->HealthJson();
+    });
+  } else {
+    server.AddHealthSource("durable", [&shared] {
+      MutexLock lock(&shared->mu);
+      return shared->durable.HealthJson();
+    });
+  }
   server.AddVarzSource("kernels", [] { return kernels::InfoJson(); });
   server.AddVarzSource("serve", [&] {
     std::string out = "{\"queries\":";
@@ -406,6 +451,7 @@ Status CmdServe(const ParsedArgs& args) {
   }
   workers.emplace_back([&] {
     Rng rng(static_cast<uint64_t>(seed) + 99);
+    int64_t inserted = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       OlapRecord record;
       CellIndex cell = CellIndex::Filled(shape.dims(), 0);
@@ -416,15 +462,27 @@ Status CmdServe(const ParsedArgs& args) {
       record.measure = static_cast<double>(rng.UniformInt(0, 9));
       if (engine->Insert(record).ok()) {
         updates.fetch_add(1, std::memory_order_relaxed);
+        ++inserted;
       } else {
         failures.fetch_add(1, std::memory_order_relaxed);
       }
-      MutexLock lock(&shared.mu);
-      if (!shared.durable.Add(cell, 1).ok()) {
+      if (durable_engine != nullptr) {
+        // The engine logged the insert durably already; periodic
+        // checkpoints bound replay (and run pipelined, so readers and
+        // this writer keep going while the base file lands).
+        if (inserted > 0 && inserted % checkpoint_every == 0) {
+          if (durable_engine->Checkpoint().ok()) {
+            engine_checkpoints.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        continue;
+      }
+      MutexLock lock(&shared->mu);
+      if (!shared->durable.Add(cell, 1).ok()) {
         failures.fetch_add(1, std::memory_order_relaxed);
       }
-      if (++shared.adds % checkpoint_every == 0) {
-        if (shared.durable.Checkpoint().ok()) ++shared.checkpoints;
+      if (++shared->adds % checkpoint_every == 0) {
+        if (shared->durable.Checkpoint().ok()) ++shared->checkpoints;
       }
     }
   });
@@ -441,10 +499,13 @@ Status CmdServe(const ParsedArgs& args) {
 
   int64_t checkpoints = 0;
   int64_t generation = 0;
-  {
-    MutexLock lock(&shared.mu);
-    checkpoints = shared.checkpoints;
-    generation = shared.durable.generation();
+  if (durable_engine != nullptr) {
+    checkpoints = engine_checkpoints.load();
+    generation = durable_engine->generation();
+  } else {
+    MutexLock lock(&shared->mu);
+    checkpoints = shared->checkpoints;
+    generation = shared->durable.generation();
   }
   std::printf("served %lld queries, %lld updates (%lld failures); "
               "%lld checkpoints, final generation %lld\n",
@@ -594,6 +655,148 @@ Status CmdShardBench(const ParsedArgs& args) {
     RPS_RETURN_IF_ERROR(WriteTextFile(out_path, json + "\n"));
     std::printf("wrote %s\n", out_path.c_str());
   }
+  return Status::Ok();
+}
+
+std::string DurableScalingRowJson(const DurableScalingReport& report) {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"mode\":\"%s\",\"writers\":%d,\"seconds\":%.3f,"
+      "\"records\":%lld,\"records_per_second\":%.1f,"
+      "\"p50_commit_us\":%.2f,\"p99_commit_us\":%.2f}",
+      report.mode.c_str(), report.writers, report.seconds,
+      static_cast<long long>(report.records), report.records_per_second(),
+      report.p50_commit_micros, report.p99_commit_micros);
+  return buffer;
+}
+
+// durablebench: the durable-ingest scaling experiment behind
+// docs/PERFORMANCE.md's group-commit table. For each entry in
+// --writers the same saturating insert workload runs twice --
+// per-record WAL (one barrier per record) and group commit (one
+// barrier per batch of concurrent writers) -- at identical barrier
+// strength, then every row plus the headline group/per-record
+// throughput ratio at the largest writer count is written to --out
+// as BENCH_durable_scaling.json.
+Status CmdDurableBench(const ParsedArgs& args) {
+  RPS_ASSIGN_OR_RETURN(const std::vector<int64_t> writer_counts,
+                       SplitInts(OptionOr(args, "writers", "1,2,4,8"), ','));
+  RPS_ASSIGN_OR_RETURN(const int64_t side, IntOptionOr(args, "side", 256));
+  RPS_ASSIGN_OR_RETURN(const int64_t run_ms,
+                       IntOptionOr(args, "run-ms", 2000));
+  RPS_ASSIGN_OR_RETURN(const int64_t batch, IntOptionOr(args, "batch", 1));
+  RPS_ASSIGN_OR_RETURN(const int64_t shards, IntOptionOr(args, "shards", 0));
+  RPS_ASSIGN_OR_RETURN(const int64_t seed, IntOptionOr(args, "seed", 1));
+  const std::string barrier_name = OptionOr(args, "barrier", "sync");
+  const std::string out_path = OptionOr(args, "out", "");
+  if (writer_counts.empty() || side < 2 || run_ms < 1 || batch < 1) {
+    return Status::InvalidArgument("durablebench: bad parameter");
+  }
+  for (const int64_t count : writer_counts) {
+    if (count < 1) return Status::InvalidArgument("--writers entries must be >= 1");
+  }
+  WalBarrier barrier;
+  if (barrier_name == "sync") {
+    barrier = WalBarrier::kSync;
+  } else if (barrier_name == "flush") {
+    barrier = WalBarrier::kFlush;
+  } else {
+    return Status::InvalidArgument("unknown --barrier '" + barrier_name +
+                                   "' (sync|flush)");
+  }
+
+  // Scratch root: --dir if given, otherwise a temp dir removed on
+  // success. Each run gets its own fresh subdirectory.
+  std::string root = OptionOr(args, "dir", "");
+  const bool own_root = root.empty();
+  if (own_root) {
+    root = (std::filesystem::temp_directory_path() /
+            ("rps_durablebench_" + std::to_string(::getpid())))
+               .string();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) return Status::IoError("cannot create scratch dir " + root);
+
+  std::printf("%-12s %8s %12s %12s %12s\n", "mode", "writers", "rec/s",
+              "p50 us", "p99 us");
+  std::vector<DurableScalingReport> reports;
+  for (const int64_t writers : writer_counts) {
+    for (const bool group : {false, true}) {
+      DurableScalingSpec spec;
+      spec.writers = static_cast<int>(writers);
+      spec.side = side;
+      spec.run_seconds = static_cast<double>(run_ms) / 1000.0;
+      spec.batch = batch;
+      spec.group_commit = group;
+      spec.barrier = barrier;
+      spec.shards = static_cast<int>(shards);
+      spec.seed = static_cast<uint64_t>(seed);
+      spec.pool = &ThreadPool::Global();
+      spec.directory =
+          (std::filesystem::path(root) /
+           ((group ? "group_" : "per_record_") + std::to_string(writers)))
+              .string();
+      std::filesystem::remove_all(spec.directory, ec);
+      std::filesystem::create_directories(spec.directory, ec);
+      if (ec) {
+        return Status::IoError("cannot create scratch dir " + spec.directory);
+      }
+      RPS_ASSIGN_OR_RETURN(const DurableScalingReport report,
+                           RunDurableScalingWorkload(spec));
+      std::printf("%-12s %8d %12.0f %12.2f %12.2f\n", report.mode.c_str(),
+                  report.writers, report.records_per_second(),
+                  report.p50_commit_micros, report.p99_commit_micros);
+      std::fflush(stdout);
+      reports.push_back(report);
+      std::filesystem::remove_all(spec.directory, ec);
+    }
+  }
+
+  // Headline: group-commit throughput over per-record throughput at
+  // the largest writer count (the amortization win; barrier strength
+  // is identical in both modes).
+  const int max_writers = static_cast<int>(
+      *std::max_element(writer_counts.begin(), writer_counts.end()));
+  double per_record_rps = 0;
+  double group_rps = 0;
+  for (const DurableScalingReport& report : reports) {
+    if (report.writers != max_writers) continue;
+    if (report.mode == "group_commit") {
+      group_rps = report.records_per_second();
+    } else {
+      per_record_rps = report.records_per_second();
+    }
+  }
+  const double speedup = per_record_rps > 0 ? group_rps / per_record_rps : 0;
+  std::printf("group commit over per record at %d writers: %.2fx\n",
+              max_writers, speedup);
+
+  if (!out_path.empty()) {
+    std::string rows;
+    for (const DurableScalingReport& report : reports) {
+      if (!rows.empty()) rows += ",";
+      rows += DurableScalingRowJson(report);
+    }
+    char summary[160];
+    std::snprintf(summary, sizeof(summary),
+                  "{\"group_over_per_record_at_%d_writers\":%.2f}",
+                  max_writers, speedup);
+    std::string json = "{\"benchmark\":\"durable_scaling\",";
+    json += "\"side\":" + std::to_string(side);
+    json += ",\"run_ms\":" + std::to_string(run_ms);
+    json += ",\"batch\":" + std::to_string(batch);
+    json += ",\"shards\":" + std::to_string(shards);
+    json += ",\"barrier\":\"" + barrier_name + "\"";
+    json += ",\"seed\":" + std::to_string(seed);
+    json += ",\"summary\":";
+    json += summary;
+    json += ",\"runs\":[" + rows + "]}";
+    RPS_RETURN_IF_ERROR(WriteTextFile(out_path, json + "\n"));
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (own_root) std::filesystem::remove_all(root, ec);
   return Status::Ok();
 }
 
@@ -858,6 +1061,31 @@ Status CmdMetrics(const ParsedArgs& args) {
     std::filesystem::remove(wal_path);
   }
 
+  // ... and the group-commit front end (rps_wal_group_queue_depth
+  // plus more samples in the rps_wal_group_* histograms) over a
+  // second scratch log.
+  {
+    const std::string wal_path =
+        (std::filesystem::temp_directory_path() /
+         ("rps_metrics_" + std::to_string(::getpid()) + ".gwal"))
+            .string();
+    RPS_ASSIGN_OR_RETURN(
+        WriteAheadLog wal,
+        WriteAheadLog::OpenForAppend(wal_path, shape.dims(),
+                                     sizeof(int64_t)));
+    GroupCommitOptions group_options;
+    group_options.barrier = WalBarrier::kFlush;
+    GroupCommitWal group_wal(std::move(wal), group_options);
+    const int64_t payload = 1;
+    CellIndex cell = CellIndex::Filled(shape.dims(), 0);
+    for (int64_t i = 0; i < 8; ++i) {
+      cell[0] = i % shape.extent(0);
+      RPS_RETURN_IF_ERROR(group_wal.Append(cell, &payload));
+    }
+    group_wal.Shutdown();
+    std::filesystem::remove(wal_path);
+  }
+
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
   if (format == "text" || format == "both") {
     std::fputs(registry.RenderText().c_str(), stdout);
@@ -891,6 +1119,12 @@ Status CmdTorture(const ParsedArgs& args) {
   RPS_ASSIGN_OR_RETURN(options.ops_per_cycle, IntOptionOr(args, "ops", 40));
   RPS_ASSIGN_OR_RETURN(options.queries_per_cycle,
                        IntOptionOr(args, "queries", 8));
+  // --group-commit 1 funnels every cycle's appends through the
+  // group-commit front end and pipelines checkpoints, so recovery
+  // exercises rotated/orphan log generations too.
+  RPS_ASSIGN_OR_RETURN(const int64_t group_commit,
+                       IntOptionOr(args, "group-commit", 0));
+  options.group_commit = group_commit != 0;
   options.extents.clear();
   options.box_size.clear();
   for (int j = 0; j < shape.dims(); ++j) {
@@ -925,7 +1159,7 @@ Status CmdTorture(const ParsedArgs& args) {
   if (own_directory) std::filesystem::remove_all(options.directory, ec);
   const TortureReport& report = run.value();
   std::printf(
-      "torture OK: %lld cycles on %s (seed %lld)\n"
+      "torture OK: %lld cycles on %s (seed %lld%s)\n"
       "  adds:        %lld applied, %lld interrupted "
       "(%lld recovered, %lld lost)\n"
       "  checkpoints: %lld committed, %lld interrupted "
@@ -935,6 +1169,7 @@ Status CmdTorture(const ParsedArgs& args) {
       "  verified:    %lld cells + %lld range sums post-recovery\n",
       static_cast<long long>(report.cycles_run), shape.ToString().c_str(),
       static_cast<long long>(seed),
+      options.group_commit ? ", group commit" : "",
       static_cast<long long>(report.adds_applied),
       static_cast<long long>(report.adds_failed),
       static_cast<long long>(report.pending_applied),
@@ -1024,16 +1259,21 @@ void PrintUsage() {
       "          [--slow-query-us N] [--event-log events.jsonl]\n"
       "  serve   [--port N --port-file f --duration-s N --shape AxB]\n"
       "          [--readers N --checkpoint-every N --seed N --dir d]\n"
-      "          [--shards N (0=locked facade)] [--slow-query-us N]\n"
+      "          [--shards N (0=locked facade)]\n"
+      "          [--durable off|group|per_record] [--slow-query-us N]\n"
       "          [--event-log events.jsonl]\n"
       "  shardbench [--shards 0,1,2,4,8 --side N --readers N]\n"
       "          [--phase-ms N --writer-batch N --writer-rate N]\n"
       "          [--hot-rows N --preload N --seed N --out bench.json]\n"
+      "  durablebench [--writers 1,2,4,8 --side N --run-ms N]\n"
+      "          [--batch N --shards N --barrier sync|flush --seed N]\n"
+      "          [--dir scratch/ --out bench.json]\n"
       "  metrics [--shape AxB --queries N --updates N --seed N]\n"
       "          [--format text|json|both] [--json out.json]\n"
       "  metrics --watch N --port N [--host H --rounds N]\n"
       "  torture [--cycles N --shape AxB --box AxB --seed N]\n"
       "          [--ops N --queries N --dir scratch/]\n"
+      "          [--group-commit 0|1]\n"
       "  trace-record --shape AxB [--queries N --updates N --seed N]\n"
       "          --out t.trace\n"
       "  trace-replay --cube cube.bin --trace t.trace [--method M]\n");
@@ -1134,6 +1374,8 @@ int RunCli(const std::vector<std::string>& args) {
     status = CmdServe(parsed.value());
   } else if (command == "shardbench") {
     status = CmdShardBench(parsed.value());
+  } else if (command == "durablebench") {
+    status = CmdDurableBench(parsed.value());
   } else if (command == "metrics") {
     status = CmdMetrics(parsed.value());
   } else if (command == "torture") {
